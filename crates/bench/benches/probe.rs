@@ -1,0 +1,59 @@
+//! Ablation bench: hash-probe throughput versus hash-table working-set
+//! size — the mechanism behind the paper's observation that HEF's speedup
+//! ratio changes with the SSB scale factor ("the different size hash tables
+//! are stored in different levels of cache").
+//!
+//! Tables are sized to land in L1, L2, LLC, and memory; the hybrid node's
+//! deeper packing sustains more outstanding misses, so its advantage grows
+//! with table size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hef_kernels::{run, Family, HybridConfig, KernelIo, ProbeTable};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn table_with(entries: usize) -> ProbeTable {
+    let mut t = ProbeTable::with_capacity(entries);
+    for k in 0..entries as u64 {
+        t.insert(k * 2 + 1, k % 1000);
+    }
+    t
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let nkeys = 1 << 18;
+    let mut rng = SmallRng::seed_from_u64(11);
+
+    // entries → table bytes ≈ entries*2(load factor)*16: 1k≈32KiB (L1/L2),
+    // 16k≈512KiB (L2), 256k≈8MiB (LLC), 2M≈64MiB (memory).
+    for entries in [1_000usize, 16_000, 256_000, 2_000_000] {
+        let table = table_with(entries);
+        let keys: Vec<u64> = (0..nkeys)
+            .map(|_| rng.gen_range(0..entries as u64 * 2))
+            .collect();
+        let mut out = vec![0u64; nkeys];
+        let mut g = c.benchmark_group(format!(
+            "probe_ws_{}kib",
+            table.working_set_bytes() / 1024
+        ));
+        g.throughput(Throughput::Elements(nkeys as u64));
+        g.sample_size(10);
+        for (label, cfg) in [
+            ("scalar", HybridConfig::SCALAR),
+            ("simd", HybridConfig::SIMD),
+            ("hybrid_n113", HybridConfig::new(1, 1, 3)),
+            ("hybrid_n404", HybridConfig::new(4, 0, 4)),
+        ] {
+            g.bench_function(BenchmarkId::from_parameter(label), |b| {
+                b.iter(|| {
+                    let mut io = KernelIo::Probe { keys: &keys, table: &table, out: &mut out };
+                    assert!(run(Family::Probe, cfg, &mut io));
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_probe);
+criterion_main!(benches);

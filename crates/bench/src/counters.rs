@@ -1,0 +1,276 @@
+//! Modeled `perf`-style counters for the paper's testbed CPUs.
+//!
+//! Assembles per-query and per-kernel counter reports (instructions, IPC,
+//! LLC misses, frequency, time) from the `hef-uarch` pipeline, cache, and
+//! license models plus the engine's execution statistics — the reproduction
+//! of the paper's Tables III–V (query counters) and the IPC rows of
+//! Tables VI–IX (kernel counters). See DESIGN.md §3 for the substitution
+//! rationale and calibration notes.
+
+use hef_core::{templates, to_loop_body};
+use hef_engine::{ExecStats, Flavor, HybridConfig};
+use hef_kernels::Family;
+use hef_uarch::{simulate, AccessPattern, CacheSim, CpuModel, LoopBody};
+
+/// Iterations used for steady-state simulation.
+const STEADY: usize = 120;
+
+/// A modeled counter report in the layout of the paper's Tables III–V.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryCounters {
+    /// Dynamic instruction count.
+    pub instructions: f64,
+    /// Last-level-cache misses.
+    pub llc_misses: f64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Effective frequency (GHz).
+    pub freq_ghz: f64,
+    /// Modeled wall time in milliseconds.
+    pub time_ms: f64,
+}
+
+/// The kernel node a flavor runs its probes at.
+pub fn flavor_cfg(flavor: Flavor) -> HybridConfig {
+    match flavor {
+        Flavor::Scalar | Flavor::Voila => HybridConfig::SCALAR,
+        Flavor::Simd => HybridConfig::SIMD,
+        Flavor::Hybrid => HybridConfig::new(1, 1, 3), // the paper's SSB optimum
+    }
+}
+
+/// Memory-level parallelism sustained by a configuration: each independent
+/// statement instance keeps its own miss in flight, on top of the baseline
+/// the out-of-order window extracts.
+fn mlp(cfg: HybridConfig, prefetched: bool) -> f64 {
+    if prefetched {
+        // Software prefetching (Voila) decouples misses from the pipeline.
+        return 24.0;
+    }
+    let instances = (cfg.v + cfg.s) * cfg.p;
+    (4.0 + 2.0 * instances as f64).min(20.0)
+}
+
+/// Voila's dense buffers and split passes keep its probe working set hot
+/// (the paper measures ~4× fewer LLC misses for Voila); this factor scales
+/// the effective working set its probes touch.
+const VOILA_CACHE_FACTOR: f64 = 0.25;
+
+/// Voila's synthesized FSM code runs the core at low utilization; the paper
+/// measures 1.77–2.49 GHz against 2.8–3.2 GHz for the other engines. We
+/// model it as a fixed fraction of the L0 license clock (calibrated to the
+/// paper's Table III–V measurements).
+const VOILA_FREQ_FACTOR: f64 = 0.62;
+
+/// Cycles and µops per *element* for a kernel body at `cfg` on `model`.
+fn per_element(model: &CpuModel, body: &LoopBody, cfg: HybridConfig) -> (f64, f64) {
+    let r = simulate(model, body, STEADY);
+    let elems = (cfg.step() * STEADY) as f64;
+    (r.cycles as f64 / elems, r.uops as f64 / elems)
+}
+
+/// Model the counters of one executed star query.
+///
+/// `stats` comes from the actual engine run (probe counts, selectivities,
+/// and hash-table sizes are real); the pipeline/cache/frequency behaviour
+/// on `model` is simulated.
+pub fn model_query(model: &CpuModel, flavor: Flavor, stats: &ExecStats) -> QueryCounters {
+    let cfg = flavor_cfg(flavor);
+    let probe_t = templates::probe();
+    let body = to_loop_body(&probe_t, cfg);
+    let (cpe, upe) = per_element(model, &body, cfg);
+
+    let total_probes: f64 = stats.probes.iter().map(|&p| p as f64).sum();
+
+    // Compute cycles: probes dominate; scans and aggregation contribute a
+    // small per-row overhead.
+    let scan_rows = stats.rows_scanned as f64;
+    let agg_rows = stats.rows_aggregated as f64;
+    let mut compute_cycles = total_probes * cpe + scan_rows * 0.5 + agg_rows * 4.0;
+    let mut instructions = total_probes * upe + scan_rows * 0.5 + agg_rows * 6.0;
+
+    if flavor == Flavor::Voila {
+        // Full materialization: ~2 instructions (load+store) per copied
+        // value, plus the separate hash/prefetch passes.
+        instructions += stats.materialized as f64 * 2.0 + total_probes * 4.0;
+        compute_cycles += stats.materialized as f64 * 0.75;
+    }
+
+    // Memory behaviour: the first foreign-key column is streamed in full;
+    // later columns are only touched for surviving rows (selective gathers
+    // fetch one line per row). Voila's dense passes + software prefetch
+    // convert most of its line fetches into prefetch hits, which `perf`
+    // does not count as demand LLC misses — the paper's Tables III–V show
+    // Voila with ~4× fewer LLC misses; VOILA_CACHE_FACTOR models that.
+    let cache = CacheSim::new(model);
+    let selective_rows: u64 = stats.probes.iter().skip(1).sum::<u64>()
+        + stats.rows_aggregated * 2;
+    let mut stream_bytes = stats.rows_scanned * 8 + selective_rows * 8;
+    if flavor == Flavor::Voila {
+        stream_bytes = (stream_bytes as f64 * VOILA_CACHE_FACTOR) as u64;
+    }
+    let mut patterns = vec![AccessPattern::Stream { bytes: stream_bytes }];
+    for (di, &p) in stats.probes.iter().enumerate() {
+        let ws = stats.table_bytes[di] as f64
+            * if flavor == Flavor::Voila { VOILA_CACHE_FACTOR } else { 1.0 };
+        patterns.push(AccessPattern::RandomProbe {
+            count: p * 2, // slot key + payload
+            working_set: ws as u64,
+        });
+    }
+    let misses = cache.misses_all(&patterns);
+    let stall = cache.stall_cycles(&misses, mlp(cfg, flavor == Flavor::Voila));
+
+    let cycles = compute_cycles + stall as f64;
+    let freq = if flavor == Flavor::Voila {
+        model.freq_ghz[0] * VOILA_FREQ_FACTOR
+    } else {
+        hef_uarch::freq::frequency_ghz(model, &body)
+    };
+
+    QueryCounters {
+        instructions,
+        llc_misses: misses.llc as f64,
+        ipc: instructions / cycles,
+        freq_ghz: freq,
+        time_ms: cycles / (freq * 1e6),
+    }
+}
+
+/// Model the counters of a synthetic kernel run (Tables VI–IX): `n`
+/// elements through `family` at `cfg` on `model`.
+pub fn model_kernel(
+    model: &CpuModel,
+    family: Family,
+    cfg: HybridConfig,
+    n: u64,
+) -> QueryCounters {
+    let template = templates::for_family(family);
+    let body = to_loop_body(&template, cfg);
+    let (cpe, upe) = per_element(model, &body, cfg);
+
+    let cache = CacheSim::new(model);
+    // Streaming input and output; CRC64's table lives in L1.
+    let patterns = [AccessPattern::Stream { bytes: n * 16 }];
+    let misses = cache.misses_all(&patterns);
+    let stall = cache.stall_cycles(&misses, mlp(cfg, false));
+
+    let instructions = n as f64 * upe;
+    let cycles = n as f64 * cpe + stall as f64;
+    let freq = hef_uarch::freq::frequency_ghz(model, &body);
+    QueryCounters {
+        instructions,
+        llc_misses: misses.llc as f64,
+        ipc: instructions / cycles,
+        freq_ghz: freq,
+        time_ms: cycles / (freq * 1e6),
+    }
+}
+
+/// The µop-issue histogram of a kernel at `cfg` on `model` (Figs. 11–14):
+/// fractions of cycles with 0, 1, 2, ≥3 µops executed.
+pub fn issue_histogram(model: &CpuModel, family: Family, cfg: HybridConfig) -> [f64; 4] {
+    let template = templates::for_family(family);
+    let body = to_loop_body(&template, cfg);
+    simulate(model, &body, STEADY).hist_fractions()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_stats(probes: u64, table_bytes: usize) -> ExecStats {
+        ExecStats {
+            rows_scanned: probes,
+            rows_after_filter: probes,
+            probes: vec![probes],
+            hits: vec![probes / 2],
+            table_bytes: vec![table_bytes],
+            rows_aggregated: probes / 2,
+            materialized: probes * 3,
+        }
+    }
+
+    #[test]
+    fn scalar_has_more_instructions_than_simd() {
+        // The paper's core counter observation (Tables III–V): scalar
+        // executes ~2-3× the instructions; SIMD has the fewest.
+        let m = CpuModel::silver_4110();
+        let stats = fake_stats(1_000_000, 1 << 22);
+        let scalar = model_query(&m, Flavor::Scalar, &stats);
+        let simd = model_query(&m, Flavor::Simd, &stats);
+        let hybrid = model_query(&m, Flavor::Hybrid, &stats);
+        assert!(scalar.instructions > 1.8 * simd.instructions);
+        assert!(hybrid.instructions > simd.instructions);
+        assert!(hybrid.instructions < scalar.instructions);
+    }
+
+    #[test]
+    fn ipc_ordering_matches_paper() {
+        // Scalar has the highest IPC of the three engine flavors; SIMD the
+        // lowest; hybrid in between (Table III: 1.19 / 0.46 / 0.70).
+        let m = CpuModel::silver_4110();
+        let stats = fake_stats(1_000_000, 1 << 22);
+        let scalar = model_query(&m, Flavor::Scalar, &stats);
+        let simd = model_query(&m, Flavor::Simd, &stats);
+        let hybrid = model_query(&m, Flavor::Hybrid, &stats);
+        assert!(scalar.ipc > hybrid.ipc && hybrid.ipc > simd.ipc,
+            "ipc {} {} {}", scalar.ipc, hybrid.ipc, simd.ipc);
+    }
+
+    #[test]
+    fn voila_counters_have_the_paper_profile() {
+        let m = CpuModel::silver_4110();
+        let stats = fake_stats(1_000_000, 1 << 24);
+        let voila = model_query(&m, Flavor::Voila, &stats);
+        let hybrid = model_query(&m, Flavor::Hybrid, &stats);
+        // Fewer LLC misses, lower frequency.
+        assert!(voila.llc_misses < hybrid.llc_misses / 2.0);
+        assert!(voila.freq_ghz < hybrid.freq_ghz);
+        // More instructions at this (low) selectivity.
+        assert!(voila.instructions > hybrid.instructions);
+    }
+
+    #[test]
+    fn hybrid_is_fastest_engine_flavor_on_the_model() {
+        let m = CpuModel::silver_4110();
+        let stats = fake_stats(2_000_000, 1 << 22);
+        let t = |f| model_query(&m, f, &stats).time_ms;
+        assert!(t(Flavor::Hybrid) < t(Flavor::Scalar));
+        assert!(t(Flavor::Hybrid) < t(Flavor::Simd));
+    }
+
+    #[test]
+    fn kernel_model_murmur_matches_table6_shape() {
+        // Table VI (Silver 4110): hybrid < scalar ≈ SIMD; scalar IPC high,
+        // SIMD IPC low.
+        let m = CpuModel::silver_4110();
+        let n = 10_000_000;
+        let scalar = model_kernel(&m, Family::Murmur, HybridConfig::SCALAR, n);
+        let simd = model_kernel(&m, Family::Murmur, HybridConfig::SIMD, n);
+        let hybrid = model_kernel(&m, Family::Murmur, HybridConfig::new(1, 3, 2), n);
+        assert!(hybrid.time_ms < scalar.time_ms);
+        assert!(hybrid.time_ms < simd.time_ms);
+        assert!(scalar.ipc > simd.ipc);
+    }
+
+    #[test]
+    fn kernel_model_crc_packing_wins_big() {
+        // Table VIII: hybrid (8,0,1) far below both scalar and SIMD.
+        let m = CpuModel::silver_4110();
+        let n = 10_000_000;
+        let simd = model_kernel(&m, Family::Crc64, HybridConfig::SIMD, n);
+        let packed = model_kernel(&m, Family::Crc64, HybridConfig::new(8, 0, 1), n);
+        assert!(packed.time_ms < simd.time_ms);
+    }
+
+    #[test]
+    fn histograms_are_distributions() {
+        let m = CpuModel::gold_6240r();
+        for cfg in [HybridConfig::SCALAR, HybridConfig::SIMD, HybridConfig::new(1, 3, 2)] {
+            let h = issue_histogram(&m, Family::Murmur, cfg);
+            assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{cfg}");
+            assert!(h.iter().all(|&f| (0.0..=1.0).contains(&f)));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Wall-clock measurement on the build machine.
+
+use std::time::Instant;
+
+use hef_engine::{execute_star, ExecConfig, QueryOutput, StarPlan};
+use hef_kernels::{run_on, Family, HybridConfig, KernelIo};
+use hef_storage::Table;
+
+/// A measured timing: best-of-`repeats` wall time.
+#[derive(Debug, Clone, Copy)]
+pub struct Measured {
+    pub secs: f64,
+}
+
+impl Measured {
+    pub fn ms(&self) -> f64 {
+        self.secs * 1e3
+    }
+}
+
+/// Execute `plan` `repeats` times under `cfg` and return the best time and
+/// the (identical every run) output.
+pub fn measure_query(
+    plan: &StarPlan,
+    fact: &Table,
+    cfg: &ExecConfig,
+    repeats: usize,
+) -> (Measured, QueryOutput) {
+    let mut out = execute_star(plan, fact, cfg); // warm-up + result
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        out = execute_star(plan, fact, cfg);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (Measured { secs: best }, out)
+}
+
+/// Measure a map-family kernel (murmur / crc64) over `input`.
+pub fn measure_kernel(
+    family: Family,
+    cfg: HybridConfig,
+    input: &[u64],
+    repeats: usize,
+) -> Measured {
+    let mut output = vec![0u64; input.len()];
+    let mut best = f64::INFINITY;
+    // Warm-up.
+    let mut io = KernelIo::Map { input, output: &mut output };
+    assert!(run_on(family, cfg, hef_hid::Backend::native(), &mut io));
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        let mut io = KernelIo::Map { input, output: &mut output };
+        run_on(family, cfg, hef_hid::Backend::native(), &mut io);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    Measured { secs: best }
+}
+
+/// Standard synthetic input for the kernel benchmarks (the paper hashes
+/// 10⁹ pseudo-random 64-bit integers; scale with `n`).
+pub fn kernel_input(n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x243f_6a88))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hef_engine::Flavor;
+
+    #[test]
+    fn kernel_measurement_is_positive_and_repeatable() {
+        let input = kernel_input(10_000);
+        let m = measure_kernel(Family::Murmur, HybridConfig::new(1, 1, 2), &input, 2);
+        assert!(m.secs > 0.0 && m.secs.is_finite());
+        assert!(m.ms() > 0.0);
+    }
+
+    #[test]
+    fn query_measurement_returns_consistent_output() {
+        let data = hef_ssb::generate(0.002, 9);
+        let plan = hef_ssb::build_plan(&data, hef_ssb::QueryId::Q2_1);
+        let (m, out) = measure_query(
+            &plan,
+            &data.lineorder,
+            &ExecConfig::for_flavor(Flavor::Hybrid),
+            1,
+        );
+        assert!(m.secs > 0.0);
+        let (_, out2) = measure_query(
+            &plan,
+            &data.lineorder,
+            &ExecConfig::for_flavor(Flavor::Scalar),
+            1,
+        );
+        assert_eq!(out.groups, out2.groups);
+    }
+}

@@ -1,0 +1,111 @@
+//! Dynamic flavor selection — the paper's §VII future-work item, built out:
+//! "we will enable HEF to support the function of dynamic selection, which
+//! makes it dynamically select operators with different implementations
+//! according to queries".
+//!
+//! The selector times every engine flavor on a sampled prefix of the fact
+//! table and picks the fastest for the full run. Sampling preserves the
+//! query's selectivity structure (SSB foreign keys are uniform), so the
+//! prefix ranking almost always matches the full-run ranking; the paper's
+//! observation that Voila wins very-high-selectivity queries while HEF wins
+//! the rest is exactly the kind of crossover this selector navigates.
+
+use std::time::Instant;
+
+use hef_storage::Table;
+
+use crate::star::{execute_star, ExecConfig, Flavor, QueryOutput, StarPlan};
+
+/// The outcome of a sampled selection.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// The winning flavor.
+    pub flavor: Flavor,
+    /// Sample timings per flavor, in [`Flavor::ALL`] order (seconds).
+    pub sample_secs: Vec<(Flavor, f64)>,
+    /// Rows sampled.
+    pub sample_rows: usize,
+}
+
+/// Time each flavor on the first `sample_rows` rows and return the ranking.
+pub fn choose_flavor(plan: &StarPlan, fact: &Table, sample_rows: usize) -> Selection {
+    let sample = fact.head(sample_rows.max(1));
+    let mut timings = Vec::with_capacity(Flavor::ALL.len());
+    for flavor in Flavor::ALL {
+        let cfg = ExecConfig::for_flavor(flavor);
+        execute_star(plan, &sample, &cfg); // warm-up
+        let t = Instant::now();
+        execute_star(plan, &sample, &cfg);
+        timings.push((flavor, t.elapsed().as_secs_f64()));
+    }
+    let flavor = timings
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .map(|&(f, _)| f)
+        .expect("at least one flavor");
+    Selection { flavor, sample_secs: timings, sample_rows: sample.len() }
+}
+
+/// Execute `plan` with the flavor a sampled pre-run selects.
+///
+/// `sample_fraction` of the fact table (clamped to `1024..=1_000_000` rows)
+/// is used for selection.
+pub fn execute_star_dynamic(
+    plan: &StarPlan,
+    fact: &Table,
+    sample_fraction: f64,
+) -> (QueryOutput, Selection) {
+    let rows = ((fact.len() as f64 * sample_fraction) as usize).clamp(1024, 1_000_000);
+    let sel = choose_flavor(plan, fact, rows);
+    let out = execute_star(plan, fact, &ExecConfig::for_flavor(sel.flavor));
+    (out, sel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::star::{build_dimension, Measure};
+    use hef_storage::Column;
+
+    fn toy() -> (Table, StarPlan) {
+        let mut fact = Table::new("fact");
+        let n = 20_000u64;
+        fact.add_column(Column::new("fk", (0..n).map(|i| i % 100).collect()));
+        fact.add_column(Column::new("rev", (0..n).map(|i| i % 5 + 1).collect()));
+        let mut dim = Table::new("dim");
+        dim.add_column(Column::new("key", (0..100).collect()));
+        let d = build_dimension(&dim, "key", |r| dim.col("key")[r] < 50, |_| 0, 1, "fk");
+        let plan = StarPlan {
+            name: "toy".into(),
+            filters: vec![],
+            dims: vec![d],
+            measure: Measure::Sum("rev".into()),
+        };
+        (fact, plan)
+    }
+
+    #[test]
+    fn selection_ranks_all_flavors() {
+        let (fact, plan) = toy();
+        let sel = choose_flavor(&plan, &fact, 4096);
+        assert_eq!(sel.sample_secs.len(), Flavor::ALL.len());
+        assert!(sel.sample_secs.iter().all(|&(_, t)| t > 0.0));
+        assert_eq!(sel.sample_rows, 4096);
+    }
+
+    #[test]
+    fn dynamic_execution_matches_static_results() {
+        let (fact, plan) = toy();
+        let (out, sel) = execute_star_dynamic(&plan, &fact, 0.2);
+        let reference = execute_star(&plan, &fact, &ExecConfig::scalar());
+        assert_eq!(out.groups, reference.groups);
+        assert!(Flavor::ALL.contains(&sel.flavor));
+    }
+
+    #[test]
+    fn sample_clamps_to_table_size() {
+        let (fact, plan) = toy();
+        let sel = choose_flavor(&plan, &fact, 10_000_000);
+        assert_eq!(sel.sample_rows, fact.len());
+    }
+}

@@ -1,0 +1,36 @@
+//! # hef-engine — vectorized query engine
+//!
+//! The evaluation substrate of the paper's §V: a star-schema executor with
+//! the VIP-style operator, pipeline, and materialization strategy the paper
+//! adopts as its baseline configuration ("we use the operator, pipeline, and
+//! the materialization strategy described in VIP"), executing in four
+//! flavors:
+//!
+//! * **Scalar** — every kernel at `(v=0, s=1, p=1)`;
+//! * **Simd** — every kernel at `(v=1, s=0, p=1)`;
+//! * **Hybrid** — kernels at HEF-tuned `(v, s, p)` nodes (the paper's SSB
+//!   optimum is one SIMD + one scalar statement with pack 3);
+//! * **Voila** — a from-scratch comparator reproducing the Voila
+//!   configuration the paper benchmarks (`vector(1024)`, full
+//!   materialization between operators, software prefetching); see
+//!   [`voila`].
+//!
+//! Star queries ([`StarPlan`]) filter dimension tables into large
+//! linear-probe hash tables keyed by the join key with small *group codes*
+//! as payloads, then pipeline the fact table through the probes batch by
+//! batch with selection vectors, and finish with a dense grouped
+//! aggregation.
+
+pub mod dynamic;
+pub mod ops;
+pub mod star;
+pub mod voila;
+
+pub use dynamic::{choose_flavor, execute_star_dynamic, Selection};
+pub use ops::{gather_keys, grouped_accumulate};
+pub use star::{
+    build_dimension, execute_star, DimJoin, ExecConfig, ExecStats, Flavor, Measure,
+    QueryOutput, RangeFilter, StarPlan,
+};
+
+pub use hef_kernels::{HybridConfig, ProbeTable, MISS};

@@ -1,0 +1,629 @@
+//! Star-query plans and the VIP-style pipelined executor.
+
+use hef_hid::Backend;
+use hef_kernels::{run_on, Family, HybridConfig, KernelIo, ProbeTable};
+use hef_storage::Table;
+
+use crate::ops::{compact_hits, gather_keys, grouped_accumulate};
+
+/// Execution flavor (the four bars of the paper's Figs. 8–10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Flavor {
+    Scalar,
+    Simd,
+    Hybrid,
+    Voila,
+}
+
+impl Flavor {
+    pub fn name(self) -> &'static str {
+        match self {
+            Flavor::Scalar => "scalar",
+            Flavor::Simd => "simd",
+            Flavor::Hybrid => "hybrid",
+            Flavor::Voila => "voila",
+        }
+    }
+
+    /// All flavors in the paper's plotting order.
+    pub const ALL: [Flavor; 4] = [Flavor::Scalar, Flavor::Simd, Flavor::Voila, Flavor::Hybrid];
+}
+
+/// Per-kernel-family configurations for one execution flavor.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    pub flavor: Flavor,
+    pub filter: HybridConfig,
+    pub probe: HybridConfig,
+    pub agg: HybridConfig,
+    /// Node for the selective-gather (take) kernel between operators.
+    pub gather: HybridConfig,
+    /// Pre-filter each probe with the dimension's Bloom filter (semi-join
+    /// pre-filtering; pays off when probes mostly miss).
+    pub use_bloom: bool,
+    pub backend: Backend,
+    /// Rows per pipeline batch (the paper/VIP use ~vector-register-friendly
+    /// batches; Voila uses 1024).
+    pub batch: usize,
+}
+
+impl ExecConfig {
+    /// Purely scalar execution.
+    pub fn scalar() -> ExecConfig {
+        ExecConfig {
+            flavor: Flavor::Scalar,
+            filter: HybridConfig::SCALAR,
+            probe: HybridConfig::SCALAR,
+            agg: HybridConfig::SCALAR,
+            gather: HybridConfig::SCALAR,
+            use_bloom: false,
+            backend: Backend::native(),
+            batch: 1024,
+        }
+    }
+
+    /// Purely SIMD execution.
+    pub fn simd() -> ExecConfig {
+        ExecConfig {
+            flavor: Flavor::Simd,
+            filter: HybridConfig::SIMD,
+            probe: HybridConfig::SIMD,
+            agg: HybridConfig::SIMD,
+            gather: HybridConfig::SIMD,
+            use_bloom: false,
+            backend: Backend::native(),
+            batch: 1024,
+        }
+    }
+
+    /// Hybrid execution at the paper's SSB optimum — one SIMD and one scalar
+    /// statement, pack 3 — unless the caller supplies tuned nodes.
+    pub fn hybrid_default() -> ExecConfig {
+        let n113 = HybridConfig::new(1, 1, 3);
+        ExecConfig {
+            flavor: Flavor::Hybrid,
+            filter: n113,
+            probe: n113,
+            agg: n113,
+            gather: n113,
+            use_bloom: false,
+            backend: Backend::native(),
+            batch: 1024,
+        }
+    }
+
+    /// Hybrid execution with explicitly tuned per-family nodes.
+    pub fn hybrid(filter: HybridConfig, probe: HybridConfig, agg: HybridConfig) -> ExecConfig {
+        ExecConfig {
+            flavor: Flavor::Hybrid,
+            filter,
+            probe,
+            agg,
+            gather: probe,
+            use_bloom: false,
+            backend: Backend::native(),
+            batch: 1024,
+        }
+    }
+
+    /// The Voila comparator (the flavor tag routes execution to
+    /// [`crate::voila::execute_star_voila`]; kernel configs are unused).
+    pub fn voila() -> ExecConfig {
+        ExecConfig {
+            flavor: Flavor::Voila,
+            filter: HybridConfig::SCALAR,
+            probe: HybridConfig::SCALAR,
+            agg: HybridConfig::SCALAR,
+            gather: HybridConfig::SCALAR,
+            use_bloom: false,
+            backend: Backend::native(),
+            batch: 1024,
+        }
+    }
+
+    /// The config for a flavor with defaults.
+    pub fn for_flavor(flavor: Flavor) -> ExecConfig {
+        match flavor {
+            Flavor::Scalar => ExecConfig::scalar(),
+            Flavor::Simd => ExecConfig::simd(),
+            Flavor::Hybrid => ExecConfig::hybrid_default(),
+            Flavor::Voila => ExecConfig::voila(),
+        }
+    }
+}
+
+/// A range predicate on a fact-table column (signed semantics).
+#[derive(Debug, Clone)]
+pub struct RangeFilter {
+    pub col: String,
+    pub lo: u64,
+    pub hi: u64,
+}
+
+/// One dimension join: a pre-built probe table whose payloads are dense
+/// group codes in `0..groups`.
+#[derive(Debug, Clone)]
+pub struct DimJoin {
+    /// Fact-table foreign-key column name.
+    pub fk_col: String,
+    /// Hash table over the (filtered) dimension keys.
+    pub table: ProbeTable,
+    /// Bloom filter over the same keys (for semi-join pre-filtering).
+    pub bloom: hef_kernels::BloomFilter,
+    /// Number of distinct group codes this dimension contributes
+    /// (1 = pure filter, payload 0).
+    pub groups: usize,
+    /// Dimension name for reports.
+    pub name: String,
+}
+
+/// The aggregate of the query.
+#[derive(Debug, Clone)]
+pub enum Measure {
+    /// `sum(col)`
+    Sum(String),
+    /// `sum(a * b)` (e.g. `lo_extendedprice * lo_discount`)
+    SumProduct(String, String),
+    /// `sum(a - b)` (e.g. `lo_revenue - lo_supplycost`)
+    SumDiff(String, String),
+}
+
+/// A star query over one fact table.
+#[derive(Debug, Clone)]
+pub struct StarPlan {
+    pub name: String,
+    pub filters: Vec<RangeFilter>,
+    /// Probe order — most selective dimension first, as the SSB plans do.
+    pub dims: Vec<DimJoin>,
+    pub measure: Measure,
+}
+
+impl StarPlan {
+    /// Total number of group cells (product of per-dimension group counts).
+    pub fn group_cells(&self) -> usize {
+        self.dims.iter().map(|d| d.groups.max(1)).product::<usize>().max(1)
+    }
+}
+
+/// Execution statistics, consumed by the `hef-uarch` counter assembly.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    pub rows_scanned: u64,
+    pub rows_after_filter: u64,
+    /// Keys probed per dimension (in plan order).
+    pub probes: Vec<u64>,
+    /// Hits per dimension.
+    pub hits: Vec<u64>,
+    /// Probe-table working-set bytes per dimension.
+    pub table_bytes: Vec<usize>,
+    /// Rows reaching the aggregation.
+    pub rows_aggregated: u64,
+    /// Values copied into materialized intermediates (zero for the
+    /// selection-vector pipeline; large for the Voila comparator — the
+    /// instruction-count inflation the paper observes in Table V).
+    pub materialized: u64,
+}
+
+/// Result of executing a star plan.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// Dense group accumulators (length = `plan.group_cells()`).
+    pub groups: Vec<u64>,
+    pub stats: ExecStats,
+}
+
+impl QueryOutput {
+    /// Non-empty groups as `(group id, sum)`.
+    pub fn results(&self) -> Vec<(u64, u64)> {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0)
+            .map(|(g, &v)| (g as u64, v))
+            .collect()
+    }
+
+    /// Grand total over all groups.
+    pub fn total(&self) -> u64 {
+        self.groups.iter().fold(0u64, |a, &b| a.wrapping_add(b))
+    }
+}
+
+/// Build a [`DimJoin`] from a dimension table: rows passing `predicate` are
+/// inserted as `key → group code` where the code is produced by `payload`
+/// (must return values `< groups`).
+pub fn build_dimension(
+    dim: &Table,
+    key_col: &str,
+    predicate: impl Fn(usize) -> bool,
+    payload: impl Fn(usize) -> u64,
+    groups: usize,
+    fk_col: &str,
+) -> DimJoin {
+    let keys = dim.col(key_col);
+    let selected: Vec<usize> = (0..dim.len()).filter(|&r| predicate(r)).collect();
+    let mut table = ProbeTable::with_capacity(selected.len());
+    let mut bloom = hef_kernels::BloomFilter::with_capacity(selected.len());
+    for r in selected {
+        let code = payload(r);
+        debug_assert!(
+            (code as usize) < groups.max(1),
+            "group code {code} out of range {groups}"
+        );
+        table.insert(keys[r], code);
+        bloom.insert(keys[r]);
+    }
+    DimJoin {
+        fk_col: fk_col.to_string(),
+        table,
+        bloom,
+        groups: groups.max(1),
+        name: dim.name().to_string(),
+    }
+}
+
+/// Execute `plan` against `fact` using `cfg`. Routes Voila to its own
+/// engine; all other flavors share the VIP-style pipeline below.
+pub fn execute_star(plan: &StarPlan, fact: &Table, cfg: &ExecConfig) -> QueryOutput {
+    if cfg.flavor == Flavor::Voila {
+        return crate::voila::execute_star_voila(plan, fact, cfg.batch);
+    }
+    execute_star_pipelined(plan, fact, cfg)
+}
+
+fn execute_star_pipelined(plan: &StarPlan, fact: &Table, cfg: &ExecConfig) -> QueryOutput {
+    let n = fact.len();
+    let ndims = plan.dims.len();
+    let mut stats = ExecStats {
+        rows_scanned: n as u64,
+        probes: vec![0; ndims],
+        hits: vec![0; ndims],
+        table_bytes: plan.dims.iter().map(|d| d.table.working_set_bytes()).collect(),
+        ..Default::default()
+    };
+    let mut acc = vec![0u64; plan.group_cells()];
+
+    // Reusable batch buffers (workhorse allocations).
+    let buf_cap = cfg.batch.min(n);
+    let mut sel: Vec<u64> = Vec::with_capacity(buf_cap);
+    let mut keys: Vec<u64> = Vec::with_capacity(buf_cap);
+    let mut probe_out: Vec<u64> = Vec::with_capacity(buf_cap);
+    let mut gids: Vec<u64> = Vec::with_capacity(buf_cap);
+    let mut vals: Vec<u64> = Vec::with_capacity(buf_cap);
+
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + cfg.batch).min(n);
+
+        // 1. Fact-table filters. The first runs as a kernel over the
+        // contiguous batch; later ones refine the selection (rare in the
+        // SSB joins the paper plots — Q1.x is the filter-heavy family).
+        sel.clear();
+        if plan.filters.is_empty() {
+            sel.extend(start as u64..end as u64);
+        } else {
+            let f0 = &plan.filters[0];
+            let colv = &fact.col(&f0.col)[start..end];
+            let mut io = KernelIo::Filter {
+                input: colv,
+                lo: f0.lo,
+                hi: f0.hi,
+                base: start as u64,
+                sel: &mut sel,
+            };
+            assert!(
+                run_on(Family::Filter, cfg.filter, cfg.backend, &mut io),
+                "filter node {} not compiled",
+                cfg.filter
+            );
+            for f in &plan.filters[1..] {
+                let col = fact.col(&f.col);
+                sel.retain(|&r| {
+                    let x = col[r as usize] as i64;
+                    f.lo as i64 <= x && x <= f.hi as i64
+                });
+            }
+        }
+        stats.rows_after_filter += sel.len() as u64;
+
+        // 2. Dimension probes, most selective first; selection vector
+        // shrinks after each (VIP pipeline, no full materialization).
+        let mut pays: Vec<Vec<u64>> = Vec::with_capacity(ndims);
+        for (di, dim) in plan.dims.iter().enumerate() {
+            if sel.is_empty() {
+                pays.push(Vec::new());
+                continue;
+            }
+            let col = fact.col(&dim.fk_col);
+            take(col, &sel, &mut keys, cfg);
+            if cfg.use_bloom {
+                // Semi-join pre-filter: drop definite misses before the
+                // (more expensive) table probe.
+                probe_out.clear();
+                probe_out.resize(keys.len(), 0);
+                let mut io = KernelIo::Bloom {
+                    keys: &keys,
+                    filter: &dim.bloom,
+                    out: &mut probe_out,
+                };
+                assert!(run_on(Family::BloomCheck, cfg.probe, cfg.backend, &mut io));
+                let mut k = 0usize;
+                for j in 0..sel.len() {
+                    if probe_out[j] != 0 {
+                        sel[k] = sel[j];
+                        keys[k] = keys[j];
+                        for ps in pays.iter_mut() {
+                            ps[k] = ps[j];
+                        }
+                        k += 1;
+                    }
+                }
+                sel.truncate(k);
+                keys.truncate(k);
+                for ps in pays.iter_mut() {
+                    ps.truncate(k);
+                }
+                if sel.is_empty() {
+                    pays.push(Vec::new());
+                    continue;
+                }
+            }
+            probe_out.clear();
+            probe_out.resize(keys.len(), 0);
+            stats.probes[di] += keys.len() as u64;
+            let mut io = KernelIo::Probe {
+                keys: &keys,
+                table: &dim.table,
+                out: &mut probe_out,
+            };
+            assert!(
+                run_on(Family::Probe, cfg.probe, cfg.backend, &mut io),
+                "probe node {} not compiled",
+                cfg.probe
+            );
+            let k = compact_hits(&mut sel, &mut pays, &mut probe_out);
+            stats.hits[di] += k as u64;
+        }
+
+        // 3. Group ids and aggregation.
+        if !sel.is_empty() {
+            stats.rows_aggregated += sel.len() as u64;
+            gids.clear();
+            gids.resize(sel.len(), 0);
+            for (di, dim) in plan.dims.iter().enumerate() {
+                let g = dim.groups as u64;
+                for (j, gid) in gids.iter_mut().enumerate() {
+                    *gid = *gid * g + pays[di][j];
+                }
+            }
+            materialize_measure(&plan.measure, fact, &sel, &mut vals, &mut keys, cfg);
+            if acc.len() == 1 {
+                // Ungrouped: the tuned aggregation kernel does the reduction.
+                let mut total = 0u64;
+                let mut io = KernelIo::AggSum { a: &vals, acc: &mut total };
+                assert!(run_on(Family::AggSum, cfg.agg, cfg.backend, &mut io));
+                acc[0] = acc[0].wrapping_add(total);
+            } else {
+                grouped_accumulate(&mut acc, &gids, &vals);
+            }
+        }
+        start = end;
+    }
+
+    QueryOutput { groups: acc, stats }
+}
+
+/// Evaluate the measure expression for the selected rows into `vals`
+/// (`scratch` is a reusable buffer for two-column measures).
+pub(crate) fn materialize_measure(
+    measure: &Measure,
+    fact: &Table,
+    sel: &[u64],
+    vals: &mut Vec<u64>,
+    scratch: &mut Vec<u64>,
+    cfg: &ExecConfig,
+) {
+    match measure {
+        Measure::Sum(c) => {
+            take(fact.col(c), sel, vals, cfg);
+        }
+        Measure::SumProduct(a, b) => {
+            take(fact.col(a), sel, vals, cfg);
+            take(fact.col(b), sel, scratch, cfg);
+            for (v, &s) in vals.iter_mut().zip(scratch.iter()) {
+                *v = v.wrapping_mul(s);
+            }
+        }
+        Measure::SumDiff(a, b) => {
+            take(fact.col(a), sel, vals, cfg);
+            take(fact.col(b), sel, scratch, cfg);
+            for (v, &s) in vals.iter_mut().zip(scratch.iter()) {
+                *v = v.wrapping_sub(s);
+            }
+        }
+    }
+}
+
+/// Selective projection through the tuned gather kernel (falls back to the
+/// scalar helper for off-grid nodes, which cannot happen for the shipped
+/// flavor configs).
+fn take(col: &[u64], sel: &[u64], out: &mut Vec<u64>, cfg: &ExecConfig) {
+    out.clear();
+    out.resize(sel.len(), 0);
+    let mut io = KernelIo::Gather { src: col, idx: sel, out };
+    if !run_on(Family::Gather, cfg.gather, cfg.backend, &mut io) {
+        gather_keys(col, sel, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hef_storage::Column;
+
+    /// A toy star schema: fact(fk1, fk2, rev, cost), dim1(key, grp),
+    /// dim2(key).
+    fn toy() -> (Table, StarPlan) {
+        let mut fact = Table::new("fact");
+        let n = 5000u64;
+        fact.add_column(Column::new("fk1", (0..n).map(|i| i % 100).collect()));
+        fact.add_column(Column::new("fk2", (0..n).map(|i| i % 50).collect()));
+        fact.add_column(Column::new("rev", (0..n).map(|i| i % 7 + 1).collect()));
+        fact.add_column(Column::new("cost", (0..n).map(|_| 1).collect()));
+
+        let mut dim1 = Table::new("dim1");
+        dim1.add_column(Column::new("key", (0..100).collect()));
+        dim1.add_column(Column::new("grp", (0..100).map(|k| k % 4).collect()));
+        // Select keys < 40, group by grp (4 groups).
+        let d1 = build_dimension(
+            &dim1,
+            "key",
+            |r| dim1.col("key")[r] < 40,
+            |r| dim1.col("grp")[r],
+            4,
+            "fk1",
+        );
+
+        let mut dim2 = Table::new("dim2");
+        dim2.add_column(Column::new("key", (0..50).collect()));
+        // Pure filter: keys divisible by 5.
+        let d2 = build_dimension(
+            &dim2,
+            "key",
+            |r| dim2.col("key")[r].is_multiple_of(5),
+            |_| 0,
+            1,
+            "fk2",
+        );
+
+        let plan = StarPlan {
+            name: "toy".into(),
+            filters: vec![],
+            dims: vec![d1, d2],
+            measure: Measure::Sum("rev".into()),
+        };
+        (fact, plan)
+    }
+
+    /// Straightforward row-at-a-time reference executor.
+    fn reference(fact: &Table, plan: &StarPlan) -> Vec<u64> {
+        let mut acc = vec![0u64; plan.group_cells()];
+        'row: for r in 0..fact.len() {
+            for f in &plan.filters {
+                let x = fact.col(&f.col)[r] as i64;
+                if !(f.lo as i64 <= x && x <= f.hi as i64) {
+                    continue 'row;
+                }
+            }
+            let mut gid = 0u64;
+            for d in &plan.dims {
+                let key = fact.col(&d.fk_col)[r];
+                let pay = d.table.probe_scalar(key);
+                if pay == hef_kernels::MISS {
+                    continue 'row;
+                }
+                gid = gid * d.groups as u64 + pay;
+            }
+            let v = match &plan.measure {
+                Measure::Sum(c) => fact.col(c)[r],
+                Measure::SumProduct(a, b) => {
+                    fact.col(a)[r].wrapping_mul(fact.col(b)[r])
+                }
+                Measure::SumDiff(a, b) => fact.col(a)[r].wrapping_sub(fact.col(b)[r]),
+            };
+            acc[gid as usize] = acc[gid as usize].wrapping_add(v);
+        }
+        acc
+    }
+
+    #[test]
+    fn all_flavors_agree_with_reference() {
+        let (fact, plan) = toy();
+        let expect = reference(&fact, &plan);
+        for flavor in Flavor::ALL {
+            let out = execute_star(&plan, &fact, &ExecConfig::for_flavor(flavor));
+            assert_eq!(out.groups, expect, "{}", flavor.name());
+        }
+    }
+
+    #[test]
+    fn filters_and_two_column_measures() {
+        let (fact, mut plan) = toy();
+        plan.filters.push(RangeFilter { col: "rev".into(), lo: 2, hi: 5 });
+        plan.measure = Measure::SumDiff("rev".into(), "cost".into());
+        let expect = reference(&fact, &plan);
+        for flavor in Flavor::ALL {
+            let out = execute_star(&plan, &fact, &ExecConfig::for_flavor(flavor));
+            assert_eq!(out.groups, expect, "{}", flavor.name());
+        }
+    }
+
+    #[test]
+    fn stats_reflect_pipeline_shrinkage() {
+        let (fact, plan) = toy();
+        let out = execute_star(&plan, &fact, &ExecConfig::scalar());
+        assert_eq!(out.stats.rows_scanned, 5000);
+        // dim1 keeps keys < 40 → 40% survive; dim2 keeps multiples of 5.
+        assert_eq!(out.stats.probes[0], 5000);
+        assert!(out.stats.hits[0] < 5000 * 45 / 100);
+        assert_eq!(out.stats.probes[1], out.stats.hits[0]);
+        assert_eq!(out.stats.rows_aggregated, out.stats.hits[1]);
+        assert!(out.stats.table_bytes[0] > 0);
+    }
+
+    #[test]
+    fn ungrouped_query_uses_agg_kernel_and_matches() {
+        let (fact, mut plan) = toy();
+        // Make both dims pure filters → a single group cell.
+        plan.dims[0].groups = 1;
+        // Rebuild dim1 with payload 0 so codes stay < 1.
+        let mut dim1 = Table::new("dim1");
+        dim1.add_column(Column::new("key", (0..100).collect()));
+        plan.dims[0] = build_dimension(
+            &dim1,
+            "key",
+            |r| dim1.col("key")[r] < 40,
+            |_| 0,
+            1,
+            "fk1",
+        );
+        let expect = reference(&fact, &plan);
+        assert_eq!(plan.group_cells(), 1);
+        for flavor in Flavor::ALL {
+            let out = execute_star(&plan, &fact, &ExecConfig::for_flavor(flavor));
+            assert_eq!(out.groups, expect, "{}", flavor.name());
+            assert_eq!(out.total(), expect[0]);
+        }
+    }
+
+    #[test]
+    fn bloom_prefilter_preserves_results() {
+        let (fact, plan) = toy();
+        let expect = reference(&fact, &plan);
+        for flavor in [Flavor::Scalar, Flavor::Simd, Flavor::Hybrid] {
+            let mut cfg = ExecConfig::for_flavor(flavor);
+            cfg.use_bloom = true;
+            let out = execute_star(&plan, &fact, &cfg);
+            assert_eq!(out.groups, expect, "bloom + {}", flavor.name());
+            // Bloom passes only (near-)hits to the probe: probe count must
+            // not exceed the no-bloom probe count and must cover all hits.
+            let no_bloom = execute_star(&plan, &fact, &ExecConfig::for_flavor(flavor));
+            assert!(out.stats.probes[0] <= no_bloom.stats.probes[0]);
+            assert!(out.stats.probes[0] >= no_bloom.stats.hits[0]);
+            assert_eq!(out.stats.hits, no_bloom.stats.hits);
+        }
+    }
+
+    #[test]
+    fn results_lists_only_nonzero_groups() {
+        let (fact, plan) = toy();
+        let out = execute_star(&plan, &fact, &ExecConfig::scalar());
+        let res = out.results();
+        assert!(!res.is_empty());
+        assert!(res.iter().all(|&(_, v)| v != 0));
+        assert_eq!(
+            res.iter().map(|&(_, v)| v).fold(0u64, u64::wrapping_add),
+            out.total()
+        );
+    }
+}

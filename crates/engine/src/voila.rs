@@ -1,0 +1,274 @@
+//! The Voila comparator.
+//!
+//! The paper benchmarks Voila with
+//! `--optimized --default_blend computation_type = vector(1024),
+//! concurrent_fsms = 1, prefetch = 1` — a vectorized interpreter with batch
+//! size 1024 that **fully materializes** intermediate results between
+//! operators and software-prefetches hash-table slots. We do not link the
+//! closed research prototype; instead this module rebuilds that execution
+//! strategy from scratch, reproducing the behaviours the paper measures and
+//! explains (§V.B):
+//!
+//! * *full materialization*: after every operator the surviving rows' entire
+//!   live column set is copied into fresh dense buffers. At low selectivity
+//!   (most rows survive) this inflates the dynamic instruction count far
+//!   beyond the selection-vector pipeline — the paper's Table V shows Voila
+//!   executing 17.0×10⁹ instructions on Q2.1 where hybrid needs 5.7×10⁹;
+//! * *split hash/prefetch/probe passes*: key hashing, slot prefetching, and
+//!   probing run as separate passes over dense buffers, so probe loads are
+//!   usually L1/L2 hits — the paper's Tables III–V show Voila with ~4×
+//!   fewer LLC misses and the highest IPC of all engines;
+//! * at very high selectivity (sub-1% after the first join, e.g. Q2.3,
+//!   Q3.3/Q3.4) the dense buffers collapse after one operator, later passes
+//!   are nearly free, and this strategy wins — matching where Voila beats
+//!   HEF in the paper's figures.
+
+use hef_kernels::MISS;
+use hef_storage::Table;
+
+use crate::ops::grouped_accumulate;
+use crate::star::{ExecStats, Measure, QueryOutput, StarPlan};
+
+/// Prefetch distance (slots ahead) of the probe pass.
+const PREFETCH_DIST: usize = 16;
+
+/// Execute a star plan in the Voila style: vector(1024), full
+/// materialization, prefetch = 1.
+pub fn execute_star_voila(plan: &StarPlan, fact: &Table, batch: usize) -> QueryOutput {
+    let n = fact.len();
+    let ndims = plan.dims.len();
+    let mut stats = ExecStats {
+        rows_scanned: n as u64,
+        probes: vec![0; ndims],
+        hits: vec![0; ndims],
+        table_bytes: plan.dims.iter().map(|d| d.table.working_set_bytes()).collect(),
+        ..Default::default()
+    };
+    let mut acc = vec![0u64; plan.group_cells()];
+
+    // The live column set carried through the pipeline: every fk column
+    // still to be probed plus the measure columns.
+    let measure_cols: Vec<&str> = match &plan.measure {
+        Measure::Sum(a) => vec![a.as_str()],
+        Measure::SumProduct(a, b) | Measure::SumDiff(a, b) => vec![a.as_str(), b.as_str()],
+    };
+
+    // Reusable dense buffers: index 0..ndims = fk columns, then measures,
+    // then the running group id.
+    let ncols = ndims + measure_cols.len();
+    let buf_cap = batch.min(n);
+    let mut bufs: Vec<Vec<u64>> = vec![Vec::with_capacity(buf_cap); ncols];
+    let mut gid: Vec<u64> = Vec::with_capacity(buf_cap);
+    let mut slots: Vec<usize> = Vec::with_capacity(buf_cap);
+    let mut pay: Vec<u64> = Vec::with_capacity(buf_cap);
+
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + batch).min(n);
+
+        // Stage 0 materializes the live column set. Voila's data-centric
+        // blend runs the most selective operator before materializing:
+        // with no fact-table filters (the Q2–Q4 plans), the first probe
+        // runs straight over the contiguous fk column, and only survivors
+        // are copied — which is what makes Voila excel on high-selectivity
+        // queries like Q2.3/Q3.3/Q3.4 in the paper.
+        for b in bufs.iter_mut() {
+            b.clear();
+        }
+        gid.clear();
+        let mut first_dim = 0usize;
+        if plan.filters.is_empty() && ndims > 0 {
+            let dim = &plan.dims[0];
+            let col = &fact.col(&dim.fk_col)[start..end];
+            stats.rows_after_filter += col.len() as u64;
+            stats.probes[0] += col.len() as u64;
+            // Hash pass over the raw column.
+            slots.clear();
+            slots.extend(col.iter().map(|&k| dim.table.slot_of(k)));
+            // Prefetch + probe + selective materialization.
+            let g0 = dim.groups as u64;
+            for (j, &key) in col.iter().enumerate() {
+                if j + PREFETCH_DIST < col.len() {
+                    dim.table.prefetch(slots[j + PREFETCH_DIST]);
+                }
+                let pay0 = dim.table.probe_at(slots[j], key);
+                if pay0 == MISS {
+                    continue;
+                }
+                let r = start + j;
+                for (ci, d) in plan.dims.iter().enumerate().skip(1) {
+                    bufs[ci].push(fact.col(&d.fk_col)[r]);
+                }
+                for (mi, mc) in measure_cols.iter().enumerate() {
+                    bufs[ndims + mi].push(fact.col(mc)[r]);
+                }
+                debug_assert!(pay0 < g0);
+                gid.push(pay0);
+            }
+            stats.hits[0] += gid.len() as u64;
+            stats.materialized += (gid.len() * ncols) as u64;
+            first_dim = 1;
+        } else {
+            let pass = |r: usize| -> bool {
+                plan.filters.iter().all(|f| {
+                    let x = fact.col(&f.col)[r] as i64;
+                    f.lo as i64 <= x && x <= f.hi as i64
+                })
+            };
+            for r in start..end {
+                if !pass(r) {
+                    continue;
+                }
+                for (ci, d) in plan.dims.iter().enumerate() {
+                    bufs[ci].push(fact.col(&d.fk_col)[r]);
+                }
+                for (mi, mc) in measure_cols.iter().enumerate() {
+                    bufs[ndims + mi].push(fact.col(mc)[r]);
+                }
+                gid.push(0);
+            }
+            stats.rows_after_filter += gid.len() as u64;
+            stats.materialized += (gid.len() * (ncols + 1)) as u64;
+        }
+
+        // Remaining stages: hash pass, prefetch+probe pass, compaction pass.
+        for (di, dim) in plan.dims.iter().enumerate().skip(first_dim) {
+            let live = gid.len();
+            if live == 0 {
+                break;
+            }
+            stats.probes[di] += live as u64;
+
+            // Hash pass (dense).
+            slots.clear();
+            slots.extend(bufs[di].iter().map(|&k| dim.table.slot_of(k)));
+
+            // Prefetch + probe pass.
+            pay.clear();
+            pay.resize(live, 0);
+            for j in 0..live {
+                if j + PREFETCH_DIST < live {
+                    dim.table.prefetch(slots[j + PREFETCH_DIST]);
+                }
+                pay[j] = dim.table.probe_at(slots[j], bufs[di][j]);
+            }
+
+            // Compaction pass: rebuild every live buffer densely.
+            let g = dim.groups as u64;
+            let mut k = 0usize;
+            for j in 0..live {
+                if pay[j] == MISS {
+                    continue;
+                }
+                // Buffers already consumed by earlier stages are empty and
+                // skipped (e.g. the fk column of a probe run on the raw
+                // column in stage 0).
+                for b in bufs.iter_mut() {
+                    if b.len() == live {
+                        b[k] = b[j];
+                    }
+                }
+                gid[k] = gid[j] * g + pay[j];
+                k += 1;
+            }
+            for b in bufs.iter_mut() {
+                if b.len() == live {
+                    b.truncate(k);
+                }
+            }
+            gid.truncate(k);
+            stats.hits[di] += k as u64;
+            stats.materialized += (k * (ncols + 1)) as u64;
+        }
+
+        // Final stage: measure evaluation over the dense buffers.
+        let live = gid.len();
+        if live > 0 {
+            stats.rows_aggregated += live as u64;
+            let vals: Vec<u64> = match &plan.measure {
+                Measure::Sum(_) => bufs[ndims][..live].to_vec(),
+                Measure::SumProduct(_, _) => (0..live)
+                    .map(|j| bufs[ndims][j].wrapping_mul(bufs[ndims + 1][j]))
+                    .collect(),
+                Measure::SumDiff(_, _) => (0..live)
+                    .map(|j| bufs[ndims][j].wrapping_sub(bufs[ndims + 1][j]))
+                    .collect(),
+            };
+            grouped_accumulate(&mut acc, &gid[..live], &vals);
+        }
+        start = end;
+    }
+
+    QueryOutput { groups: acc, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::star::{build_dimension, execute_star, ExecConfig, StarPlan};
+    use hef_storage::Column;
+
+    fn toy(selective_dim: bool) -> (Table, StarPlan) {
+        let mut fact = Table::new("fact");
+        let n = 4000u64;
+        fact.add_column(Column::new("fk", (0..n).map(|i| i % 200).collect()));
+        fact.add_column(Column::new("rev", (0..n).map(|i| i % 9 + 1).collect()));
+
+        let mut dim = Table::new("dim");
+        dim.add_column(Column::new("key", (0..200).collect()));
+        let cut = if selective_dim { 2 } else { 150 };
+        let d = build_dimension(
+            &dim,
+            "key",
+            |r| dim.col("key")[r] < cut,
+            |r| dim.col("key")[r] % 2,
+            2,
+            "fk",
+        );
+        let plan = StarPlan {
+            name: "toy".into(),
+            filters: vec![],
+            dims: vec![d],
+            measure: Measure::Sum("rev".into()),
+        };
+        (fact, plan)
+    }
+
+    #[test]
+    fn voila_matches_pipelined_results() {
+        for selective in [false, true] {
+            let (fact, plan) = toy(selective);
+            let voila = execute_star(&plan, &fact, &ExecConfig::voila());
+            let scalar = execute_star(&plan, &fact, &ExecConfig::scalar());
+            assert_eq!(voila.groups, scalar.groups, "selective={selective}");
+        }
+    }
+
+    #[test]
+    fn materialization_scales_with_survivors() {
+        let (fact, plan_lo) = toy(false); // low selectivity: most rows live
+        let (_, plan_hi) = toy(true); // high selectivity: few rows live
+        let lo = execute_star(&plan_lo, &fact, &ExecConfig::voila());
+        let hi = execute_star(&plan_hi, &fact, &ExecConfig::voila());
+        // Stage 0 copies every scanned row in both plans; the post-join
+        // copies are what differ (75% vs 1% survivors here).
+        assert!(
+            lo.stats.materialized as f64 > 1.5 * hi.stats.materialized as f64,
+            "lo {} vs hi {}",
+            lo.stats.materialized,
+            hi.stats.materialized
+        );
+        // The selection-vector pipeline materializes nothing.
+        let pipe = execute_star(&plan_lo, &fact, &ExecConfig::scalar());
+        assert_eq!(pipe.stats.materialized, 0);
+    }
+
+    #[test]
+    fn stats_probe_counts_match_pipeline() {
+        let (fact, plan) = toy(false);
+        let voila = execute_star(&plan, &fact, &ExecConfig::voila());
+        let pipe = execute_star(&plan, &fact, &ExecConfig::scalar());
+        assert_eq!(voila.stats.probes, pipe.stats.probes);
+        assert_eq!(voila.stats.hits, pipe.stats.hits);
+    }
+}

@@ -1,0 +1,222 @@
+//! Operator templates: the intermediate representation HEF operators are
+//! written in.
+//!
+//! A template is a straight-line loop body over *hybrid variables* —
+//! variables that the translator unrolls into `v` vector + `s` scalar
+//! instances per pack layer — plus constants and pointer parameters, which
+//! follow the paper's special rules (§IV.B): constants unroll into exactly
+//! one scalar and one vector instance regardless of `(v, s, p)`; pointer
+//! parameters are never unrolled.
+
+use hef_hid::desc::HidOp;
+
+/// An operand of a template statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// A hybrid variable (unrolled per `(v, s, p)`).
+    Var(String),
+    /// A named constant (unrolled to one scalar + one broadcast vector).
+    Const(String, u64),
+    /// An immediate (shift distances; embedded into the instruction).
+    Imm(u32),
+    /// A pointer parameter indexed by the loop offset (`input`, `output`);
+    /// never unrolled — each instance addresses its own disjoint range.
+    Param(String),
+}
+
+impl Operand {
+    /// Convenience constructor for variables.
+    pub fn var(name: &str) -> Operand {
+        Operand::Var(name.to_string())
+    }
+
+    /// Convenience constructor for named constants.
+    pub fn cst(name: &str, value: u64) -> Operand {
+        Operand::Const(name.to_string(), value)
+    }
+
+    /// Convenience constructor for pointer parameters.
+    pub fn param(name: &str) -> Operand {
+        Operand::Param(name.to_string())
+    }
+}
+
+/// One template statement: `dst = op(args…)` (or `op(args…)` for stores).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    pub op: HidOp,
+    /// Destination hybrid variable (`None` for stores).
+    pub dst: Option<String>,
+    pub args: Vec<Operand>,
+}
+
+impl Stmt {
+    pub fn new(op: HidOp, dst: Option<&str>, args: Vec<Operand>) -> Stmt {
+        Stmt { op, dst: dst.map(str::to_string), args }
+    }
+}
+
+/// An operator template: name, pointer parameters, loop-carried variables,
+/// and the loop-body statements.
+#[derive(Debug, Clone)]
+pub struct OperatorTemplate {
+    /// Operator name (keys the operator dictionary of §IV.B).
+    pub name: String,
+    /// Pointer parameters advanced by the loop (e.g. `val`, `out`).
+    pub params: Vec<String>,
+    /// Hybrid variables whose value feeds back into the next iteration
+    /// (reduction accumulators, CRC chains). The translator turns uses of
+    /// these into loop-carried dependency edges.
+    pub carried: Vec<String>,
+    /// The loop body.
+    pub stmts: Vec<Stmt>,
+}
+
+impl OperatorTemplate {
+    /// Distinct hybrid variables in definition order.
+    pub fn hybrid_vars(&self) -> Vec<&str> {
+        let mut seen: Vec<&str> = Vec::new();
+        for st in &self.stmts {
+            if let Some(d) = &st.dst {
+                if !seen.contains(&d.as_str()) {
+                    seen.push(d);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Distinct constants `(name, value)` in first-use order.
+    pub fn constants(&self) -> Vec<(&str, u64)> {
+        let mut seen: Vec<(&str, u64)> = Vec::new();
+        for st in &self.stmts {
+            for a in &st.args {
+                if let Operand::Const(n, v) = a {
+                    if !seen.iter().any(|(sn, _)| sn == n) {
+                        seen.push((n, *v));
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Largest HID-op argument count used (the `argc` of the paper's pack
+    /// rule). Only value arguments count — immediates and pointer params are
+    /// encoded in the instruction.
+    pub fn max_argc(&self) -> usize {
+        self.stmts
+            .iter()
+            .map(|s| {
+                s.args
+                    .iter()
+                    .filter(|a| matches!(a, Operand::Var(_) | Operand::Const(..)))
+                    .count()
+                    + usize::from(s.dst.is_some())
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Basic well-formedness: every used variable is defined earlier or is
+    /// loop-carried; every carried variable is defined somewhere.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut defined: Vec<&str> = Vec::new();
+        for (i, st) in self.stmts.iter().enumerate() {
+            for a in &st.args {
+                if let Operand::Var(n) = a {
+                    let known = defined.contains(&n.as_str())
+                        || self.carried.iter().any(|c| c == n);
+                    if !known {
+                        return Err(format!(
+                            "{}: stmt {i} uses undefined variable `{n}`",
+                            self.name
+                        ));
+                    }
+                }
+            }
+            if let Some(d) = &st.dst {
+                if !defined.contains(&d.as_str()) {
+                    defined.push(d);
+                }
+            }
+        }
+        for c in &self.carried {
+            if !defined.contains(&c.as_str()) {
+                return Err(format!("{}: carried variable `{c}` never defined", self.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hef_hid::desc::HidOp;
+
+    fn tiny() -> OperatorTemplate {
+        OperatorTemplate {
+            name: "tiny".into(),
+            params: vec!["val".into(), "out".into()],
+            carried: vec![],
+            stmts: vec![
+                Stmt::new(HidOp::Load, Some("d"), vec![Operand::param("val")]),
+                Stmt::new(
+                    HidOp::Mul,
+                    Some("k"),
+                    vec![Operand::var("d"), Operand::cst("m", 3)],
+                ),
+                Stmt::new(HidOp::Store, None, vec![Operand::var("k"), Operand::param("out")]),
+            ],
+        }
+    }
+
+    #[test]
+    fn hybrid_vars_and_constants_in_order() {
+        let t = tiny();
+        assert_eq!(t.hybrid_vars(), vec!["d", "k"]);
+        assert_eq!(t.constants(), vec![("m", 3)]);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn max_argc_counts_dst_and_value_args() {
+        let t = tiny();
+        // mul: dst + 2 value args = 3.
+        assert_eq!(t.max_argc(), 3);
+    }
+
+    #[test]
+    fn validate_catches_undefined_use() {
+        let t = OperatorTemplate {
+            name: "bad".into(),
+            params: vec![],
+            carried: vec![],
+            stmts: vec![Stmt::new(
+                HidOp::Add,
+                Some("x"),
+                vec![Operand::var("ghost"), Operand::cst("one", 1)],
+            )],
+        };
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_accepts_carried_self_use() {
+        let t = OperatorTemplate {
+            name: "acc".into(),
+            params: vec!["val".into()],
+            carried: vec!["acc".into()],
+            stmts: vec![
+                Stmt::new(HidOp::Load, Some("d"), vec![Operand::param("val")]),
+                Stmt::new(
+                    HidOp::Add,
+                    Some("acc"),
+                    vec![Operand::var("acc"), Operand::var("d")],
+                ),
+            ],
+        };
+        assert!(t.validate().is_ok());
+    }
+}

@@ -1,0 +1,385 @@
+//! The optimizer (Algorithm 2 of the paper): test-based neighbour search
+//! with winner/loser classification and monotone pruning.
+//!
+//! Starting from the candidate generator's initial node, the optimizer
+//! repeatedly expands the cheapest known node: every untested neighbour
+//! (one step along the `v`, `s`, or `p` axis of the compiled grid) is
+//! generated and timed. Neighbours faster than the expanded node join the
+//! candidate list and will be expanded in turn; slower neighbours go to the
+//! end list and **their variants are never generated** — the pruning that
+//! §IV.C justifies with the observed monotonicity of the runtime on either
+//! side of the optimum. The search ends when the candidate list is empty,
+//! and because the neighbour relation keeps the grid strongly connected,
+//! the best tested node is the grid optimum for monotone cost surfaces.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use hef_kernels::{
+    all_configs, BloomFilter, Family, HybridConfig, KernelIo, ProbeTable, P_AXIS, S_AXIS,
+    V_AXIS,
+};
+use hef_uarch::CpuModel;
+
+use crate::ir::OperatorTemplate;
+use crate::translate::to_loop_body;
+
+/// Something that can price a configuration (lower is better).
+pub trait CostEvaluator {
+    /// Cost of running the operator at `cfg` (seconds, cycles per element —
+    /// any consistent unit).
+    fn cost(&mut self, cfg: HybridConfig) -> f64;
+}
+
+/// The result of a search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The best configuration found.
+    pub best: HybridConfig,
+    /// Its cost.
+    pub best_cost: f64,
+    /// Every tested node with its cost, in test order.
+    pub tested: Vec<(HybridConfig, f64)>,
+    /// Nodes classified as losers (the end list).
+    pub end_list: Vec<HybridConfig>,
+}
+
+impl SearchOutcome {
+    /// Grid nodes never generated or tested.
+    pub fn pruned(&self) -> usize {
+        all_configs().count() - self.tested.len()
+    }
+}
+
+fn axis_neighbors(x: usize, axis: &[usize]) -> Vec<usize> {
+    let i = axis.iter().position(|&a| a == x).expect("value on axis");
+    let mut out = Vec::new();
+    if i > 0 {
+        out.push(axis[i - 1]);
+    }
+    if i + 1 < axis.len() {
+        out.push(axis[i + 1]);
+    }
+    out
+}
+
+/// Neighbours of `cfg` on the compiled grid: one axis step in `v`, `s`, or
+/// `p`, excluding the empty `(0,0,·)` column.
+pub fn neighbors(cfg: HybridConfig) -> Vec<HybridConfig> {
+    let mut out = Vec::new();
+    for v in axis_neighbors(cfg.v, V_AXIS) {
+        if v + cfg.s >= 1 {
+            out.push(HybridConfig { v, ..cfg });
+        }
+    }
+    for s in axis_neighbors(cfg.s, S_AXIS) {
+        if cfg.v + s >= 1 {
+            out.push(HybridConfig { s, ..cfg });
+        }
+    }
+    for p in axis_neighbors(cfg.p, P_AXIS) {
+        out.push(HybridConfig { p, ..cfg });
+    }
+    out
+}
+
+/// Run Algorithm 2 from `initial`.
+pub fn optimize(initial: HybridConfig, eval: &mut dyn CostEvaluator) -> SearchOutcome {
+    let initial = crate::candidate::snap(initial);
+    let mut costs: HashMap<HybridConfig, f64> = HashMap::new();
+    let mut order: Vec<(HybridConfig, f64)> = Vec::new();
+    let mut end_list: Vec<HybridConfig> = Vec::new();
+
+    let c0 = eval.cost(initial);
+    costs.insert(initial, c0);
+    order.push((initial, c0));
+
+    // Candidate list of nodes to expand, kept sorted by ascending cost so
+    // the most promising node is expanded first.
+    let mut candidates = vec![initial];
+    let mut expanded: Vec<HybridConfig> = Vec::new();
+
+    while let Some(pos) = candidates
+        .iter()
+        .enumerate()
+        .min_by(|a, b| costs[a.1].partial_cmp(&costs[b.1]).unwrap())
+        .map(|(i, _)| i)
+    {
+        let node = candidates.swap_remove(pos);
+        if expanded.contains(&node) {
+            continue;
+        }
+        expanded.push(node);
+        let node_cost = costs[&node];
+
+        for n in neighbors(node) {
+            if costs.contains_key(&n) {
+                continue;
+            }
+            let c = eval.cost(n);
+            costs.insert(n, c);
+            order.push((n, c));
+            if c < node_cost {
+                candidates.push(n); // winner: expand its variants later
+            } else {
+                end_list.push(n); // loser: variants pruned
+            }
+        }
+    }
+
+    let (&best, &best_cost) = costs
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .expect("at least the initial node was tested");
+    SearchOutcome { best, best_cost, tested: order, end_list }
+}
+
+/// Exhaustive baseline: test every grid node (the cost the pruning avoids).
+pub fn exhaustive(eval: &mut dyn CostEvaluator) -> SearchOutcome {
+    let mut order = Vec::new();
+    for cfg in all_configs() {
+        let c = eval.cost(cfg);
+        order.push((cfg, c));
+    }
+    let &(best, best_cost) = order
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .expect("grid non-empty");
+    SearchOutcome { best, best_cost, tested: order, end_list: Vec::new() }
+}
+
+/// Prices a node by simulating its translated µop trace on a CPU model —
+/// the offline tuning path for processors we do not have.
+pub struct SimulatedCost<'a> {
+    pub model: &'a CpuModel,
+    pub template: &'a OperatorTemplate,
+    /// Steady-state iterations to simulate.
+    pub iterations: usize,
+}
+
+impl<'a> SimulatedCost<'a> {
+    pub fn new(model: &'a CpuModel, template: &'a OperatorTemplate) -> Self {
+        SimulatedCost { model, template, iterations: 60 }
+    }
+}
+
+impl CostEvaluator for SimulatedCost<'_> {
+    fn cost(&mut self, cfg: HybridConfig) -> f64 {
+        let body = to_loop_body(self.template, cfg);
+        let r = hef_uarch::simulate(self.model, &body, self.iterations);
+        let elems = (cfg.step() * self.iterations) as f64;
+        // Nanoseconds per element: cycles / frequency, normalized per element
+        // so different step widths are comparable.
+        let ghz = hef_uarch::freq::frequency_ghz(self.model, &body);
+        r.cycles as f64 / ghz / elems
+    }
+}
+
+/// Prices a node by actually running the compiled kernel on this machine
+/// (the paper's primary, test-based path).
+pub struct MeasuredCost {
+    family: Family,
+    input: Vec<u64>,
+    input2: Vec<u64>,
+    output: Vec<u64>,
+    table: Option<ProbeTable>,
+    bloom: Option<BloomFilter>,
+    /// Timing trials per node; the minimum is used.
+    pub trials: usize,
+}
+
+impl MeasuredCost {
+    /// Build an evaluator with `n` elements of synthetic input.
+    pub fn new(family: Family, n: usize) -> Self {
+        let input: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
+            .collect();
+        let input2: Vec<u64> = (0..n as u64).map(|i| (i % 97) + 1).collect();
+        let table = match family {
+            Family::Probe => {
+                let mut t = ProbeTable::with_capacity(n / 16 + 1);
+                for k in 0..(n as u64 / 16) {
+                    t.insert(k * 2 + 1, k + 1);
+                }
+                Some(t)
+            }
+            _ => None,
+        };
+        let bloom = match family {
+            Family::BloomCheck => {
+                let mut f = BloomFilter::with_capacity(n / 16 + 1);
+                for k in 0..(n as u64 / 16) {
+                    f.insert(k * 2 + 1);
+                }
+                Some(f)
+            }
+            _ => None,
+        };
+        MeasuredCost {
+            family,
+            output: vec![0u64; n],
+            input,
+            input2,
+            table,
+            bloom,
+            trials: 3,
+        }
+    }
+
+    fn run_once(&mut self, cfg: HybridConfig) -> bool {
+        let mut sel = Vec::new();
+        let mut acc = 0u64;
+        let mut io = match self.family {
+            Family::Murmur | Family::Crc64 => KernelIo::Map {
+                input: &self.input,
+                output: &mut self.output,
+            },
+            Family::Probe => KernelIo::Probe {
+                keys: &self.input2, // small-domain keys: mixture of hits
+                table: self.table.as_ref().expect("probe table built"),
+                out: &mut self.output,
+            },
+            Family::Filter => KernelIo::Filter {
+                input: &self.input2,
+                lo: 10,
+                hi: 60,
+                base: 0,
+                sel: &mut sel,
+            },
+            Family::AggSum => KernelIo::AggSum { a: &self.input, acc: &mut acc },
+            Family::AggDot => KernelIo::AggDot {
+                a: &self.input,
+                b: &self.input2,
+                acc: &mut acc,
+            },
+            Family::BloomCheck => KernelIo::Bloom {
+                keys: &self.input2,
+                filter: self.bloom.as_ref().expect("bloom filter built"),
+                out: &mut self.output,
+            },
+            Family::Gather => KernelIo::Gather {
+                src: &self.input,
+                idx: &self.input2, // values < 97 < n: always in bounds
+                out: &mut self.output,
+            },
+        };
+        hef_kernels::run(self.family, cfg, &mut io)
+    }
+}
+
+impl CostEvaluator for MeasuredCost {
+    fn cost(&mut self, cfg: HybridConfig) -> f64 {
+        // Warm-up run (page faults, cache state), then timed trials.
+        if !self.run_once(cfg) {
+            return f64::INFINITY; // not on the compiled grid
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..self.trials {
+            let t = Instant::now();
+            self.run_once(cfg);
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A convex synthetic cost surface with a known optimum.
+    struct Synthetic {
+        opt: HybridConfig,
+        calls: usize,
+    }
+
+    impl CostEvaluator for Synthetic {
+        fn cost(&mut self, cfg: HybridConfig) -> f64 {
+            self.calls += 1;
+            let vd = (V_AXIS.iter().position(|&x| x == cfg.v).unwrap() as f64
+                - V_AXIS.iter().position(|&x| x == self.opt.v).unwrap() as f64)
+                .abs();
+            let sd = (cfg.s as f64 - self.opt.s as f64).abs();
+            let pd = (cfg.p as f64 - self.opt.p as f64).abs();
+            1.0 + vd + sd + pd
+        }
+    }
+
+    #[test]
+    fn finds_the_optimum_of_a_convex_surface() {
+        for opt in [
+            HybridConfig::new(1, 3, 2),
+            HybridConfig::new(8, 0, 1),
+            HybridConfig::new(1, 1, 3),
+        ] {
+            let mut eval = Synthetic { opt, calls: 0 };
+            let out = optimize(HybridConfig::new(1, 1, 1), &mut eval);
+            assert_eq!(out.best, opt, "from (1,1,1)");
+            assert!(
+                out.tested.len() < all_configs().count(),
+                "search must prune"
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_tests_far_fewer_nodes_than_exhaustive() {
+        let mut eval = Synthetic { opt: HybridConfig::new(1, 3, 2), calls: 0 };
+        let pruned = optimize(HybridConfig::new(2, 2, 2), &mut eval);
+        let tested = pruned.tested.len();
+        let total = all_configs().count();
+        assert!(
+            tested * 2 < total,
+            "tested {tested} of {total} — pruning ineffective"
+        );
+        assert_eq!(pruned.pruned(), total - tested);
+    }
+
+    #[test]
+    fn neighbors_step_one_axis_position() {
+        let n = neighbors(HybridConfig::new(2, 2, 2));
+        assert!(n.contains(&HybridConfig::new(1, 2, 2)));
+        assert!(n.contains(&HybridConfig::new(4, 2, 2))); // axis step 2→4
+        assert!(n.contains(&HybridConfig::new(2, 1, 2)));
+        assert!(n.contains(&HybridConfig::new(2, 3, 2)));
+        assert!(n.contains(&HybridConfig::new(2, 2, 1)));
+        assert!(n.contains(&HybridConfig::new(2, 2, 3)));
+        assert_eq!(n.len(), 6);
+    }
+
+    #[test]
+    fn neighbors_never_produce_empty_config() {
+        for cfg in all_configs() {
+            for n in neighbors(cfg) {
+                assert!(n.v + n.s >= 1, "{cfg} -> {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn simulated_cost_prefers_packed_crc() {
+        let t = crate::templates::crc64();
+        let m = CpuModel::silver_4110();
+        let mut eval = SimulatedCost::new(&m, &t);
+        let serial = eval.cost(HybridConfig::new(1, 0, 1));
+        let packed = eval.cost(HybridConfig::new(4, 0, 2));
+        assert!(packed < serial, "packed {packed} vs serial {serial}");
+    }
+
+    #[test]
+    fn measured_cost_runs_every_family() {
+        for f in Family::ALL {
+            let mut eval = MeasuredCost::new(f, 4096);
+            let c = eval.cost(HybridConfig::new(1, 1, 1));
+            assert!(c.is_finite() && c > 0.0, "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn exhaustive_covers_the_whole_grid() {
+        let mut eval = Synthetic { opt: HybridConfig::new(1, 1, 1), calls: 0 };
+        let out = exhaustive(&mut eval);
+        assert_eq!(out.tested.len(), all_configs().count());
+        assert_eq!(out.best, HybridConfig::new(1, 1, 1));
+    }
+}

@@ -1,0 +1,390 @@
+//! Textual operator templates.
+//!
+//! In the paper, "the template of the operator is a string stored in the
+//! operator template file, and it stores an operator list and an operator
+//! dictionary … to add a new operator, users could write the operator
+//! template with the hybrid intermediate description, and then add it to
+//! the list and dictionary" (§IV.B). This module is that surface: a small
+//! line-oriented language for writing operators in HID, parsed into
+//! [`OperatorTemplate`]s, plus the operator-dictionary file format.
+//!
+//! ```text
+//! // comments start with `//`
+//! operator murmurhash64(val, out) {
+//!     data = hi_load_epi64(val)
+//!     k    = hi_mullo_epi64(data, m:0xc6a4a7935bd1e995)
+//!     kr   = hi_srli_epi64(k, #47)
+//!     k2   = hi_xor_epi64(kr, k)
+//!     hi_store_epi64(k2, out)
+//! }
+//! ```
+//!
+//! Operand syntax: a bare identifier is a hybrid variable, or a pointer
+//! parameter if it appears in the header; `name:value` declares a named
+//! constant (decimal or `0x…`); `#n` is an immediate. A `carry x` line
+//! before the statements marks `x` as loop-carried.
+
+use std::collections::BTreeMap;
+
+use hef_hid::desc::HidOp;
+
+use crate::ir::{Operand, OperatorTemplate, Stmt};
+
+/// A parse failure, with 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, message: message.into() })
+}
+
+/// Map an `hi_*` interface name to its op. Suffixes (`_epi64`) are
+/// accepted but not required.
+fn op_by_name(name: &str) -> Option<HidOp> {
+    let stem = name
+        .strip_prefix("hi_")?
+        .trim_end_matches("_epi64")
+        .trim_end_matches("_i64");
+    Some(match stem {
+        "load" | "loadu" => HidOp::Load,
+        "store" | "storeu" => HidOp::Store,
+        "gather" => HidOp::Gather,
+        "add" => HidOp::Add,
+        "sub" => HidOp::Sub,
+        "mul" | "mullo" => HidOp::Mul,
+        "and" => HidOp::And,
+        "or" => HidOp::Or,
+        "xor" => HidOp::Xor,
+        "srli" => HidOp::Srli,
+        "slli" => HidOp::Slli,
+        "sllv" => HidOp::Sllv,
+        "srlv" => HidOp::Srlv,
+        "cmp" | "cmpeq" => HidOp::Cmp,
+        "blend" => HidOp::Blend,
+        "set1" => HidOp::Set1,
+        _ => return None,
+    })
+}
+
+fn parse_u64(text: &str) -> Option<u64> {
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+fn parse_operand(text: &str, params: &[String], line: usize) -> Result<Operand, ParseError> {
+    let text = text.trim();
+    if let Some(imm) = text.strip_prefix('#') {
+        let Some(k) = imm.parse::<u32>().ok().filter(|&k| k < 64) else {
+            return err(line, format!("bad immediate `{text}` (expected #0..#63)"));
+        };
+        return Ok(Operand::Imm(k));
+    }
+    if let Some((name, value)) = text.split_once(':') {
+        let Some(v) = parse_u64(value.trim()) else {
+            return err(line, format!("bad constant value in `{text}`"));
+        };
+        return Ok(Operand::Const(name.trim().to_string(), v));
+    }
+    if text.is_empty() || !text.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return err(line, format!("bad operand `{text}`"));
+    }
+    if params.iter().any(|p| p == text) {
+        Ok(Operand::Param(text.to_string()))
+    } else {
+        Ok(Operand::Var(text.to_string()))
+    }
+}
+
+/// Render a template back into the textual language (the inverse of
+/// [`parse_template`]; `parse(render(t))` reproduces `t` exactly).
+pub fn render_template(t: &OperatorTemplate) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "operator {}({}) {{", t.name, t.params.join(", "));
+    for c in &t.carried {
+        let _ = writeln!(out, "    carry {c}");
+    }
+    for st in &t.stmts {
+        let args: Vec<String> = st
+            .args
+            .iter()
+            .map(|a| match a {
+                Operand::Var(n) | Operand::Param(n) => n.clone(),
+                Operand::Const(n, v) => format!("{n}:{v:#x}"),
+                Operand::Imm(k) => format!("#{k}"),
+            })
+            .collect();
+        let call = format!("{}({})", interface_name(st.op), args.join(", "));
+        match &st.dst {
+            Some(d) => {
+                let _ = writeln!(out, "    {d} = {call}");
+            }
+            None => {
+                let _ = writeln!(out, "    {call}");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn interface_name(op: HidOp) -> &'static str {
+    match op {
+        HidOp::Load => "hi_load_epi64",
+        HidOp::Store => "hi_store_epi64",
+        HidOp::Gather => "hi_gather_epi64",
+        HidOp::Add => "hi_add_epi64",
+        HidOp::Sub => "hi_sub_epi64",
+        HidOp::Mul => "hi_mullo_epi64",
+        HidOp::And => "hi_and_epi64",
+        HidOp::Or => "hi_or_epi64",
+        HidOp::Xor => "hi_xor_epi64",
+        HidOp::Srli => "hi_srli_epi64",
+        HidOp::Slli => "hi_slli_epi64",
+        HidOp::Sllv => "hi_sllv_epi64",
+        HidOp::Srlv => "hi_srlv_epi64",
+        HidOp::Cmp => "hi_cmp_epi64",
+        HidOp::Blend => "hi_blend_epi64",
+        HidOp::Set1 => "hi_set1_epi64",
+    }
+}
+
+/// Parse one `operator name(params…) { … }` block (or a whole file
+/// containing exactly one).
+pub fn parse_template(source: &str) -> Result<OperatorTemplate, ParseError> {
+    let mut templates = parse_file(source)?;
+    match templates.len() {
+        1 => Ok(templates.pop_first().expect("len checked").1),
+        0 => err(0, "no operator block found"),
+        n => err(0, format!("expected one operator block, found {n}")),
+    }
+}
+
+/// Parse an operator-template file: any number of `operator` blocks,
+/// returned as the paper's operator dictionary (name → template).
+pub fn parse_file(source: &str) -> Result<BTreeMap<String, OperatorTemplate>, ParseError> {
+    let mut dict = BTreeMap::new();
+    let mut current: Option<OperatorTemplate> = None;
+
+    for (i, raw) in source.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split("//").next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = line.strip_prefix("operator ") {
+            if current.is_some() {
+                return err(line_no, "nested `operator` block");
+            }
+            let Some((name, after)) = rest.split_once('(') else {
+                return err(line_no, "expected `operator name(params…) {`");
+            };
+            let Some((params, brace)) = after.split_once(')') else {
+                return err(line_no, "missing `)` in operator header");
+            };
+            if brace.trim() != "{" {
+                return err(line_no, "operator header must end with `{`");
+            }
+            let params: Vec<String> = params
+                .split(',')
+                .map(|p| p.trim().to_string())
+                .filter(|p| !p.is_empty())
+                .collect();
+            current = Some(OperatorTemplate {
+                name: name.trim().to_string(),
+                params,
+                carried: Vec::new(),
+                stmts: Vec::new(),
+            });
+            continue;
+        }
+
+        if line == "}" {
+            let Some(t) = current.take() else {
+                return err(line_no, "unmatched `}`");
+            };
+            t.validate().map_err(|m| ParseError { line: line_no, message: m })?;
+            if dict.insert(t.name.clone(), t).is_some() {
+                return err(line_no, "duplicate operator name");
+            }
+            continue;
+        }
+
+        let Some(t) = current.as_mut() else {
+            return err(line_no, format!("statement outside operator block: `{line}`"));
+        };
+
+        if let Some(var) = line.strip_prefix("carry ") {
+            t.carried.push(var.trim().to_string());
+            continue;
+        }
+
+        // `dst = hi_op(args…)` or bare `hi_store(args…)`.
+        let (dst, call) = match line.split_once('=') {
+            Some((d, c)) if !c.trim_start().starts_with('=') => {
+                (Some(d.trim().to_string()), c.trim())
+            }
+            _ => (None, line),
+        };
+        let Some((op_name, args_text)) = call.split_once('(') else {
+            return err(line_no, format!("expected a call, got `{call}`"));
+        };
+        let Some(op) = op_by_name(op_name.trim()) else {
+            return err(line_no, format!("unknown HID op `{}`", op_name.trim()));
+        };
+        let Some(args_text) = args_text.trim().strip_suffix(')') else {
+            return err(line_no, "missing `)`");
+        };
+        let mut args = Vec::new();
+        for a in args_text.split(',') {
+            if a.trim().is_empty() {
+                continue;
+            }
+            args.push(parse_operand(a, &t.params, line_no)?);
+        }
+        if op != HidOp::Store && dst.is_none() {
+            return err(line_no, format!("{op:?} needs a destination"));
+        }
+        if op == HidOp::Store && dst.is_some() {
+            return err(line_no, "hi_store takes no destination");
+        }
+        t.stmts.push(Stmt { op, dst, args });
+    }
+
+    if current.is_some() {
+        return err(source.lines().count(), "unterminated operator block");
+    }
+    Ok(dict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MURMUR_SRC: &str = r#"
+// the paper's Fig. 6(a) template, as text
+operator murmurhash64(val, out) {
+    data = hi_load_epi64(val)
+    k    = hi_mullo_epi64(data, m:0xc6a4a7935bd1e995)
+    kr   = hi_srli_epi64(k, #47)
+    k2   = hi_xor_epi64(kr, k)
+    k3   = hi_mullo_epi64(k2, m:0xc6a4a7935bd1e995)
+    h    = hi_xor_epi64(hseed:0x42e1718915a6a087, k3)
+    h2   = hi_mullo_epi64(h, m:0xc6a4a7935bd1e995)
+    hr   = hi_srli_epi64(h2, #47)
+    h3   = hi_xor_epi64(hr, h2)
+    h4   = hi_mullo_epi64(h3, m:0xc6a4a7935bd1e995)
+    hr2  = hi_srli_epi64(h4, #47)
+    hval = hi_xor_epi64(hr2, h4)
+    hi_store_epi64(hval, out)
+}
+"#;
+
+    #[test]
+    fn parses_the_murmur_template_identically_to_the_builtin() {
+        let parsed = parse_template(MURMUR_SRC).unwrap();
+        let builtin = crate::templates::murmur();
+        assert_eq!(parsed.name, builtin.name);
+        assert_eq!(parsed.params, builtin.params);
+        assert_eq!(parsed.stmts.len(), builtin.stmts.len());
+        for (p, b) in parsed.stmts.iter().zip(&builtin.stmts) {
+            assert_eq!(p.op, b.op);
+            assert_eq!(p.dst, b.dst);
+            assert_eq!(p.args, b.args);
+        }
+    }
+
+    #[test]
+    fn parsed_template_translates_like_the_builtin() {
+        let parsed = parse_template(MURMUR_SRC).unwrap();
+        let builtin = crate::templates::murmur();
+        let cfg = crate::HybridConfig::new(1, 3, 2);
+        assert_eq!(
+            crate::translate::translate(&parsed, cfg).listing(),
+            crate::translate::translate(&builtin, cfg).listing()
+        );
+    }
+
+    #[test]
+    fn carry_and_dictionary() {
+        let src = r#"
+operator agg_sum(val) {
+    carry acc
+    d   = hi_load_epi64(val)
+    acc = hi_add_epi64(acc, d)
+}
+operator double(val, out) {
+    x = hi_load_epi64(val)
+    y = hi_add_epi64(x, x)
+    hi_store_epi64(y, out)
+}
+"#;
+        let dict = parse_file(src).unwrap();
+        assert_eq!(dict.len(), 2);
+        assert_eq!(dict["agg_sum"].carried, vec!["acc"]);
+        assert!(dict["double"].carried.is_empty());
+    }
+
+    #[test]
+    fn error_cases_carry_line_numbers() {
+        let e = parse_template("operator t(a) {\n  x = hi_bogus(a)\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown HID op"));
+
+        let e = parse_template("operator t(a) {\n  x = hi_add_epi64(ghost, a:1)\n}")
+            .unwrap_err();
+        assert!(e.message.contains("undefined variable"));
+
+        let e = parse_template("operator t(a) {\n  hi_load_epi64(a)\n}").unwrap_err();
+        assert!(e.message.contains("needs a destination"));
+
+        let e = parse_template("operator t(a) {").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+
+        assert!(parse_template("x = hi_add_epi64(a, b)").is_err());
+    }
+
+    #[test]
+    fn render_parse_roundtrip_for_every_builtin() {
+        for family in hef_kernels::Family::ALL {
+            let t = crate::templates::for_family(family);
+            let text = render_template(&t);
+            let back = parse_template(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{text}", t.name));
+            assert_eq!(back.name, t.name);
+            assert_eq!(back.params, t.params);
+            assert_eq!(back.carried, t.carried);
+            assert_eq!(back.stmts, t.stmts, "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn immediates_and_hex_constants() {
+        let t = parse_template(
+            "operator t(a, out) {\n  x = hi_load_epi64(a)\n  y = hi_srli_epi64(x, #8)\n  z = hi_and_epi64(y, ff:0xff)\n  hi_store_epi64(z, out)\n}",
+        )
+        .unwrap();
+        assert_eq!(t.stmts[1].args[1], Operand::Imm(8));
+        assert_eq!(t.stmts[2].args[1], Operand::Const("ff".into(), 0xff));
+        // Out-of-range immediate rejected.
+        assert!(parse_template(
+            "operator t(a) {\n  x = hi_load_epi64(a)\n  y = hi_srli_epi64(x, #64)\n}"
+        )
+        .is_err());
+    }
+}

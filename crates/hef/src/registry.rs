@@ -1,0 +1,236 @@
+//! Persistent registry of tuned operators.
+//!
+//! HEF's offline phase is run once per processor; its output — the winning
+//! `(v, s, p)` node per operator — is all a deployment needs ("once we get
+//! the optimal implementation of hybrid execution operators, we could use
+//! them to implement various queries directly without further training").
+//! The registry stores that result in a small, diff-friendly text format:
+//!
+//! ```text
+//! # hef tuned-operator registry v1
+//! # cpu: Intel Xeon Silver 4110
+//! murmur = 1 3 2
+//! crc64 = 8 0 1
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use hef_kernels::{Family, HybridConfig};
+
+use crate::tuner::TunedOperator;
+
+/// A set of tuned nodes, keyed by operator family.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Registry {
+    entries: BTreeMap<&'static str, HybridConfig>,
+    /// Free-form provenance line (CPU name, date, …).
+    pub cpu: String,
+}
+
+/// Errors from [`Registry::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line was not `name = v s p`.
+    Malformed { line: usize, text: String },
+    /// The family name is unknown.
+    UnknownFamily { line: usize, name: String },
+    /// The `(v, s, p)` triple is invalid (`v + s == 0` or `p == 0`).
+    InvalidNode { line: usize, v: usize, s: usize, p: usize },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Malformed { line, text } => {
+                write!(f, "line {line}: malformed entry `{text}`")
+            }
+            ParseError::UnknownFamily { line, name } => {
+                write!(f, "line {line}: unknown operator family `{name}`")
+            }
+            ParseError::InvalidNode { line, v, s, p } => {
+                write!(f, "line {line}: invalid node ({v}, {s}, {p})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn family_by_name(name: &str) -> Option<Family> {
+    Family::ALL.into_iter().find(|f| f.name() == name)
+}
+
+impl Registry {
+    /// Empty registry with a provenance note.
+    pub fn new(cpu: impl Into<String>) -> Registry {
+        Registry { entries: BTreeMap::new(), cpu: cpu.into() }
+    }
+
+    /// Record a tuned node.
+    pub fn insert(&mut self, family: Family, cfg: HybridConfig) {
+        self.entries.insert(family.name(), cfg);
+    }
+
+    /// Record a tuning result.
+    pub fn insert_tuned(&mut self, tuned: &TunedOperator) {
+        self.insert(tuned.family, tuned.cfg);
+    }
+
+    /// Tuned node for a family, if recorded.
+    pub fn get(&self, family: Family) -> Option<HybridConfig> {
+        self.entries.get(family.name()).copied()
+    }
+
+    /// Tuned node for a family, falling back to the paper's SSB default
+    /// `(1, 1, 3)`.
+    pub fn get_or_default(&self, family: Family) -> HybridConfig {
+        self.get(family).unwrap_or(HybridConfig { v: 1, s: 1, p: 3 })
+    }
+
+    /// Number of recorded families.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialize to the registry text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# hef tuned-operator registry v1\n");
+        if !self.cpu.is_empty() {
+            let _ = writeln!(out, "# cpu: {}", self.cpu);
+        }
+        for (name, cfg) in &self.entries {
+            let _ = writeln!(out, "{name} = {} {} {}", cfg.v, cfg.s, cfg.p);
+        }
+        out
+    }
+
+    /// Parse the registry text format. Comments (`#`) and blank lines are
+    /// ignored; a `# cpu:` comment is captured as provenance.
+    pub fn parse(text: &str) -> Result<Registry, ParseError> {
+        let mut reg = Registry::default();
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.trim();
+            if let Some(cpu) = line.strip_prefix("# cpu:") {
+                reg.cpu = cpu.trim().to_string();
+                continue;
+            }
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (name, rest) = line.split_once('=').ok_or_else(|| ParseError::Malformed {
+                line: line_no,
+                text: line.to_string(),
+            })?;
+            let name = name.trim();
+            let family =
+                family_by_name(name).ok_or_else(|| ParseError::UnknownFamily {
+                    line: line_no,
+                    name: name.to_string(),
+                })?;
+            let nums: Vec<usize> = rest
+                .split_whitespace()
+                .map(str::parse)
+                .collect::<Result<_, _>>()
+                .map_err(|_| ParseError::Malformed {
+                    line: line_no,
+                    text: line.to_string(),
+                })?;
+            let [v, s, p] = nums[..] else {
+                return Err(ParseError::Malformed { line: line_no, text: line.to_string() });
+            };
+            if v + s == 0 || p == 0 {
+                return Err(ParseError::InvalidNode { line: line_no, v, s, p });
+            }
+            reg.insert(family, HybridConfig { v, s, p });
+        }
+        Ok(reg)
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Read from a file.
+    pub fn load(path: &Path) -> std::io::Result<Registry> {
+        let text = std::fs::read_to_string(path)?;
+        Registry::parse(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Registry {
+        let mut r = Registry::new("Intel Xeon Silver 4110");
+        r.insert(Family::Murmur, HybridConfig::new(1, 3, 2));
+        r.insert(Family::Crc64, HybridConfig::new(8, 0, 1));
+        r
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_everything() {
+        let r = sample();
+        let parsed = Registry::parse(&r.to_text()).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.cpu, "Intel Xeon Silver 4110");
+        assert_eq!(parsed.get(Family::Murmur), Some(HybridConfig::new(1, 3, 2)));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("hef-registry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tuned.txt");
+        let r = sample();
+        r.save(&path).unwrap();
+        assert_eq!(Registry::load(&path).unwrap(), r);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn defaults_for_missing_families() {
+        let r = sample();
+        assert_eq!(r.get(Family::Probe), None);
+        assert_eq!(r.get_or_default(Family::Probe), HybridConfig::new(1, 1, 3));
+        assert_eq!(r.get_or_default(Family::Crc64), HybridConfig::new(8, 0, 1));
+    }
+
+    #[test]
+    fn parse_errors_are_specific() {
+        assert!(matches!(
+            Registry::parse("murmur 1 3 2"),
+            Err(ParseError::Malformed { line: 1, .. })
+        ));
+        assert!(matches!(
+            Registry::parse("bogus = 1 1 1"),
+            Err(ParseError::UnknownFamily { line: 1, .. })
+        ));
+        assert!(matches!(
+            Registry::parse("murmur = 0 0 2"),
+            Err(ParseError::InvalidNode { line: 1, v: 0, s: 0, p: 2 })
+        ));
+        assert!(matches!(
+            Registry::parse("murmur = 1 2"),
+            Err(ParseError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "\n# comment\n\nmurmur = 2 2 2\n# trailing\n";
+        let r = Registry::parse(text).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+}

@@ -1,0 +1,297 @@
+//! Description tables: the data form of the paper's Table I and Table II.
+//!
+//! The HEF translator (Algorithm 1) is table-driven: it looks up each hybrid
+//! intermediate description op in a *vector description table* and a *scalar
+//! description table* to emit the target statements. These tables are plain
+//! static data here so the translator, documentation, and the µop-trace
+//! builder all share one source of truth.
+
+/// Identifies a hybrid-intermediate-description operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HidOp {
+    /// `a = hi_load_epi64(b)` — contiguous load of one vector / one scalar.
+    Load,
+    /// `hi_store_epi64(a, b)` — contiguous store.
+    Store,
+    /// `a = hi_gather_epi64(base, idx)` — indexed load.
+    Gather,
+    /// `a = hi_add_epi64(b, c)`
+    Add,
+    /// `a = hi_sub_epi64(b, c)`
+    Sub,
+    /// `a = hi_mullo_epi64(b, c)`
+    Mul,
+    /// `a = hi_and_epi64(b, c)`
+    And,
+    /// `a = hi_or_epi64(b, c)`
+    Or,
+    /// `a = hi_xor_epi64(b, c)`
+    Xor,
+    /// `a = hi_srli_epi64(b, imm)`
+    Srli,
+    /// `a = hi_slli_epi64(b, imm)`
+    Slli,
+    /// `a = hi_sllv_epi64(b, count)` — per-lane variable left shift.
+    Sllv,
+    /// `a = hi_srlv_epi64(b, count)` — per-lane variable right shift.
+    Srlv,
+    /// `m = hi_cmp_epi64(b, c)` — produces a mask / boolean.
+    Cmp,
+    /// `a = hi_blend_epi64(m, b, c)`
+    Blend,
+    /// `a = hi_set1_epi64(c)` — broadcast a constant.
+    Set1,
+}
+
+/// One row of the description table: the mapping of a [`HidOp`] to its HID
+/// interface name, the scalar statement template, and the AVX2/AVX-512
+/// intrinsic names — i.e. one row of the paper's Table I.
+#[derive(Debug, Clone, Copy)]
+pub struct OpDesc {
+    pub op: HidOp,
+    /// The HID interface, e.g. `hi_add_epi64(b, c)`.
+    pub hid: &'static str,
+    /// The scalar statement template; `{d}`, `{a}`, `{b}` are substituted by
+    /// the translator (destination, first, second argument).
+    pub scalar: &'static str,
+    /// AVX2 intrinsic name (the [`crate::Avx2`] backend executes this
+    /// column, synthesizing the instructions AVX2 lacks).
+    pub avx2: &'static str,
+    /// AVX-512 intrinsic name used by the executable backend.
+    pub avx512: &'static str,
+    /// x86-64 mnemonic of the AVX-512 form (used by the µop-trace builder).
+    pub mnemonic: &'static str,
+    /// Number of value arguments (excluding the destination).
+    pub argc: usize,
+}
+
+/// The full description table (Table I of the paper, extended with the mask
+/// ops our operators need).
+pub const DESC_TABLE: &[OpDesc] = &[
+    OpDesc {
+        op: HidOp::Load,
+        hid: "a = hi_load_epi64(b)",
+        scalar: "{d} = *({b});",
+        avx2: "_mm256_loadu_si256",
+        avx512: "_mm512_loadu_si512",
+        mnemonic: "vmovdqu64",
+        argc: 1,
+    },
+    OpDesc {
+        op: HidOp::Store,
+        hid: "hi_store_epi64(a, b)",
+        scalar: "*({b}) = {a};",
+        avx2: "_mm256_storeu_si256",
+        avx512: "_mm512_storeu_si512",
+        mnemonic: "vmovdqu64",
+        argc: 2,
+    },
+    OpDesc {
+        op: HidOp::Gather,
+        hid: "a = hi_gather_epi64(b, c)",
+        scalar: "{d} = {a}[{b}];",
+        avx2: "_mm256_i64gather_epi64",
+        avx512: "_mm512_i64gather_epi64",
+        mnemonic: "vpgatherqq",
+        argc: 2,
+    },
+    OpDesc {
+        op: HidOp::Add,
+        hid: "a = hi_add_epi64(b, c)",
+        scalar: "{d} = {a} + {b};",
+        avx2: "_mm256_add_epi64",
+        avx512: "_mm512_add_epi64",
+        mnemonic: "vpaddq",
+        argc: 2,
+    },
+    OpDesc {
+        op: HidOp::Sub,
+        hid: "a = hi_sub_epi64(b, c)",
+        scalar: "{d} = {a} - {b};",
+        avx2: "_mm256_sub_epi64",
+        avx512: "_mm512_sub_epi64",
+        mnemonic: "vpsubq",
+        argc: 2,
+    },
+    OpDesc {
+        op: HidOp::Mul,
+        hid: "a = hi_mullo_epi64(b, c)",
+        scalar: "{d} = {a} * {b};",
+        avx2: "_mm256_mullo_epi64",
+        avx512: "_mm512_mullo_epi64",
+        mnemonic: "vpmullq",
+        argc: 2,
+    },
+    OpDesc {
+        op: HidOp::And,
+        hid: "a = hi_and_epi64(b, c)",
+        scalar: "{d} = {a} & {b};",
+        avx2: "_mm256_and_si256",
+        avx512: "_mm512_and_epi64",
+        mnemonic: "vpandq",
+        argc: 2,
+    },
+    OpDesc {
+        op: HidOp::Or,
+        hid: "a = hi_or_epi64(b, c)",
+        scalar: "{d} = {a} | {b};",
+        avx2: "_mm256_or_si256",
+        avx512: "_mm512_or_epi64",
+        mnemonic: "vporq",
+        argc: 2,
+    },
+    OpDesc {
+        op: HidOp::Xor,
+        hid: "a = hi_xor_epi64(b, c)",
+        scalar: "{d} = {a} ^ {b};",
+        avx2: "_mm256_xor_si256",
+        avx512: "_mm512_xor_epi64",
+        mnemonic: "vpxorq",
+        argc: 2,
+    },
+    OpDesc {
+        op: HidOp::Srli,
+        hid: "a = hi_srli_epi64(b, imm)",
+        scalar: "{d} = {a} >> {b};",
+        avx2: "_mm256_srli_epi64",
+        avx512: "_mm512_srli_epi64",
+        mnemonic: "vpsrlq",
+        argc: 2,
+    },
+    OpDesc {
+        op: HidOp::Slli,
+        hid: "a = hi_slli_epi64(b, imm)",
+        scalar: "{d} = {a} << {b};",
+        avx2: "_mm256_slli_epi64",
+        avx512: "_mm512_slli_epi64",
+        mnemonic: "vpsllq",
+        argc: 2,
+    },
+    OpDesc {
+        op: HidOp::Sllv,
+        hid: "a = hi_sllv_epi64(b, c)",
+        scalar: "{d} = {a} << {b};",
+        avx2: "_mm256_sllv_epi64",
+        avx512: "_mm512_sllv_epi64",
+        mnemonic: "vpsllvq",
+        argc: 2,
+    },
+    OpDesc {
+        op: HidOp::Srlv,
+        hid: "a = hi_srlv_epi64(b, c)",
+        scalar: "{d} = {a} >> {b};",
+        avx2: "_mm256_srlv_epi64",
+        avx512: "_mm512_srlv_epi64",
+        mnemonic: "vpsrlvq",
+        argc: 2,
+    },
+    OpDesc {
+        op: HidOp::Cmp,
+        hid: "m = hi_cmp_epi64(b, c)",
+        scalar: "{d} = ({a} OP {b});",
+        avx2: "_mm256_cmpeq_epi64",
+        avx512: "_mm512_cmp_epi64_mask",
+        mnemonic: "vpcmpq",
+        argc: 2,
+    },
+    OpDesc {
+        op: HidOp::Blend,
+        hid: "a = hi_blend_epi64(m, b, c)",
+        scalar: "{d} = {m} ? {b} : {a};",
+        avx2: "_mm256_blendv_epi8",
+        avx512: "_mm512_mask_blend_epi64",
+        mnemonic: "vpblendmq",
+        argc: 3,
+    },
+    OpDesc {
+        op: HidOp::Set1,
+        hid: "a = hi_set1_epi64(c)",
+        scalar: "{d} = {a};",
+        avx2: "_mm256_set1_epi64x",
+        avx512: "_mm512_set1_epi64",
+        mnemonic: "vpbroadcastq",
+        argc: 1,
+    },
+];
+
+/// Look up the description row for an op.
+pub fn describe(op: HidOp) -> &'static OpDesc {
+    DESC_TABLE
+        .iter()
+        .find(|d| d.op == op)
+        .expect("every HidOp has a description row")
+}
+
+/// One row of Table II: HID variable types and their per-ISA concrete types.
+#[derive(Debug, Clone, Copy)]
+pub struct TypeDesc {
+    /// HID type name, e.g. `vint64`.
+    pub hid: &'static str,
+    /// Bits per element.
+    pub bits: u32,
+    /// AVX-512 concrete type.
+    pub avx512: &'static str,
+    /// AVX2 concrete type.
+    pub avx2: &'static str,
+    /// Scalar concrete type.
+    pub scalar: &'static str,
+}
+
+/// The variable-type table (Table II of the paper).
+pub const TYPE_TABLE: &[TypeDesc] = &[
+    TypeDesc { hid: "vint16", bits: 16, avx512: "__m512i", avx2: "__m256i", scalar: "int16_t" },
+    TypeDesc { hid: "vuint16", bits: 16, avx512: "__m512i", avx2: "__m256i", scalar: "uint16_t" },
+    TypeDesc { hid: "vint32", bits: 32, avx512: "__m512i", avx2: "__m256i", scalar: "int32_t" },
+    TypeDesc { hid: "vuint32", bits: 32, avx512: "__m512i", avx2: "__m256i", scalar: "uint32_t" },
+    TypeDesc { hid: "vint64", bits: 64, avx512: "__m512i", avx2: "__m256i", scalar: "int64_t" },
+    TypeDesc { hid: "vuint64", bits: 64, avx512: "__m512i", avx2: "__m256i", scalar: "uint64_t" },
+    TypeDesc { hid: "vfloat", bits: 32, avx512: "__m512", avx2: "__m256", scalar: "float" },
+    TypeDesc { hid: "vdouble", bits: 64, avx512: "__m512d", avx2: "__m256d", scalar: "double" },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_op_described_once() {
+        let ops = [
+            HidOp::Load,
+            HidOp::Store,
+            HidOp::Gather,
+            HidOp::Add,
+            HidOp::Sub,
+            HidOp::Mul,
+            HidOp::And,
+            HidOp::Or,
+            HidOp::Xor,
+            HidOp::Srli,
+            HidOp::Slli,
+            HidOp::Sllv,
+            HidOp::Srlv,
+            HidOp::Cmp,
+            HidOp::Blend,
+            HidOp::Set1,
+        ];
+        for op in ops {
+            let n = DESC_TABLE.iter().filter(|d| d.op == op).count();
+            assert_eq!(n, 1, "{op:?} must appear exactly once");
+        }
+        assert_eq!(DESC_TABLE.len(), ops.len());
+    }
+
+    #[test]
+    fn describe_finds_mul_as_vpmullq() {
+        let d = describe(HidOp::Mul);
+        assert_eq!(d.mnemonic, "vpmullq");
+        assert_eq!(d.avx512, "_mm512_mullo_epi64");
+        assert_eq!(d.argc, 2);
+    }
+
+    #[test]
+    fn type_table_covers_paper_types() {
+        assert!(TYPE_TABLE.iter().any(|t| t.hid == "vint64" && t.avx512 == "__m512i"));
+        assert!(TYPE_TABLE.iter().any(|t| t.hid == "vdouble" && t.avx2 == "__m256d"));
+        assert_eq!(TYPE_TABLE.len(), 8);
+    }
+}

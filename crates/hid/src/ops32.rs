@@ -1,0 +1,377 @@
+//! 32-bit lane support: the `vint32`/`vuint32` rows of the paper's
+//! Table II.
+//!
+//! The paper's evaluation stores SSB attributes as 64-bit integers (its
+//! hash-join optimization targets 64-bit keys), but the hybrid intermediate
+//! description itself is typed — Table II spans 16/32/64-bit integers and
+//! floats. This module provides the executable 32-bit layer: sixteen `u32`
+//! lanes per 512-bit vector, with the same AVX-512 + portable-emulation
+//! backend pair and the same safety contract as [`crate::Simd64`].
+
+use crate::ops::CmpOp;
+
+/// A SIMD backend over sixteen 32-bit lanes.
+///
+/// # Safety contract
+///
+/// Identical to [`crate::Simd64`]: the backend's ISA requirement must hold
+/// on the executing CPU, and pointer arguments must be valid for sixteen
+/// `u32` elements (unaligned).
+#[allow(clippy::missing_safety_doc)] // contract centralized in the trait docs above
+pub trait Simd32: Copy + 'static {
+    /// The 512-bit vector value (sixteen `u32` lanes).
+    type V32: Copy;
+
+    /// Broadcast (`vpbroadcastd`).
+    unsafe fn splat32(x: u32) -> Self::V32;
+
+    /// Unaligned load of 16 lanes.
+    unsafe fn loadu32(ptr: *const u32) -> Self::V32;
+
+    /// Unaligned store of 16 lanes.
+    unsafe fn storeu32(ptr: *mut u32, v: Self::V32);
+
+    /// Wrapping addition (`vpaddd`).
+    unsafe fn add32(a: Self::V32, b: Self::V32) -> Self::V32;
+
+    /// Wrapping subtraction (`vpsubd`).
+    unsafe fn sub32(a: Self::V32, b: Self::V32) -> Self::V32;
+
+    /// Wrapping low-32 multiplication (`vpmulld`).
+    unsafe fn mullo32(a: Self::V32, b: Self::V32) -> Self::V32;
+
+    /// Bitwise AND / OR / XOR.
+    unsafe fn and32(a: Self::V32, b: Self::V32) -> Self::V32;
+    unsafe fn or32(a: Self::V32, b: Self::V32) -> Self::V32;
+    unsafe fn xor32(a: Self::V32, b: Self::V32) -> Self::V32;
+
+    /// Logical shift right/left by an immediate (`vpsrld`/`vpslld`),
+    /// `K < 32`.
+    unsafe fn srli32<const K: u32>(a: Self::V32) -> Self::V32;
+    unsafe fn slli32<const K: u32>(a: Self::V32) -> Self::V32;
+
+    /// Gather 16 lanes from `base[idx[i]]` (`vpgatherdd`, scale 4).
+    ///
+    /// Every lane of `idx` must index into the allocation at `base`.
+    unsafe fn gather32(base: *const u32, idx: Self::V32) -> Self::V32;
+
+    /// Signed compare producing a 16-bit mask (`vpcmpd`).
+    unsafe fn cmp32(op: CmpOp, a: Self::V32, b: Self::V32) -> u16;
+
+    /// Mask blend (`vpblendmd`): lane `i` is `b[i]` where mask bit set.
+    unsafe fn blend32(mask: u16, a: Self::V32, b: Self::V32) -> Self::V32;
+
+    /// Compress-store the selected lanes; returns lanes written.
+    unsafe fn compress_storeu32(ptr: *mut u32, mask: u16, v: Self::V32) -> usize;
+
+    /// Lane extraction for tests/tails.
+    unsafe fn to_array32(v: Self::V32) -> [u32; 16];
+    unsafe fn from_array32(a: [u32; 16]) -> Self::V32;
+}
+
+/// Scalar reference semantics of [`CmpOp`] at 32 bits (signed).
+#[inline(always)]
+pub fn cmp_scalar32(op: CmpOp, a: u32, b: u32) -> bool {
+    let (sa, sb) = (a as i32, b as i32);
+    match op {
+        CmpOp::Eq => sa == sb,
+        CmpOp::Lt => sa < sb,
+        CmpOp::Le => sa <= sb,
+        CmpOp::Ne => sa != sb,
+        CmpOp::Ge => sa >= sb,
+        CmpOp::Gt => sa > sb,
+    }
+}
+
+impl Simd32 for crate::Emu {
+    type V32 = [u32; 16];
+
+    #[inline(always)]
+    unsafe fn splat32(x: u32) -> [u32; 16] {
+        [x; 16]
+    }
+
+    #[inline(always)]
+    unsafe fn loadu32(ptr: *const u32) -> [u32; 16] {
+        core::ptr::read_unaligned(ptr as *const [u32; 16])
+    }
+
+    #[inline(always)]
+    unsafe fn storeu32(ptr: *mut u32, v: [u32; 16]) {
+        core::ptr::write_unaligned(ptr as *mut [u32; 16], v);
+    }
+
+    #[inline(always)]
+    unsafe fn add32(a: [u32; 16], b: [u32; 16]) -> [u32; 16] {
+        core::array::from_fn(|i| a[i].wrapping_add(b[i]))
+    }
+
+    #[inline(always)]
+    unsafe fn sub32(a: [u32; 16], b: [u32; 16]) -> [u32; 16] {
+        core::array::from_fn(|i| a[i].wrapping_sub(b[i]))
+    }
+
+    #[inline(always)]
+    unsafe fn mullo32(a: [u32; 16], b: [u32; 16]) -> [u32; 16] {
+        core::array::from_fn(|i| a[i].wrapping_mul(b[i]))
+    }
+
+    #[inline(always)]
+    unsafe fn and32(a: [u32; 16], b: [u32; 16]) -> [u32; 16] {
+        core::array::from_fn(|i| a[i] & b[i])
+    }
+
+    #[inline(always)]
+    unsafe fn or32(a: [u32; 16], b: [u32; 16]) -> [u32; 16] {
+        core::array::from_fn(|i| a[i] | b[i])
+    }
+
+    #[inline(always)]
+    unsafe fn xor32(a: [u32; 16], b: [u32; 16]) -> [u32; 16] {
+        core::array::from_fn(|i| a[i] ^ b[i])
+    }
+
+    #[inline(always)]
+    unsafe fn srli32<const K: u32>(a: [u32; 16]) -> [u32; 16] {
+        core::array::from_fn(|i| a[i] >> K)
+    }
+
+    #[inline(always)]
+    unsafe fn slli32<const K: u32>(a: [u32; 16]) -> [u32; 16] {
+        core::array::from_fn(|i| a[i] << K)
+    }
+
+    #[inline(always)]
+    unsafe fn gather32(base: *const u32, idx: [u32; 16]) -> [u32; 16] {
+        core::array::from_fn(|i| *base.add(idx[i] as usize))
+    }
+
+    #[inline(always)]
+    unsafe fn cmp32(op: CmpOp, a: [u32; 16], b: [u32; 16]) -> u16 {
+        let mut m = 0u16;
+        for i in 0..16 {
+            if cmp_scalar32(op, a[i], b[i]) {
+                m |= 1 << i;
+            }
+        }
+        m
+    }
+
+    #[inline(always)]
+    unsafe fn blend32(mask: u16, a: [u32; 16], b: [u32; 16]) -> [u32; 16] {
+        core::array::from_fn(|i| if mask & (1 << i) != 0 { b[i] } else { a[i] })
+    }
+
+    #[inline(always)]
+    unsafe fn compress_storeu32(ptr: *mut u32, mask: u16, v: [u32; 16]) -> usize {
+        let mut k = 0usize;
+        for (i, &lane) in v.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                *ptr.add(k) = lane;
+                k += 1;
+            }
+        }
+        k
+    }
+
+    #[inline(always)]
+    unsafe fn to_array32(v: [u32; 16]) -> [u32; 16] {
+        v
+    }
+
+    #[inline(always)]
+    unsafe fn from_array32(a: [u32; 16]) -> [u32; 16] {
+        a
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx512_impl {
+    use core::arch::x86_64::*;
+
+    use super::Simd32;
+    use crate::ops::CmpOp;
+
+    impl Simd32 for crate::Avx512 {
+        type V32 = __m512i;
+
+        #[inline(always)]
+        unsafe fn splat32(x: u32) -> __m512i {
+            _mm512_set1_epi32(x as i32)
+        }
+
+        #[inline(always)]
+        unsafe fn loadu32(ptr: *const u32) -> __m512i {
+            _mm512_loadu_si512(ptr as *const __m512i)
+        }
+
+        #[inline(always)]
+        unsafe fn storeu32(ptr: *mut u32, v: __m512i) {
+            _mm512_storeu_si512(ptr as *mut __m512i, v)
+        }
+
+        #[inline(always)]
+        unsafe fn add32(a: __m512i, b: __m512i) -> __m512i {
+            _mm512_add_epi32(a, b)
+        }
+
+        #[inline(always)]
+        unsafe fn sub32(a: __m512i, b: __m512i) -> __m512i {
+            _mm512_sub_epi32(a, b)
+        }
+
+        #[inline(always)]
+        unsafe fn mullo32(a: __m512i, b: __m512i) -> __m512i {
+            _mm512_mullo_epi32(a, b)
+        }
+
+        #[inline(always)]
+        unsafe fn and32(a: __m512i, b: __m512i) -> __m512i {
+            _mm512_and_si512(a, b)
+        }
+
+        #[inline(always)]
+        unsafe fn or32(a: __m512i, b: __m512i) -> __m512i {
+            _mm512_or_si512(a, b)
+        }
+
+        #[inline(always)]
+        unsafe fn xor32(a: __m512i, b: __m512i) -> __m512i {
+            _mm512_xor_si512(a, b)
+        }
+
+        #[inline(always)]
+        unsafe fn srli32<const K: u32>(a: __m512i) -> __m512i {
+            _mm512_srli_epi32::<K>(a)
+        }
+
+        #[inline(always)]
+        unsafe fn slli32<const K: u32>(a: __m512i) -> __m512i {
+            _mm512_slli_epi32::<K>(a)
+        }
+
+        #[inline(always)]
+        unsafe fn gather32(base: *const u32, idx: __m512i) -> __m512i {
+            _mm512_i32gather_epi32::<4>(idx, base as *const i32)
+        }
+
+        #[inline(always)]
+        unsafe fn cmp32(op: CmpOp, a: __m512i, b: __m512i) -> u16 {
+            match op {
+                CmpOp::Eq => _mm512_cmp_epi32_mask::<_MM_CMPINT_EQ>(a, b),
+                CmpOp::Lt => _mm512_cmp_epi32_mask::<_MM_CMPINT_LT>(a, b),
+                CmpOp::Le => _mm512_cmp_epi32_mask::<_MM_CMPINT_LE>(a, b),
+                CmpOp::Ne => _mm512_cmp_epi32_mask::<_MM_CMPINT_NE>(a, b),
+                CmpOp::Ge => _mm512_cmp_epi32_mask::<_MM_CMPINT_NLT>(a, b),
+                CmpOp::Gt => _mm512_cmp_epi32_mask::<_MM_CMPINT_NLE>(a, b),
+            }
+        }
+
+        #[inline(always)]
+        unsafe fn blend32(mask: u16, a: __m512i, b: __m512i) -> __m512i {
+            _mm512_mask_blend_epi32(mask, a, b)
+        }
+
+        #[inline(always)]
+        unsafe fn compress_storeu32(ptr: *mut u32, mask: u16, v: __m512i) -> usize {
+            let packed = _mm512_maskz_compress_epi32(mask, v);
+            let n = mask.count_ones() as usize;
+            let mut buf = [0u32; 16];
+            _mm512_storeu_si512(buf.as_mut_ptr() as *mut __m512i, packed);
+            core::ptr::copy_nonoverlapping(buf.as_ptr(), ptr, n);
+            n
+        }
+
+        #[inline(always)]
+        unsafe fn to_array32(v: __m512i) -> [u32; 16] {
+            core::mem::transmute(v)
+        }
+
+        #[inline(always)]
+        unsafe fn from_array32(a: [u32; 16]) -> __m512i {
+            core::mem::transmute(a)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Emu;
+
+    #[test]
+    fn emu32_arithmetic_and_shifts() {
+        unsafe {
+            let a = Emu::from_array32(core::array::from_fn(|i| i as u32 * 3));
+            let b = Emu::splat32(2);
+            assert_eq!(Emu::add32(a, b)[5], 17);
+            assert_eq!(Emu::mullo32(a, b)[4], 24);
+            assert_eq!(Emu::sub32(b, b), [0; 16]);
+            assert_eq!(Emu::srli32::<1>(Emu::splat32(6)), [3; 16]);
+            assert_eq!(Emu::slli32::<2>(Emu::splat32(3)), [12; 16]);
+        }
+    }
+
+    #[test]
+    fn emu32_cmp_blend_compress_gather() {
+        unsafe {
+            let a = Emu::from_array32(core::array::from_fn(|i| (i % 3) as u32));
+            let m = Emu::cmp32(CmpOp::Eq, a, Emu::splat32(1));
+            assert_eq!(m.count_ones(), 5); // lanes 1,4,7,10,13
+            let blended = Emu::blend32(m, Emu::splat32(0), Emu::splat32(9));
+            assert_eq!(blended[1], 9);
+            assert_eq!(blended[0], 0);
+
+            let mut out = [0u32; 16];
+            let n = Emu::compress_storeu32(out.as_mut_ptr(), m, a);
+            assert_eq!(n, 5);
+            assert!(out[..5].iter().all(|&x| x == 1));
+
+            let table: Vec<u32> = (0..64).map(|x| x * 2).collect();
+            let idx = Emu::from_array32(core::array::from_fn(|i| (i * 4) as u32));
+            let g = Emu::gather32(table.as_ptr(), idx);
+            assert_eq!(g[3], 24);
+        }
+    }
+
+    #[test]
+    fn cmp_scalar32_is_signed() {
+        assert!(cmp_scalar32(CmpOp::Lt, u32::MAX, 0)); // -1 < 0
+        assert!(!cmp_scalar32(CmpOp::Gt, u32::MAX, 0));
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx512_matches_emu_on_random_lanes() {
+        if !crate::avx512_available() {
+            return;
+        }
+        use crate::Avx512;
+        unsafe {
+            let xs: [u32; 16] =
+                core::array::from_fn(|i| (i as u32).wrapping_mul(0x9e37_79b9) ^ 0x55);
+            let ys: [u32; 16] = core::array::from_fn(|i| (i as u32).wrapping_mul(77) + 3);
+            let (av, bv) = (Avx512::from_array32(xs), Avx512::from_array32(ys));
+            let (ae, be) = (xs, ys);
+            assert_eq!(Avx512::to_array32(Avx512::add32(av, bv)), Emu::add32(ae, be));
+            assert_eq!(
+                Avx512::to_array32(Avx512::mullo32(av, bv)),
+                Emu::mullo32(ae, be)
+            );
+            assert_eq!(
+                Avx512::to_array32(Avx512::srli32::<7>(av)),
+                Emu::srli32::<7>(ae)
+            );
+            assert_eq!(
+                Avx512::cmp32(CmpOp::Lt, av, bv),
+                Emu::cmp32(CmpOp::Lt, ae, be)
+            );
+            let table: Vec<u32> = (0..128).map(|x| x ^ 0xAB).collect();
+            let idx: [u32; 16] = core::array::from_fn(|i| (i * 7 % 128) as u32);
+            assert_eq!(
+                Avx512::to_array32(Avx512::gather32(table.as_ptr(), Avx512::from_array32(idx))),
+                Emu::gather32(table.as_ptr(), idx)
+            );
+        }
+    }
+}

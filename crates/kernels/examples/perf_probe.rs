@@ -1,0 +1,35 @@
+//! Quick performance probe: MurmurHash and CRC64 throughput across a
+//! handful of grid nodes on this machine's best backend. Useful as a fast
+//! sanity check that hybrid nodes beat the pure baselines before running
+//! the full `repro` harness.
+//!
+//! Run with: `cargo run --release -p hef-kernels --example perf_probe [-- <elements>]`
+use hef_kernels::{run_on, Family, HybridConfig, KernelIo};
+use hef_hid::Backend;
+use std::time::Instant;
+
+fn bench(family: Family, cfg: HybridConfig, input: &[u64], output: &mut [u64]) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..7 {
+        let t = Instant::now();
+        let mut io = KernelIo::Map { input, output };
+        assert!(run_on(family, cfg, Backend::native(), &mut io));
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16_000_000);
+    let input: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect();
+    let mut output = vec![0u64; n];
+    println!("backend: {:?}", Backend::native());
+    for (name, fam) in [("murmur", Family::Murmur), ("crc64", Family::Crc64)] {
+        for (v, s, p) in [(0,1,1),(1,0,1),(1,3,2),(1,1,3),(2,0,2),(4,0,1),(8,0,1),(2,2,2)] {
+            let cfg = HybridConfig::new(v, s, p);
+            let t = bench(fam, cfg, &input, &mut output);
+            println!("{name:7} n{v}{s}{p}: {:8.1} ms  ({:.2} Gelem/s)", t*1e3, n as f64/t/1e9);
+        }
+        println!();
+    }
+}

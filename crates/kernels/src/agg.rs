@@ -1,0 +1,206 @@
+//! Aggregation kernel families: `sum(a)` and `sum(a * b)`.
+//!
+//! The reduction at the end of every SSB pipeline (`sum(lo_revenue)`,
+//! `sum(lo_extendedprice * lo_discount)`, `sum(lo_revenue - lo_supplycost)`
+//! — the last is expressed as two sums). For aggregations the pack depth
+//! and the statement counts translate directly into *independent
+//! accumulators*, which is the classic way to break the loop-carried
+//! dependence of a reduction.
+//!
+//! All sums are wrapping `u64`; SSB values are small enough that the paper's
+//! (and our) workloads never overflow, and wrapping keeps SIMD and scalar
+//! flavors bit-identical.
+
+use hef_hid::Simd64;
+
+use crate::KernelIo;
+
+/// Reference wrapping sum.
+pub fn sum_ref(a: &[u64]) -> u64 {
+    a.iter().fold(0u64, |acc, &x| acc.wrapping_add(x))
+}
+
+/// Reference wrapping sum of products.
+pub fn dot_ref(a: &[u64], b: &[u64]) -> u64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .fold(0u64, |acc, (&x, &y)| acc.wrapping_add(x.wrapping_mul(y)))
+}
+
+/// Hybrid `sum(a)` body.
+///
+/// # Safety
+/// Backend ISA must be available.
+#[inline(always)]
+pub unsafe fn sum_body<B: Simd64, const V: usize, const S: usize, const P: usize>(
+    a: &[u64],
+) -> u64 {
+    const L: usize = hef_hid::LANES;
+    let step = P * (V * L + S);
+    let main = if step == 0 { 0 } else { a.len() - a.len() % step };
+    let ap = a.as_ptr();
+
+    let mut accv = [[B::splat(0); V]; P];
+    let mut accs = [[0u64; S]; P];
+
+    let mut i = 0usize;
+    while i < main {
+        for pi in 0..P {
+            let base = i + pi * (V * L + S);
+            for vi in 0..V {
+                accv[pi][vi] = B::add(accv[pi][vi], B::loadu(ap.add(base + vi * L)));
+            }
+            for si in 0..S {
+                accs[pi][si] = accs[pi][si]
+                    .wrapping_add(hef_hid::opaque64(*ap.add(base + V * L + si)));
+            }
+        }
+        i += step;
+    }
+    let mut total = 0u64;
+    for pi in 0..P {
+        for vi in 0..V {
+            for lane in B::to_array(accv[pi][vi]) {
+                total = total.wrapping_add(lane);
+            }
+        }
+        for si in 0..S {
+            total = total.wrapping_add(accs[pi][si]);
+        }
+    }
+    for j in main..a.len() {
+        total = total.wrapping_add(a[j]);
+    }
+    total
+}
+
+/// Hybrid `sum(a * b)` body.
+///
+/// # Safety
+/// Backend ISA must be available.
+#[inline(always)]
+pub unsafe fn dot_body<B: Simd64, const V: usize, const S: usize, const P: usize>(
+    a: &[u64],
+    b: &[u64],
+) -> u64 {
+    assert_eq!(a.len(), b.len(), "agg_dot: length mismatch");
+    const L: usize = hef_hid::LANES;
+    let step = P * (V * L + S);
+    let main = if step == 0 { 0 } else { a.len() - a.len() % step };
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+
+    let mut accv = [[B::splat(0); V]; P];
+    let mut accs = [[0u64; S]; P];
+
+    let mut i = 0usize;
+    while i < main {
+        for pi in 0..P {
+            let base = i + pi * (V * L + S);
+            for vi in 0..V {
+                let x = B::loadu(ap.add(base + vi * L));
+                let y = B::loadu(bp.add(base + vi * L));
+                accv[pi][vi] = B::add(accv[pi][vi], B::mullo(x, y));
+            }
+            for si in 0..S {
+                let off = base + V * L + si;
+                accs[pi][si] = accs[pi][si].wrapping_add(
+                    hef_hid::opaque64(*ap.add(off)).wrapping_mul(hef_hid::opaque64(*bp.add(off))),
+                );
+            }
+        }
+        i += step;
+    }
+    let mut total = 0u64;
+    for pi in 0..P {
+        for vi in 0..V {
+            for lane in B::to_array(accv[pi][vi]) {
+                total = total.wrapping_add(lane);
+            }
+        }
+        for si in 0..S {
+            total = total.wrapping_add(accs[pi][si]);
+        }
+    }
+    for j in main..a.len() {
+        total = total.wrapping_add(a[j].wrapping_mul(b[j]));
+    }
+    total
+}
+
+/// Type-erasure adapter for `sum(a)`.
+///
+/// # Safety
+/// Backend ISA must be available; `io` must be [`KernelIo::AggSum`].
+#[inline(always)]
+pub unsafe fn run_sum<B: Simd64, const V: usize, const S: usize, const P: usize>(
+    io: &mut KernelIo<'_>,
+) {
+    match io {
+        KernelIo::AggSum { a, acc } => **acc = acc.wrapping_add(sum_body::<B, V, S, P>(a)),
+        _ => panic!("agg_sum kernel requires KernelIo::AggSum"),
+    }
+}
+
+/// Type-erasure adapter for `sum(a * b)`.
+///
+/// # Safety
+/// Backend ISA must be available; `io` must be [`KernelIo::AggDot`].
+#[inline(always)]
+pub unsafe fn run_dot<B: Simd64, const V: usize, const S: usize, const P: usize>(
+    io: &mut KernelIo<'_>,
+) {
+    match io {
+        KernelIo::AggDot { a, b, acc } => {
+            **acc = acc.wrapping_add(dot_body::<B, V, S, P>(a, b))
+        }
+        _ => panic!("agg_dot kernel requires KernelIo::AggDot"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hef_hid::Emu;
+
+    #[test]
+    fn sum_matches_reference() {
+        let a: Vec<u64> = (0..1234).map(|i| i * 31 + 5).collect();
+        let expect = sum_ref(&a);
+        unsafe {
+            assert_eq!(sum_body::<Emu, 0, 1, 1>(&a), expect);
+            assert_eq!(sum_body::<Emu, 1, 0, 1>(&a), expect);
+            assert_eq!(sum_body::<Emu, 2, 3, 2>(&a), expect);
+            assert_eq!(sum_body::<Emu, 4, 0, 4>(&a), expect);
+        }
+    }
+
+    #[test]
+    fn dot_matches_reference() {
+        let a: Vec<u64> = (0..777).map(|i| i + 1).collect();
+        let b: Vec<u64> = (0..777).map(|i| 2 * i + 3).collect();
+        let expect = dot_ref(&a, &b);
+        unsafe {
+            assert_eq!(dot_body::<Emu, 0, 1, 1>(&a, &b), expect);
+            assert_eq!(dot_body::<Emu, 1, 2, 3>(&a, &b), expect);
+        }
+    }
+
+    #[test]
+    fn wrapping_behaviour_is_consistent() {
+        let a = vec![u64::MAX, 2, u64::MAX, 3];
+        let expect = sum_ref(&a);
+        unsafe {
+            assert_eq!(sum_body::<Emu, 1, 1, 2>(&a), expect);
+        }
+    }
+
+    #[test]
+    fn empty_input_sums_to_zero() {
+        unsafe {
+            assert_eq!(sum_body::<Emu, 1, 1, 1>(&[]), 0);
+            assert_eq!(dot_body::<Emu, 2, 2, 2>(&[], &[]), 0);
+        }
+    }
+}

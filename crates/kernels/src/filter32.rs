@@ -1,0 +1,190 @@
+//! 32-bit range scan: a demonstration of the `vint32` rows of the paper's
+//! Table II on the executable [`Simd32`] layer.
+//!
+//! SSB's low-cardinality attributes (quantity 1–50, discount 0–10, year)
+//! fit 32 bits; engines such as VIP store them narrow to double the lanes
+//! per vector. This module provides the narrow scan with the same
+//! scalar/SIMD/hybrid structure as the 64-bit grid, at a fixed hybrid shape
+//! (one vector + `HYBRID_S` scalar statements) — the full `(v, s, p)` grid
+//! stays 64-bit, matching the paper's evaluation.
+
+use hef_hid::{CmpOp, Simd32};
+
+/// Scalar statements per pack layer in [`filter32_hybrid`].
+pub const HYBRID_S: usize = 3;
+
+/// Scalar reference: indices (absolute, `base + i`) of lanes within
+/// `lo ..= hi` (signed).
+pub fn filter32_scalar(input: &[u32], lo: u32, hi: u32, base: u64, sel: &mut Vec<u64>) {
+    for (i, &x) in input.iter().enumerate() {
+        let x = x as i32;
+        if lo as i32 <= x && x <= hi as i32 {
+            sel.push(base + i as u64);
+        }
+    }
+}
+
+#[inline(always)]
+fn in_range32(x: u32, lo: u32, hi: u32) -> bool {
+    lo as i32 <= x as i32 && x as i32 <= hi as i32
+}
+
+/// Generic SIMD body over a [`Simd32`] backend: 16 lanes per statement.
+///
+/// # Safety
+/// Backend ISA must be available.
+#[inline(always)]
+unsafe fn simd_body<B: Simd32>(input: &[u32], lo: u32, hi: u32, base: u64, sel: &mut Vec<u64>) {
+    const L: usize = 16;
+    let main = input.len() - input.len() % L;
+    sel.reserve(input.len());
+    let inp = input.as_ptr();
+    let lo_v = B::splat32(lo);
+    let hi_v = B::splat32(hi);
+    let mut i = 0usize;
+    while i < main {
+        let x = B::loadu32(inp.add(i));
+        let m = B::cmp32(CmpOp::Ge, x, lo_v) & B::cmp32(CmpOp::Le, x, hi_v);
+        // Expand the 16-bit mask into absolute row ids. (A 32-bit compress
+        // of ids would overflow past 2³² rows; the id side stays 64-bit.)
+        let mut rest = m;
+        while rest != 0 {
+            let lane = rest.trailing_zeros() as usize;
+            sel.push(base + (i + lane) as u64);
+            rest &= rest - 1;
+        }
+        i += L;
+    }
+    for j in main..input.len() {
+        if in_range32(input[j], lo, hi) {
+            sel.push(base + j as u64);
+        }
+    }
+}
+
+/// Hybrid 32-bit scan: one 16-lane vector statement plus [`HYBRID_S`]
+/// scalar statements per iteration, in the Algorithm 1 interleaving.
+///
+/// # Safety
+/// Backend ISA must be available.
+#[inline(always)]
+unsafe fn hybrid_body<B: Simd32>(
+    input: &[u32],
+    lo: u32,
+    hi: u32,
+    base: u64,
+    sel: &mut Vec<u64>,
+) {
+    const L: usize = 16;
+    let step = L + HYBRID_S;
+    let main = input.len() - input.len() % step;
+    sel.reserve(input.len());
+    let inp = input.as_ptr();
+    let lo_v = B::splat32(lo);
+    let hi_v = B::splat32(hi);
+    let mut i = 0usize;
+    while i < main {
+        let x = B::loadu32(inp.add(i));
+        let m = B::cmp32(CmpOp::Ge, x, lo_v) & B::cmp32(CmpOp::Le, x, hi_v);
+        let mut scal = [false; HYBRID_S];
+        for (si, s) in scal.iter_mut().enumerate() {
+            let v = hef_hid::opaque64(u64::from(*inp.add(i + L + si))) as u32;
+            *s = in_range32(v, lo, hi);
+        }
+        let mut rest = m;
+        while rest != 0 {
+            let lane = rest.trailing_zeros() as usize;
+            sel.push(base + (i + lane) as u64);
+            rest &= rest - 1;
+        }
+        for (si, &s) in scal.iter().enumerate() {
+            if s {
+                sel.push(base + (i + L + si) as u64);
+            }
+        }
+        i += step;
+    }
+    for j in main..input.len() {
+        if in_range32(input[j], lo, hi) {
+            sel.push(base + j as u64);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq")]
+unsafe fn simd_avx512(input: &[u32], lo: u32, hi: u32, base: u64, sel: &mut Vec<u64>) {
+    simd_body::<hef_hid::Avx512>(input, lo, hi, base, sel)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq")]
+unsafe fn hybrid_avx512(input: &[u32], lo: u32, hi: u32, base: u64, sel: &mut Vec<u64>) {
+    hybrid_body::<hef_hid::Avx512>(input, lo, hi, base, sel)
+}
+
+/// Safe SIMD entry point: AVX-512 when available, emulation otherwise.
+pub fn filter32_simd(input: &[u32], lo: u32, hi: u32, base: u64, sel: &mut Vec<u64>) {
+    #[cfg(target_arch = "x86_64")]
+    if hef_hid::avx512_available() {
+        // SAFETY: feature checked above; slices are valid by construction.
+        unsafe { simd_avx512(input, lo, hi, base, sel) };
+        return;
+    }
+    // SAFETY: the emulation backend has no ISA requirement.
+    unsafe { simd_body::<hef_hid::Emu>(input, lo, hi, base, sel) }
+}
+
+/// Safe hybrid entry point.
+pub fn filter32_hybrid(input: &[u32], lo: u32, hi: u32, base: u64, sel: &mut Vec<u64>) {
+    #[cfg(target_arch = "x86_64")]
+    if hef_hid::avx512_available() {
+        // SAFETY: feature checked above.
+        unsafe { hybrid_avx512(input, lo, hi, base, sel) };
+        return;
+    }
+    // SAFETY: the emulation backend has no ISA requirement.
+    unsafe { hybrid_body::<hef_hid::Emu>(input, lo, hi, base, sel) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(input: &[u32], lo: u32, hi: u32, base: u64) -> Vec<u64> {
+        let mut sel = Vec::new();
+        filter32_scalar(input, lo, hi, base, &mut sel);
+        sel
+    }
+
+    #[test]
+    fn simd_and_hybrid_match_scalar() {
+        let input: Vec<u32> = (0..2029).map(|i| (i * 13) % 200).collect();
+        let expect = reference(&input, 40, 120, 500);
+        let mut sel = Vec::new();
+        filter32_simd(&input, 40, 120, 500, &mut sel);
+        assert_eq!(sel, expect, "simd");
+        sel.clear();
+        filter32_hybrid(&input, 40, 120, 500, &mut sel);
+        assert_eq!(sel, expect, "hybrid");
+    }
+
+    #[test]
+    fn signed_32bit_semantics() {
+        let input = vec![(-3i32) as u32, 0, 5, 10, 11];
+        let mut sel = Vec::new();
+        filter32_hybrid(&input, 0, 10, 0, &mut sel);
+        assert_eq!(sel, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn short_inputs_and_boundaries() {
+        for n in [0usize, 1, 15, 16, 17, 18, 19, 20] {
+            let input: Vec<u32> = (0..n as u32).collect();
+            let expect = reference(&input, 2, 7, 0);
+            let mut sel = Vec::new();
+            filter32_hybrid(&input, 2, 7, 0, &mut sel);
+            assert_eq!(sel, expect, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Dictionary encodings of SSB's categorical attributes.
+//!
+//! SSB geography: 5 regions × 5 nations × 10 cities; SSB parts:
+//! 5 manufacturers × 5 categories × 40 brands. The codes are dense and
+//! hierarchical (a city code determines its nation and region), which is
+//! what lets the queries express `c_region = 'ASIA'` as one range predicate
+//! and group-by columns as small dense codes.
+
+/// Number of regions / nations / cities.
+pub const REGIONS: u64 = 5;
+pub const NATIONS: u64 = 25;
+pub const CITIES: u64 = 250;
+
+/// Number of manufacturers / categories / brands.
+pub const MFGRS: u64 = 5;
+pub const CATEGORIES: u64 = 25;
+pub const BRANDS: u64 = 1000;
+
+/// Region codes.
+pub const AFRICA: u64 = 0;
+pub const AMERICA: u64 = 1;
+pub const ASIA: u64 = 2;
+pub const EUROPE: u64 = 3;
+pub const MIDDLE_EAST: u64 = 4;
+
+/// Named nations the queries reference (first nation of its region + 0-4).
+pub const UNITED_STATES: u64 = AMERICA * 5; // nation 5, region AMERICA
+pub const UNITED_KINGDOM: u64 = EUROPE * 5; // nation 15, region EUROPE
+
+/// City code `i` (0..10) of a nation.
+pub const fn city(nation: u64, i: u64) -> u64 {
+    nation * 10 + i
+}
+
+/// `'UNITED KI1'` / `'UNITED KI5'` of Q3.3/Q3.4: cities 1 and 5 of the
+/// United Kingdom (SSB city names are the nation name padded to 9 chars
+/// plus a digit).
+pub const UNITED_KI1: u64 = city(UNITED_KINGDOM, 1);
+pub const UNITED_KI5: u64 = city(UNITED_KINGDOM, 5);
+
+/// Nation of a city code.
+pub const fn nation_of_city(c: u64) -> u64 {
+    c / 10
+}
+
+/// Region of a nation code.
+pub const fn region_of_nation(n: u64) -> u64 {
+    n / 5
+}
+
+/// Category code for `MFGR#<m><c>` (1-based digits as in SSB labels).
+pub const fn category(m: u64, c: u64) -> u64 {
+    (m - 1) * 5 + (c - 1)
+}
+
+/// Brand code for `MFGR#<m><c><bb>` (1-based brand number 1..=40).
+pub const fn brand(m: u64, c: u64, b: u64) -> u64 {
+    category(m, c) * 40 + (b - 1)
+}
+
+/// Manufacturer of a category code.
+pub const fn mfgr_of_category(c: u64) -> u64 {
+    c / 5
+}
+
+/// Category of a brand code.
+pub const fn category_of_brand(b: u64) -> u64 {
+    b / 40
+}
+
+/// Date keys are `yyyymmdd`; years span 1992..=1998 as in SSB.
+pub const FIRST_YEAR: u64 = 1992;
+pub const LAST_YEAR: u64 = 1998;
+pub const YEARS: u64 = LAST_YEAR - FIRST_YEAR + 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geography_hierarchy_is_consistent() {
+        for c in 0..CITIES {
+            let n = nation_of_city(c);
+            assert!(n < NATIONS);
+            assert!(region_of_nation(n) < REGIONS);
+        }
+        assert_eq!(region_of_nation(UNITED_STATES), AMERICA);
+        assert_eq!(region_of_nation(UNITED_KINGDOM), EUROPE);
+        assert_eq!(nation_of_city(UNITED_KI1), UNITED_KINGDOM);
+        assert_eq!(nation_of_city(UNITED_KI5), UNITED_KINGDOM);
+        assert_ne!(UNITED_KI1, UNITED_KI5);
+    }
+
+    #[test]
+    fn part_hierarchy_is_consistent() {
+        // 'MFGR#12' of Q2.1: manufacturer 1, category 2.
+        let c12 = category(1, 2);
+        assert_eq!(mfgr_of_category(c12), 0);
+        // 'MFGR#2221'..'MFGR#2228' of Q2.2: category MFGR#22, brands 21-28.
+        let b0 = brand(2, 2, 21);
+        let b7 = brand(2, 2, 28);
+        assert_eq!(b7 - b0, 7);
+        assert_eq!(category_of_brand(b0), category(2, 2));
+        // 'MFGR#2239' of Q2.3.
+        assert_eq!(category_of_brand(brand(2, 2, 39)), category(2, 2));
+        assert!(brand(5, 5, 40) < BRANDS);
+    }
+
+    #[test]
+    fn bounds() {
+        assert_eq!(category(5, 5), CATEGORIES - 1);
+        assert_eq!(city(NATIONS - 1, 9), CITIES - 1);
+        assert_eq!(YEARS, 7);
+    }
+}

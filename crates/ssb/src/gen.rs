@@ -1,0 +1,272 @@
+//! The SSB data generator (`dbgen` equivalent).
+//!
+//! Deterministic (seeded) and linear in the scale factor: SF1 produces the
+//! canonical 6,000,000 lineorder rows, 30,000 customers, 2,000 suppliers,
+//! 200,000 parts (the original generator grows parts logarithmically above
+//! SF1; we keep that rule and scale linearly below SF1 so small test
+//! workloads stay proportionate), and the fixed 7-year date dimension.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use hef_storage::{Column, Table};
+
+use crate::encode::*;
+
+/// The generated benchmark database.
+#[derive(Debug, Clone)]
+pub struct SsbData {
+    pub lineorder: Table,
+    pub customer: Table,
+    pub supplier: Table,
+    pub part: Table,
+    pub date: Table,
+    pub sf: f64,
+}
+
+impl SsbData {
+    /// Total bytes across all tables.
+    pub fn bytes(&self) -> usize {
+        self.lineorder.bytes()
+            + self.customer.bytes()
+            + self.supplier.bytes()
+            + self.part.bytes()
+            + self.date.bytes()
+    }
+}
+
+/// Canonical SSB cardinalities at a scale factor.
+pub fn cardinalities(sf: f64) -> (usize, usize, usize, usize) {
+    let lineorder = (6_000_000.0 * sf).round().max(1000.0) as usize;
+    let customer = (30_000.0 * sf).round().max(500.0) as usize;
+    let supplier = (2_000.0 * sf).round().max(100.0) as usize;
+    let part = if sf >= 1.0 {
+        (200_000.0 * (1.0 + sf.log2().max(0.0))).round() as usize
+    } else {
+        (200_000.0 * sf).round().max(500.0) as usize
+    };
+    (lineorder, customer, supplier, part)
+}
+
+fn gen_date() -> Table {
+    let mut datekey = Vec::new();
+    let mut year = Vec::new();
+    let mut yearmonthnum = Vec::new();
+    let mut weeknuminyear = Vec::new();
+    let days_in_month = |y: u64, m: u64| -> u64 {
+        match m {
+            1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+            4 | 6 | 9 | 11 => 30,
+            2 if y.is_multiple_of(4) && (!y.is_multiple_of(100) || y.is_multiple_of(400)) => 29,
+            _ => 28,
+        }
+    };
+    for y in FIRST_YEAR..=LAST_YEAR {
+        let mut day_of_year = 0u64;
+        for m in 1..=12 {
+            for d in 1..=days_in_month(y, m) {
+                day_of_year += 1;
+                datekey.push(y * 10_000 + m * 100 + d);
+                year.push(y);
+                yearmonthnum.push(y * 100 + m);
+                weeknuminyear.push((day_of_year - 1) / 7 + 1);
+            }
+        }
+    }
+    let mut t = Table::new("date");
+    t.add_column(Column::new("d_datekey", datekey));
+    t.add_column(Column::new("d_year", year));
+    t.add_column(Column::new("d_yearmonthnum", yearmonthnum));
+    t.add_column(Column::new("d_weeknuminyear", weeknuminyear));
+    t
+}
+
+fn gen_customer(n: usize, rng: &mut SmallRng) -> Table {
+    let mut key = Vec::with_capacity(n);
+    let mut city_c = Vec::with_capacity(n);
+    let mut nation = Vec::with_capacity(n);
+    let mut region = Vec::with_capacity(n);
+    for i in 0..n as u64 {
+        let c = rng.gen_range(0..CITIES);
+        key.push(i + 1);
+        city_c.push(c);
+        nation.push(nation_of_city(c));
+        region.push(region_of_nation(nation_of_city(c)));
+    }
+    let mut t = Table::new("customer");
+    t.add_column(Column::new("c_custkey", key));
+    t.add_column(Column::new("c_city", city_c));
+    t.add_column(Column::new("c_nation", nation));
+    t.add_column(Column::new("c_region", region));
+    t
+}
+
+fn gen_supplier(n: usize, rng: &mut SmallRng) -> Table {
+    let mut key = Vec::with_capacity(n);
+    let mut city_c = Vec::with_capacity(n);
+    let mut nation = Vec::with_capacity(n);
+    let mut region = Vec::with_capacity(n);
+    for i in 0..n as u64 {
+        let c = rng.gen_range(0..CITIES);
+        key.push(i + 1);
+        city_c.push(c);
+        nation.push(nation_of_city(c));
+        region.push(region_of_nation(nation_of_city(c)));
+    }
+    let mut t = Table::new("supplier");
+    t.add_column(Column::new("s_suppkey", key));
+    t.add_column(Column::new("s_city", city_c));
+    t.add_column(Column::new("s_nation", nation));
+    t.add_column(Column::new("s_region", region));
+    t
+}
+
+fn gen_part(n: usize, rng: &mut SmallRng) -> Table {
+    let mut key = Vec::with_capacity(n);
+    let mut mfgr = Vec::with_capacity(n);
+    let mut category_c = Vec::with_capacity(n);
+    let mut brand1 = Vec::with_capacity(n);
+    for i in 0..n as u64 {
+        let b = rng.gen_range(0..BRANDS);
+        key.push(i + 1);
+        brand1.push(b);
+        category_c.push(category_of_brand(b));
+        mfgr.push(mfgr_of_category(category_of_brand(b)));
+    }
+    let mut t = Table::new("part");
+    t.add_column(Column::new("p_partkey", key));
+    t.add_column(Column::new("p_mfgr", mfgr));
+    t.add_column(Column::new("p_category", category_c));
+    t.add_column(Column::new("p_brand1", brand1));
+    t
+}
+
+fn gen_lineorder(
+    n: usize,
+    ncust: usize,
+    nsupp: usize,
+    npart: usize,
+    datekeys: &[u64],
+    rng: &mut SmallRng,
+) -> Table {
+    let mut custkey = Vec::with_capacity(n);
+    let mut partkey = Vec::with_capacity(n);
+    let mut suppkey = Vec::with_capacity(n);
+    let mut orderdate = Vec::with_capacity(n);
+    let mut quantity = Vec::with_capacity(n);
+    let mut discount = Vec::with_capacity(n);
+    let mut extendedprice = Vec::with_capacity(n);
+    let mut revenue = Vec::with_capacity(n);
+    let mut supplycost = Vec::with_capacity(n);
+    for _ in 0..n {
+        custkey.push(rng.gen_range(1..=ncust as u64));
+        partkey.push(rng.gen_range(1..=npart as u64));
+        suppkey.push(rng.gen_range(1..=nsupp as u64));
+        orderdate.push(datekeys[rng.gen_range(0..datekeys.len())]);
+        quantity.push(rng.gen_range(1..=50u64));
+        discount.push(rng.gen_range(0..=10u64));
+        let price = rng.gen_range(90_000..=104_949u64) / 100 * 100; // cents
+        extendedprice.push(price);
+        revenue.push(price * (100 - rng.gen_range(0..=10u64)) / 100);
+        supplycost.push(price * 6 / 10);
+    }
+    let mut t = Table::new("lineorder");
+    t.add_column(Column::new("lo_custkey", custkey));
+    t.add_column(Column::new("lo_partkey", partkey));
+    t.add_column(Column::new("lo_suppkey", suppkey));
+    t.add_column(Column::new("lo_orderdate", orderdate));
+    t.add_column(Column::new("lo_quantity", quantity));
+    t.add_column(Column::new("lo_discount", discount));
+    t.add_column(Column::new("lo_extendedprice", extendedprice));
+    t.add_column(Column::new("lo_revenue", revenue));
+    t.add_column(Column::new("lo_supplycost", supplycost));
+    t
+}
+
+/// Generate the SSB database at `sf`, deterministically from `seed`.
+pub fn generate(sf: f64, seed: u64) -> SsbData {
+    assert!(sf > 0.0, "scale factor must be positive");
+    let (nl, nc, ns, np) = cardinalities(sf);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let date = gen_date();
+    let customer = gen_customer(nc, &mut rng);
+    let supplier = gen_supplier(ns, &mut rng);
+    let part = gen_part(np, &mut rng);
+    let lineorder =
+        gen_lineorder(nl, nc, ns, np, date.col("d_datekey"), &mut rng);
+    SsbData { lineorder, customer, supplier, part, date, sf }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_dimension_is_fixed_and_calendar_correct() {
+        let d = gen_date();
+        // 1992..=1998 includes leap years 1992 and 1996: 5*365 + 2*366.
+        assert_eq!(d.len(), 5 * 365 + 2 * 366);
+        assert_eq!(d.col("d_datekey")[0], 19_920_101);
+        assert_eq!(*d.col("d_datekey").last().unwrap(), 19_981_231);
+        assert!(d.col("d_weeknuminyear").iter().all(|&w| (1..=53).contains(&w)));
+    }
+
+    #[test]
+    fn cardinalities_scale_linearly_and_match_sf1() {
+        let (l, c, s, p) = cardinalities(1.0);
+        assert_eq!((l, c, s, p), (6_000_000, 30_000, 2_000, 200_000));
+        let (l2, ..) = cardinalities(2.0);
+        assert_eq!(l2, 12_000_000);
+        let (lh, ch, sh, _) = cardinalities(0.01);
+        assert_eq!(lh, 60_000);
+        assert_eq!(ch, 500); // floor
+        assert_eq!(sh, 100); // floor
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(0.001, 42);
+        let b = generate(0.001, 42);
+        assert_eq!(a.lineorder.col("lo_custkey"), b.lineorder.col("lo_custkey"));
+        assert_eq!(a.part.col("p_brand1"), b.part.col("p_brand1"));
+        let c = generate(0.001, 43);
+        assert_ne!(a.lineorder.col("lo_custkey"), c.lineorder.col("lo_custkey"));
+    }
+
+    #[test]
+    fn foreign_keys_are_dense_and_in_range() {
+        let d = generate(0.001, 7);
+        let nc = d.customer.len() as u64;
+        assert!(d
+            .lineorder
+            .col("lo_custkey")
+            .iter()
+            .all(|&k| (1..=nc).contains(&k)));
+        let np = d.part.len() as u64;
+        assert!(d
+            .lineorder
+            .col("lo_partkey")
+            .iter()
+            .all(|&k| (1..=np).contains(&k)));
+        // Every orderdate is a real datekey.
+        let dk: std::collections::HashSet<u64> =
+            d.date.col("d_datekey").iter().copied().collect();
+        assert!(d.lineorder.col("lo_orderdate").iter().all(|k| dk.contains(k)));
+    }
+
+    #[test]
+    fn attribute_domains() {
+        let d = generate(0.001, 7);
+        assert!(d.lineorder.col("lo_quantity").iter().all(|&q| (1..=50).contains(&q)));
+        assert!(d.lineorder.col("lo_discount").iter().all(|&x| x <= 10));
+        assert!(d.customer.col("c_region").iter().all(|&r| r < REGIONS));
+        assert!(d.part.col("p_brand1").iter().all(|&b| b < BRANDS));
+        // Hierarchies hold row-wise.
+        for r in 0..d.part.len() {
+            assert_eq!(
+                d.part.col("p_category")[r],
+                category_of_brand(d.part.col("p_brand1")[r])
+            );
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # hef-ssb — the Star Schema Benchmark
+//!
+//! A from-scratch SSB implementation (O'Neil et al.): a deterministic data
+//! generator for the `lineorder` fact table and its four dimensions, and
+//! the 13 benchmark queries expressed as [`hef_engine::StarPlan`]s.
+//!
+//! The paper evaluates SF10/SF20/SF50; this reproduction exposes a
+//! continuous scale factor (rows scale linearly, `6,000,000 × SF` lineorder
+//! rows) so the harness can run the same 1:2:5 ratio at a size the build
+//! machine holds in memory — see DESIGN.md §3 for the substitution note.
+//!
+//! All string-typed SSB attributes are dictionary-encoded into dense `u64`
+//! codes at generation time ([`encode`]), matching the paper's observation
+//! that analytics engines operate on integers.
+
+pub mod encode;
+pub mod gen;
+pub mod queries;
+
+pub use gen::{generate, SsbData};
+pub use queries::{build_plan, decode_gid, QueryId};

@@ -1,0 +1,92 @@
+//! Typed columns. All attributes are stored as `u64` with signed-compare
+//! semantics applied at the operator level where needed.
+
+/// A named dense column of 64-bit values.
+#[derive(Debug, Clone, Default)]
+pub struct Column {
+    name: String,
+    data: Vec<u64>,
+}
+
+impl Column {
+    /// Create a column from its values.
+    pub fn new(name: impl Into<String>, data: Vec<u64>) -> Column {
+        Column { name: name.into(), data }
+    }
+
+    /// Create an empty column with reserved capacity.
+    pub fn with_capacity(name: impl Into<String>, cap: usize) -> Column {
+        Column { name: name.into(), data: Vec::with_capacity(cap) }
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The dense values.
+    pub fn values(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Mutable access (used by generators).
+    pub fn values_mut(&mut self) -> &mut Vec<u64> {
+        &mut self.data
+    }
+
+    /// Append one value.
+    pub fn push(&mut self, v: u64) {
+        self.data.push(v);
+    }
+
+    /// Gather the values at `rows` (positional take).
+    pub fn take(&self, rows: &[u64]) -> Vec<u64> {
+        rows.iter().map(|&r| self.data[r as usize]).collect()
+    }
+
+    /// Heap bytes held by this column.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * core::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let c = Column::new("qty", vec![3, 1, 4, 1, 5]);
+        assert_eq!(c.name(), "qty");
+        assert_eq!(c.len(), 5);
+        assert!(!c.is_empty());
+        assert_eq!(c.values()[2], 4);
+        assert_eq!(c.bytes(), 40);
+    }
+
+    #[test]
+    fn take_gathers_positionally() {
+        let c = Column::new("x", vec![10, 20, 30, 40]);
+        assert_eq!(c.take(&[3, 0, 0, 2]), vec![40, 10, 10, 30]);
+        assert!(c.take(&[]).is_empty());
+    }
+
+    #[test]
+    fn push_and_capacity() {
+        let mut c = Column::with_capacity("y", 16);
+        assert!(c.is_empty());
+        c.push(7);
+        c.push(8);
+        assert_eq!(c.values(), &[7, 8]);
+    }
+}

@@ -1,0 +1,15 @@
+//! # hef-storage — columnar storage substrate
+//!
+//! A minimal in-memory column store in the style the paper's evaluation
+//! assumes: decomposed (one dense array per attribute), 64-bit integer
+//! attributes (the paper: "data analytics systems mainly handle integer data
+//! instead of floating-point"; its hash joins are "oriented to 64-bit
+//! integers"), row positions addressed through selection vectors.
+
+pub mod column;
+pub mod selection;
+pub mod table;
+
+pub use column::Column;
+pub use selection::SelVec;
+pub use table::Table;

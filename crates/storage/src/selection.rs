@@ -1,0 +1,113 @@
+//! Selection vectors: ordered lists of qualifying row positions.
+//!
+//! The engine's pipelines follow the VIP materialization strategy the paper
+//! adopts as its baseline configuration: operators communicate through
+//! selection vectors over the base table rather than materializing
+//! intermediate columns (the Voila-style comparator materializes instead).
+
+/// An ordered selection of row positions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SelVec {
+    rows: Vec<u64>,
+}
+
+impl SelVec {
+    /// Empty selection.
+    pub fn new() -> SelVec {
+        SelVec { rows: Vec::new() }
+    }
+
+    /// Selection of every row in `0..n` (identity scan).
+    pub fn identity(n: usize) -> SelVec {
+        SelVec { rows: (0..n as u64).collect() }
+    }
+
+    /// Wrap an existing row list. Rows must be strictly increasing; this is
+    /// debug-asserted (operators preserve order by construction).
+    pub fn from_rows(rows: Vec<u64>) -> SelVec {
+        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows must be sorted");
+        SelVec { rows }
+    }
+
+    /// The selected rows.
+    pub fn rows(&self) -> &[u64] {
+        &self.rows
+    }
+
+    /// Mutable row storage (for kernels that append).
+    pub fn rows_mut(&mut self) -> &mut Vec<u64> {
+        &mut self.rows
+    }
+
+    /// Number of selected rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when nothing is selected.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Selectivity against a base cardinality.
+    pub fn selectivity(&self, base: usize) -> f64 {
+        if base == 0 {
+            0.0
+        } else {
+            self.rows.len() as f64 / base as f64
+        }
+    }
+
+    /// Keep only the rows whose mask entry (parallel to `self.rows`) is
+    /// `true`. Used to refine a selection by a probe-hit mask.
+    pub fn refine(&mut self, keep: &[bool]) {
+        assert_eq!(keep.len(), self.rows.len());
+        let mut k = 0usize;
+        self.rows.retain(|_| {
+            let keep_it = keep[k];
+            k += 1;
+            keep_it
+        });
+    }
+}
+
+impl FromIterator<u64> for SelVec {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        SelVec { rows: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_covers_all_rows() {
+        let s = SelVec::identity(4);
+        assert_eq!(s.rows(), &[0, 1, 2, 3]);
+        assert_eq!(s.len(), 4);
+        assert!((s.selectivity(4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refine_keeps_flagged_rows() {
+        let mut s = SelVec::from_rows(vec![2, 5, 7, 9]);
+        s.refine(&[true, false, false, true]);
+        assert_eq!(s.rows(), &[2, 9]);
+        assert!((s.selectivity(10) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_selection_behaviour() {
+        let s = SelVec::new();
+        assert!(s.is_empty());
+        assert_eq!(s.selectivity(100), 0.0);
+        assert_eq!(s.selectivity(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn refine_length_mismatch_panics() {
+        SelVec::from_rows(vec![1, 2]).refine(&[true]);
+    }
+}

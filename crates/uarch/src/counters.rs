@@ -1,0 +1,129 @@
+//! `perf`-style reports assembled from the pipeline, cache, and frequency
+//! models — the substitution for the paper's `perf_event` rows
+//! (Tables III–V and the IPC rows of Tables VI–IX).
+
+use crate::cache::{AccessPattern, CacheSim, MissCounts};
+use crate::freq;
+use crate::model::CpuModel;
+use crate::sim::{simulate, SimResult};
+use crate::trace::LoopBody;
+
+/// How many loop iterations to simulate for a steady-state estimate; the
+/// result is scaled linearly to the full iteration count. Large enough for
+/// warm-up effects to wash out, small enough that a whole parameter sweep
+/// simulates in milliseconds.
+const STEADY_ITERS: usize = 200;
+
+/// A modeled performance-counter report.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Modeled dynamic instruction count (µops ≈ instructions at the
+    /// abstraction level of our traces).
+    pub instructions: u64,
+    /// Modeled core cycles, including memory stall cycles.
+    pub cycles: u64,
+    /// Expected cache misses.
+    pub misses: MissCounts,
+    /// Effective core frequency under the body's AVX license.
+    pub freq_ghz: f64,
+    /// Steady-state issue histogram (per [`SimResult::issued_hist`]).
+    pub issued_hist: [u64; 4],
+    /// The raw steady-state simulation, for inspection.
+    pub steady: SimResult,
+}
+
+impl PerfReport {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Modeled wall-clock milliseconds.
+    pub fn time_ms(&self) -> f64 {
+        self.cycles as f64 / (self.freq_ghz * 1e6)
+    }
+}
+
+/// Model a kernel that executes `iterations` repetitions of `body`, with the
+/// listed memory phases, on `model`.
+///
+/// `mlp` is the memory-level parallelism assumed when converting misses into
+/// stall cycles — configurations with more independent packs sustain more
+/// misses in flight, which is how the *pack* optimization shows up at the
+/// memory level.
+pub fn kernel_report(
+    model: &CpuModel,
+    body: &LoopBody,
+    iterations: u64,
+    patterns: &[AccessPattern],
+    mlp: f64,
+) -> PerfReport {
+    let steady = simulate(model, body, STEADY_ITERS);
+    let compute_cycles =
+        (steady.cycles as f64 * iterations as f64 / STEADY_ITERS as f64) as u64;
+
+    let cache = CacheSim::new(model);
+    let misses = cache.misses_all(patterns);
+    let stall = cache.stall_cycles(&misses, mlp);
+
+    PerfReport {
+        instructions: body.len() as u64 * iterations,
+        cycles: compute_cycles + stall,
+        misses,
+        freq_ghz: freq::frequency_ghz(model, body),
+        issued_hist: steady.issued_hist,
+        steady,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Dep, LoopBody};
+    use crate::UopClass::*;
+
+    #[test]
+    fn report_scales_linearly_with_iterations() {
+        let m = CpuModel::silver_4110();
+        let mut b = LoopBody::new();
+        b.push(SLoad, vec![]);
+        b.push(SMul, vec![Dep::same(0)]);
+        let r1 = kernel_report(&m, &b, 1_000, &[], 4.0);
+        let r2 = kernel_report(&m, &b, 2_000, &[], 4.0);
+        assert_eq!(r2.instructions, 2 * r1.instructions);
+        let ratio = r2.cycles as f64 / r1.cycles as f64;
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn memory_phases_add_stall_cycles_and_misses() {
+        let m = CpuModel::silver_4110();
+        let mut b = LoopBody::new();
+        b.push(SAlu, vec![]);
+        let without = kernel_report(&m, &b, 10_000, &[], 4.0);
+        let with = kernel_report(
+            &m,
+            &b,
+            10_000,
+            &[AccessPattern::RandomProbe { count: 10_000, working_set: 1 << 30 }],
+            4.0,
+        );
+        assert!(with.cycles > without.cycles);
+        assert!(with.misses.llc > 0);
+        assert!(with.ipc() < without.ipc());
+    }
+
+    #[test]
+    fn scalar_body_reports_l0_frequency() {
+        let m = CpuModel::silver_4110();
+        let mut b = LoopBody::new();
+        b.push(SAlu, vec![]);
+        let r = kernel_report(&m, &b, 100, &[], 1.0);
+        assert!((r.freq_ghz - m.freq_ghz[0]).abs() < 1e-12);
+        assert!(r.time_ms() > 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! µop classes and their latency / reciprocal-throughput costs.
+//!
+//! The numbers are the Skylake-SP values from the Intel optimization manual
+//! and intrinsics guide that the paper quotes — most prominently
+//! `vpgatherqq` with latency 26 and reciprocal throughput 5, the example the
+//! paper uses to motivate the *pack* optimization (§II.C), and `vpmullq`,
+//! which on Skylake-SP decodes to three multiply µops.
+
+use serde::{Deserialize, Serialize};
+
+/// Execution-resource class of a µop.
+///
+/// "Scalar" classes execute on the integer GPR pipelines, "Vec" classes on
+/// the 512-bit SIMD pipelines; the port sets that accept each class are
+/// defined per [`crate::CpuModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UopClass {
+    /// Scalar ALU op: add/sub/xor/or/and/shift/lea/cmp on GPRs.
+    SAlu,
+    /// Scalar 64-bit multiply (`imulq`).
+    SMul,
+    /// Scalar load.
+    SLoad,
+    /// Scalar store.
+    SStore,
+    /// Taken/not-taken branch (the loop back-edge).
+    Branch,
+    /// 512-bit vector ALU op (`vpaddq`, `vpxorq`, …).
+    VAlu,
+    /// 512-bit vector shift (`vpsrlq`, `vpsllq`).
+    VShift,
+    /// 512-bit vector 64-bit multiply (`vpmullq`).
+    VMul,
+    /// 512-bit vector load (`vmovdqu64` load form).
+    VLoad,
+    /// 512-bit vector store (`vmovdqu64` store form).
+    VStore,
+    /// 8-lane 64-bit gather (`vpgatherqq`).
+    VGather,
+    /// Mask-producing compare (`vpcmpq`) or mask blend (`vpblendmq`).
+    VMask,
+}
+
+impl UopClass {
+    /// `true` for the classes that execute on the 512-bit SIMD pipelines.
+    pub fn is_vector(self) -> bool {
+        matches!(
+            self,
+            UopClass::VAlu
+                | UopClass::VShift
+                | UopClass::VMul
+                | UopClass::VLoad
+                | UopClass::VStore
+                | UopClass::VGather
+                | UopClass::VMask
+        )
+    }
+
+    /// `true` for memory-access classes.
+    pub fn is_memory(self) -> bool {
+        matches!(
+            self,
+            UopClass::SLoad
+                | UopClass::SStore
+                | UopClass::VLoad
+                | UopClass::VStore
+                | UopClass::VGather
+        )
+    }
+}
+
+/// Cost of one µop: completion latency and the number of cycles the chosen
+/// execution port stays busy (reciprocal throughput).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UopCost {
+    /// Cycles from issue until dependents may wake up.
+    pub latency: u32,
+    /// Cycles the issuing port is occupied before it can accept the same
+    /// class again.
+    pub port_busy: u32,
+}
+
+/// Skylake-SP cost table (L1-hit latencies, as the paper assumes: "the data
+/// access from the L1 cache usually is the main factor").
+pub fn uop_cost(class: UopClass) -> UopCost {
+    match class {
+        UopClass::SAlu => UopCost { latency: 1, port_busy: 1 },
+        UopClass::SMul => UopCost { latency: 3, port_busy: 1 },
+        UopClass::SLoad => UopCost { latency: 4, port_busy: 1 },
+        UopClass::SStore => UopCost { latency: 1, port_busy: 1 },
+        UopClass::Branch => UopCost { latency: 1, port_busy: 1 },
+        UopClass::VAlu => UopCost { latency: 1, port_busy: 1 },
+        UopClass::VShift => UopCost { latency: 1, port_busy: 1 },
+        // vpmullq on Skylake-SP: 3 dependent multiply µops, ~15 cycles
+        // total latency, one per 1.5 cycles sustained. We model it as a
+        // single µop with the aggregate cost.
+        UopClass::VMul => UopCost { latency: 15, port_busy: 3 },
+        UopClass::VLoad => UopCost { latency: 5, port_busy: 1 },
+        UopClass::VStore => UopCost { latency: 1, port_busy: 1 },
+        // The paper's flagship example: latency 26, throughput 5.
+        UopClass::VGather => UopCost { latency: 26, port_busy: 5 },
+        UopClass::VMask => UopCost { latency: 3, port_busy: 1 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_matches_paper_numbers() {
+        let c = uop_cost(UopClass::VGather);
+        assert_eq!(c.latency, 26);
+        assert_eq!(c.port_busy, 5);
+    }
+
+    #[test]
+    fn latency_never_below_port_busy() {
+        for class in [
+            UopClass::SAlu,
+            UopClass::SMul,
+            UopClass::SLoad,
+            UopClass::SStore,
+            UopClass::Branch,
+            UopClass::VAlu,
+            UopClass::VShift,
+            UopClass::VMul,
+            UopClass::VLoad,
+            UopClass::VStore,
+            UopClass::VGather,
+            UopClass::VMask,
+        ] {
+            let c = uop_cost(class);
+            assert!(c.latency >= c.port_busy, "{class:?}");
+            assert!(c.port_busy >= 1, "{class:?}");
+        }
+    }
+
+    #[test]
+    fn class_partitions() {
+        assert!(UopClass::VMul.is_vector());
+        assert!(!UopClass::SMul.is_vector());
+        assert!(UopClass::VGather.is_memory());
+        assert!(UopClass::VGather.is_vector());
+        assert!(!UopClass::SAlu.is_memory());
+    }
+}

@@ -1,0 +1,47 @@
+//! # hef-uarch — processor microarchitecture models
+//!
+//! The paper evaluates HEF on two Skylake-SP Xeons (a Silver 4110 with one
+//! fused AVX-512 unit per core, and a Gold 6240R with two) and explains every
+//! observation in terms of issue ports, instruction latency/throughput, cache
+//! levels, and AVX-512 frequency licenses. This crate builds those exact
+//! mechanisms as an explicit model so that, on hardware we do not have, the
+//! paper's counter-level results (Tables III–V, Figs. 11–14) can be
+//! regenerated:
+//!
+//! * [`model`] — [`CpuModel`]: issue ports with capability sets, pipeline
+//!   counts, register-file and scheduler sizes, cache hierarchy, and license
+//!   frequency table. Presets: [`CpuModel::silver_4110`],
+//!   [`CpuModel::gold_6240r`], plus a host-shaped generic.
+//! * [`isa`] — µop classes and the latency / reciprocal-throughput table
+//!   (the Intel-manual numbers the paper quotes, e.g. `vpgatherqq` 26/5).
+//! * [`trace`] — loop-body µop traces with dependency edges (including
+//!   loop-carried edges), the input language of the simulator.
+//! * [`sim`] — an out-of-order issue simulator: in-order dispatch into a
+//!   bounded scheduler, oldest-first issue to free compatible ports,
+//!   latency-respecting wakeup. Outputs cycles, IPC, port pressure, and the
+//!   µops-executed-per-cycle histogram plotted in the paper's Figs. 11–14.
+//! * [`cache`] — an analytic hit/miss model for sequential streams and
+//!   random probes against the model's cache sizes (LLC-miss rows of
+//!   Tables III–V).
+//! * [`freq`] — the AVX-512 license model (frequency rows of Tables III–V).
+//! * [`counters`] — assembles the above into a `perf`-style report.
+//!
+//! This is the documented substitution for the paper's `perf_event`
+//! measurements on hardware this reproduction does not control; see
+//! DESIGN.md §3.
+
+pub mod cache;
+pub mod counters;
+pub mod freq;
+pub mod isa;
+pub mod model;
+pub mod sim;
+pub mod trace;
+
+pub use cache::{AccessPattern, CacheSim};
+pub use counters::PerfReport;
+pub use freq::LicenseLevel;
+pub use isa::{uop_cost, UopClass, UopCost};
+pub use model::{CacheLevel, CpuModel, Port};
+pub use sim::{simulate, SimResult};
+pub use trace::{Dep, LoopBody, Uop};

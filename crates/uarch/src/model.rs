@@ -1,0 +1,214 @@
+//! CPU models: issue ports, pipeline capabilities, caches, and license
+//! frequencies for the processors the paper evaluates on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::isa::UopClass;
+
+/// One issue port and the µop classes it accepts.
+///
+/// A 512-bit µop on Skylake-SP may *fuse* two ports (port 0 + port 1 act as
+/// one 512-bit lane); this is modeled with [`Port::fused_with`]: issuing a
+/// vector µop to a port with `fused_with = Some(j)` also occupies port `j`
+/// for the same duration — which is precisely why purely-SIMD code starves
+/// the scalar pipelines and hybrid execution wins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Port {
+    /// Human-readable name ("p0", "p1", …).
+    pub name: &'static str,
+    /// Classes this port can start.
+    pub accepts: Vec<UopClass>,
+    /// For 512-bit classes: the partner port consumed simultaneously.
+    pub fused_with: Option<usize>,
+}
+
+impl Port {
+    fn new(name: &'static str, accepts: &[UopClass]) -> Self {
+        Port { name, accepts: accepts.to_vec(), fused_with: None }
+    }
+
+    /// Whether this port can start a µop of `class`.
+    pub fn accepts(&self, class: UopClass) -> bool {
+        self.accepts.contains(&class)
+    }
+}
+
+/// One level of the cache hierarchy.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CacheLevel {
+    /// Capacity in bytes.
+    pub bytes: usize,
+    /// Load-to-use latency in cycles.
+    pub latency: u32,
+}
+
+/// A processor core model: everything the paper's candidate generator and
+/// our simulator reason about.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CpuModel {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Issue (dispatch) width: µops entering the scheduler per cycle.
+    pub issue_width: u32,
+    /// Front-end decode width: instructions decoded per cycle. The
+    /// effective dispatch rate is `min(issue_width, decode_width)` — the
+    /// front-end bound the paper's candidate generator deliberately ignores
+    /// (§IV.A) but the simulator honours.
+    pub decode_width: u32,
+    /// Scheduler (reservation-station) entries.
+    pub scheduler_size: usize,
+    /// Architectural general-purpose registers visible to the compiler.
+    pub scalar_regs: usize,
+    /// Architectural vector registers (zmm0–zmm31).
+    pub vector_regs: usize,
+    /// Issue ports.
+    pub ports: Vec<Port>,
+    /// L1D, L2, LLC (per-core LLC slice share for the cache model).
+    pub l1d: CacheLevel,
+    pub l2: CacheLevel,
+    pub llc: CacheLevel,
+    /// Memory latency in cycles.
+    pub mem_latency: u32,
+    /// Sustainable memory bandwidth per core, bytes/cycle (used by the
+    /// analytic stall model for streaming phases).
+    pub mem_bw_bytes_per_cycle: f64,
+    /// Core frequency (GHz) per AVX license level: `[L0, L1, L2]`.
+    pub freq_ghz: [f64; 3],
+}
+
+impl CpuModel {
+    /// Number of ports that can start scalar ALU µops.
+    pub fn scalar_alu_pipes(&self) -> usize {
+        self.ports.iter().filter(|p| p.accepts(UopClass::SAlu)).count()
+    }
+
+    /// Number of *independent* 512-bit ALU lanes (fused pairs count once:
+    /// each fused partner is listed via `fused_with` on the primary only).
+    pub fn simd_pipes(&self) -> usize {
+        self.ports.iter().filter(|p| p.accepts(UopClass::VAlu)).count()
+    }
+
+    /// Pipelines shared between scalar and SIMD µops — the ports hosting a
+    /// 512-bit ALU that also accept scalar ALU µops. The paper counts the
+    /// Silver 4110 as having one such shared pipeline ("one of the scalar
+    /// pipelines shares the issue port with the AVX-512"), and its candidate
+    /// generator treats shared pipelines as SIMD-exclusive.
+    pub fn shared_pipes(&self) -> usize {
+        self.ports
+            .iter()
+            .filter(|p| p.accepts(UopClass::VAlu) && p.accepts(UopClass::SAlu))
+            .count()
+    }
+
+    /// Intel Xeon Silver 4110 (Skylake-SP, **one** fused AVX-512 unit).
+    ///
+    /// Port layout at the abstraction level the paper reasons at ("one
+    /// fused AVX-512 pipeline and four scalar pipelines, in which one of
+    /// the scalar pipelines shares the issue port with the AVX-512"):
+    /// p0 hosts the single 512-bit unit and doubles as a scalar ALU; p1
+    /// carries the scalar multiplier; p5/p6 are scalar-only (p6 takes
+    /// branches); p2/p3 load, p4 store. The multi-µop cost of `vpmullq` is
+    /// captured by its `port_busy = 3` in the ISA table rather than by
+    /// port fusion.
+    pub fn silver_4110() -> CpuModel {
+        use UopClass::*;
+        let p0 = Port::new("p0", &[SAlu, VAlu, VShift, VMul, VMask]);
+        let p1 = Port::new("p1", &[SAlu, SMul]);
+        let p5 = Port::new("p5", &[SAlu]);
+        let p6 = Port::new("p6", &[SAlu, Branch]);
+        let p2 = Port::new("p2", &[SLoad, VLoad, VGather]);
+        let p3 = Port::new("p3", &[SLoad, VLoad, VGather]);
+        let p4 = Port::new("p4", &[SStore, VStore]);
+        CpuModel {
+            name: "Intel Xeon Silver 4110",
+            issue_width: 4,
+            decode_width: 5,
+            scheduler_size: 97,
+            scalar_regs: 32,
+            vector_regs: 32,
+            ports: vec![p0, p1, p5, p6, p2, p3, p4],
+            l1d: CacheLevel { bytes: 32 << 10, latency: 4 },
+            l2: CacheLevel { bytes: 1 << 20, latency: 14 },
+            llc: CacheLevel { bytes: 11 << 20, latency: 50 },
+            mem_latency: 200,
+            mem_bw_bytes_per_cycle: 6.0,
+            freq_ghz: [3.0, 2.8, 2.2],
+        }
+    }
+
+    /// Intel Xeon Gold 6240R (Cascade-Lake-SP, **two** AVX-512 units).
+    ///
+    /// Same port layout, but p5 carries a second full 512-bit ALU.
+    pub fn gold_6240r() -> CpuModel {
+        use UopClass::*;
+        let mut m = CpuModel::silver_4110();
+        m.name = "Intel Xeon Gold 6240R";
+        // p5 gains the second 512-bit lane (not fused with anything).
+        m.ports[2] = Port::new("p5", &[SAlu, VAlu, VShift, VMul, VMask]);
+        m.llc = CacheLevel { bytes: 35 << 20, latency: 55 };
+        m.freq_ghz = [3.2, 3.05, 2.6];
+        m.mem_bw_bytes_per_cycle = 7.0;
+        m
+    }
+
+    /// A generic model shaped like the host this reproduction runs on
+    /// (a cloud Xeon with two 512-bit units); used when simulating "this
+    /// machine" rather than the paper's testbeds.
+    pub fn host() -> CpuModel {
+        let mut m = CpuModel::gold_6240r();
+        m.name = "host (generic 2x AVX-512 Xeon)";
+        m.freq_ghz = [2.1, 2.1, 2.1]; // cloud parts pin the clock
+        m
+    }
+
+    /// Every preset, for harness sweeps.
+    pub fn presets() -> Vec<CpuModel> {
+        vec![CpuModel::silver_4110(), CpuModel::gold_6240r(), CpuModel::host()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silver_has_one_simd_lane_and_four_scalar() {
+        let m = CpuModel::silver_4110();
+        assert_eq!(m.simd_pipes(), 1);
+        assert_eq!(m.scalar_alu_pipes(), 4);
+        // p0 hosts the 512-bit unit and is scalar-capable → 1 shared pipe,
+        // matching the paper's description of the 4110.
+        assert_eq!(m.shared_pipes(), 1);
+    }
+
+    #[test]
+    fn gold_has_two_simd_lanes() {
+        let m = CpuModel::gold_6240r();
+        assert_eq!(m.simd_pipes(), 2);
+        assert_eq!(m.scalar_alu_pipes(), 4);
+    }
+
+    #[test]
+    fn caches_are_strictly_growing() {
+        for m in CpuModel::presets() {
+            assert!(m.l1d.bytes < m.l2.bytes && m.l2.bytes < m.llc.bytes, "{}", m.name);
+            assert!(m.l1d.latency < m.l2.latency && m.l2.latency < m.llc.latency);
+            assert!(m.llc.latency < m.mem_latency);
+        }
+    }
+
+    #[test]
+    fn license_frequencies_monotone() {
+        for m in CpuModel::presets() {
+            assert!(m.freq_ghz[0] >= m.freq_ghz[1] && m.freq_ghz[1] >= m.freq_ghz[2]);
+        }
+    }
+
+    #[test]
+    fn paper_register_counts() {
+        // §IV.A: "Skylake has 32 general purpose scalar and vector registers"
+        let m = CpuModel::silver_4110();
+        assert_eq!(m.scalar_regs, 32);
+        assert_eq!(m.vector_regs, 32);
+    }
+}

@@ -1,0 +1,148 @@
+//! Loop-body µop traces: the simulator's input language.
+//!
+//! A [`LoopBody`] is the steady-state body of a kernel's hot loop: a list of
+//! µops with dependency edges. Edges may point at producers in the same
+//! iteration (`back = 0`) or at producers `back` iterations earlier
+//! (loop-carried dependences such as reduction accumulators or the CRC
+//! chain). The simulator unrolls the body a configurable number of times and
+//! schedules the resulting stream.
+
+use serde::{Deserialize, Serialize};
+
+use crate::isa::UopClass;
+
+/// A dependency edge: this µop consumes the result of µop `uop` (an index
+/// into the body) from `back` iterations ago (`0` = same iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dep {
+    pub uop: usize,
+    pub back: usize,
+}
+
+impl Dep {
+    /// Dependence on µop `i` of the same iteration.
+    pub fn same(i: usize) -> Dep {
+        Dep { uop: i, back: 0 }
+    }
+
+    /// Loop-carried dependence on µop `i` of the previous iteration.
+    pub fn carried(i: usize) -> Dep {
+        Dep { uop: i, back: 1 }
+    }
+}
+
+/// One µop of the loop body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Uop {
+    pub class: UopClass,
+    pub deps: Vec<Dep>,
+}
+
+impl Uop {
+    pub fn new(class: UopClass, deps: Vec<Dep>) -> Uop {
+        Uop { class, deps }
+    }
+
+    /// A µop with no register dependences (e.g. an independent load).
+    pub fn free(class: UopClass) -> Uop {
+        Uop { class, deps: Vec::new() }
+    }
+}
+
+/// The steady-state body of a kernel loop.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LoopBody {
+    pub uops: Vec<Uop>,
+}
+
+impl LoopBody {
+    pub fn new() -> LoopBody {
+        LoopBody { uops: Vec::new() }
+    }
+
+    /// Append a µop, returning its index (for later [`Dep`]s).
+    pub fn push(&mut self, class: UopClass, deps: Vec<Dep>) -> usize {
+        self.uops.push(Uop::new(class, deps));
+        self.uops.len() - 1
+    }
+
+    /// Number of µops per iteration.
+    pub fn len(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// `true` when the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.uops.is_empty()
+    }
+
+    /// Number of µops per iteration executing on 512-bit pipelines.
+    pub fn vector_fraction(&self) -> f64 {
+        if self.uops.is_empty() {
+            return 0.0;
+        }
+        let v = self.uops.iter().filter(|u| u.class.is_vector()).count();
+        v as f64 / self.uops.len() as f64
+    }
+
+    /// Validates all dependency edges point at existing µops and that
+    /// same-iteration edges point backwards (program order).
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, u) in self.uops.iter().enumerate() {
+            for d in &u.deps {
+                if d.uop >= self.uops.len() {
+                    return Err(format!("uop {i}: dep on out-of-range uop {}", d.uop));
+                }
+                if d.back == 0 && d.uop >= i {
+                    return Err(format!(
+                        "uop {i}: same-iteration dep on uop {} not yet executed",
+                        d.uop
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::UopClass::*;
+
+    #[test]
+    fn push_returns_indices_in_order() {
+        let mut b = LoopBody::new();
+        let l = b.push(SLoad, vec![]);
+        let m = b.push(SMul, vec![Dep::same(l)]);
+        let st = b.push(SStore, vec![Dep::same(m)]);
+        assert_eq!((l, m, st), (0, 1, 2));
+        assert!(b.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_forward_same_iteration_edge() {
+        let mut b = LoopBody::new();
+        b.push(SAlu, vec![Dep::same(1)]);
+        b.push(SAlu, vec![]);
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn validate_accepts_carried_self_edge() {
+        let mut b = LoopBody::new();
+        // A reduction accumulator: acc += x, depending on itself last iter.
+        b.push(SAlu, vec![Dep::carried(0)]);
+        assert!(b.validate().is_ok());
+    }
+
+    #[test]
+    fn vector_fraction_counts_vector_classes() {
+        let mut b = LoopBody::new();
+        b.push(VAlu, vec![]);
+        b.push(SAlu, vec![]);
+        b.push(VMul, vec![]);
+        b.push(SAlu, vec![]);
+        assert!((b.vector_fraction() - 0.5).abs() < 1e-12);
+    }
+}

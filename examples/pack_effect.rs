@@ -1,0 +1,66 @@
+//! The *pack* optimization in isolation: the paper's Fig. 3 / §II.C story.
+//!
+//! `vpgatherqq` has latency 26 but reciprocal throughput 5 (Skylake-SP).
+//! CRC64's table walk is a chain of dependent gathers, so a single
+//! statement instance issues one gather every ~latency cycles. Packing
+//! independent instances together drops the spacing toward the throughput.
+//! This example shows the effect twice: measured on this machine, and on
+//! the cycle-level port model of the paper's Xeon Silver 4110.
+//!
+//! Run with: `cargo run --release --example pack_effect`
+
+use std::time::Instant;
+
+use hef::core::{templates, to_loop_body};
+use hef::kernels::{run, Family, HybridConfig, KernelIo};
+use hef::uarch::{simulate, CpuModel};
+
+fn main() {
+    let n = 4_000_000;
+    let input: Vec<u64> = (0..n as u64)
+        .map(|i| i.wrapping_mul(0x2545_f491_4f6c_dd1d))
+        .collect();
+    let mut output = vec![0u64; n];
+
+    let model = CpuModel::silver_4110();
+    let template = templates::crc64();
+
+    println!("CRC64 over {n} 64-bit elements — more independent gather chains in flight:\n");
+    println!("node   in-flight   measured ms   Gelem/s   modeled cyc/elem (4110)");
+    println!("-----------------------------------------------------------------");
+    let mut baseline = None;
+    for (v, p) in [(1, 1), (2, 1), (4, 1), (8, 1), (1, 4), (2, 4)] {
+        let cfg = HybridConfig::new(v, 0, p);
+
+        // Measured on this machine.
+        let mut io = KernelIo::Map { input: &input, output: &mut output };
+        assert!(run(Family::Crc64, cfg, &mut io));
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let mut io = KernelIo::Map { input: &input, output: &mut output };
+            run(Family::Crc64, cfg, &mut io);
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+
+        // Modeled on the paper's Silver 4110.
+        let body = to_loop_body(&template, cfg);
+        let sim = simulate(&model, &body, 60);
+        let cpe = sim.cycles as f64 / (cfg.step() * 60) as f64;
+
+        if baseline.is_none() {
+            baseline = Some(best);
+        }
+        println!(
+            "{:<6} {:>9}   {:>11.2}   {:>7.3}   {:>8.2}  ({:.2}x vs n101)",
+            cfg.to_string(),
+            v * p,
+            best * 1e3,
+            n as f64 / best / 1e9,
+            cpe,
+            baseline.unwrap() / best,
+        );
+    }
+    println!("\nthe paper's tuned CRC64 optimum is eight SIMD statements, no scalar —");
+    println!("exactly the deep-packing end of this sweep (Tables VIII/IX).");
+}

@@ -1,0 +1,64 @@
+//! Quickstart: the full HEF offline phase on this machine, end to end.
+//!
+//! 1. The candidate generator proposes an initial `(v, s, p)` node from
+//!    this CPU's pipeline counts and the instruction tables.
+//! 2. The optimizer searches the neighbourhood, timing real compiled
+//!    kernels and pruning losers (Algorithm 2).
+//! 3. The tuned operator is used to hash a batch of data, and we compare
+//!    it against the purely scalar and purely SIMD baselines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::time::Instant;
+
+use hef::core::{tune_measured, Family, HybridConfig};
+use hef::kernels::{run, KernelIo};
+
+fn time_hash(cfg: HybridConfig, input: &[u64], output: &mut [u64]) -> f64 {
+    // Warm-up, then best of 3.
+    let mut io = KernelIo::Map { input, output };
+    assert!(run(Family::Murmur, cfg, &mut io), "{cfg} not on the compiled grid");
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let mut io = KernelIo::Map { input, output };
+        run(Family::Murmur, cfg, &mut io);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    println!("SIMD backend in use: {:?}\n", hef::hid::Backend::native());
+
+    // --- offline phase: tune the MurmurHash operator on this machine ---
+    println!("tuning murmurhash64 (this takes a few seconds)…");
+    let tuned = tune_measured(Family::Murmur, 4_000_000);
+    println!("  {}", tuned.describe());
+    println!(
+        "  search pruned {} of {} grid nodes\n",
+        tuned.outcome.pruned(),
+        hef::kernels::all_configs().count()
+    );
+
+    // --- online phase: use the tuned operator ---
+    let n = 8_000_000;
+    let input: Vec<u64> = (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .collect();
+    let mut output = vec![0u64; n];
+
+    let scalar = time_hash(HybridConfig::SCALAR, &input, &mut output);
+    let simd = time_hash(HybridConfig::SIMD, &input, &mut output);
+    let hybrid = time_hash(tuned.cfg, &input, &mut output);
+
+    println!("hashing {n} elements:");
+    println!("  scalar {:>8.2} ms", scalar * 1e3);
+    println!("  simd   {:>8.2} ms", simd * 1e3);
+    println!(
+        "  hybrid {:>8.2} ms  ({:.2}x vs scalar, {:.2}x vs SIMD)",
+        hybrid * 1e3,
+        scalar / hybrid,
+        simd / hybrid
+    );
+}

@@ -1,0 +1,52 @@
+//! Inspect HEF's translator: the paper's Fig. 6 reproduced live.
+//!
+//! Prints the MurmurHash operator template expanded at three nodes —
+//! purely SIMD, the paper's tuned hybrid `(v=1, s=3, p=2)`, and a deeper
+//! pack — plus the candidate generator's reasoning for the two Xeons the
+//! paper evaluates on.
+//!
+//! Run with: `cargo run --example translator`
+
+use hef::core::{initial_candidate, templates, translate, HybridConfig};
+use hef::uarch::CpuModel;
+
+fn main() {
+    let template = templates::murmur();
+
+    println!("=== operator template (hybrid intermediate description) ===\n");
+    for (i, st) in template.stmts.iter().enumerate() {
+        println!("  s{i}: {:?} {:?} <- {:?}", st.op, st.dst, st.args);
+    }
+
+    for cfg in [
+        HybridConfig::SIMD,
+        HybridConfig::new(1, 3, 2), // the paper's Fig. 6(b) node
+        HybridConfig::new(2, 3, 2), // the paper's Fig. 6(c) node
+    ] {
+        println!("\n=== translated target code, node {cfg} ===\n");
+        let code = translate(&template, cfg);
+        let listing = code.listing();
+        // The full listing for big nodes is long; show the shape.
+        for line in listing.lines().take(24) {
+            println!("{line}");
+        }
+        let total = listing.lines().count();
+        if total > 24 {
+            println!("    … ({} more lines)", total - 24);
+        }
+    }
+
+    println!("\n=== candidate generator (§IV.A) ===\n");
+    for model in [CpuModel::silver_4110(), CpuModel::gold_6240r()] {
+        let init = initial_candidate(&model, &template);
+        println!(
+            "  {}: {} SIMD pipes, {} scalar ALU pipes ({} shared) -> initial node {}",
+            model.name,
+            model.simd_pipes(),
+            model.scalar_alu_pipes(),
+            model.shared_pipes(),
+            init
+        );
+    }
+    println!("\n(the paper's measured optimum for MurmurHash is n132 on both CPUs)");
+}

@@ -1,0 +1,45 @@
+//! # HEF — the Hybrid Execution Framework
+//!
+//! A comprehensive Rust reproduction of **"Co-Utilizing SIMD and Scalar to
+//! Accelerate the Data Analytics Workloads"** (Sun, Li, Weng — ICDE 2023).
+//!
+//! Modern x86 cores have separate integer-scalar and SIMD execution
+//! pipelines; analytics engines traditionally use one or the other. HEF
+//! writes operators once in a *hybrid intermediate description* and then
+//! searches, per processor, for the best mixture of `v` SIMD statements and
+//! `s` scalar statements per *pack* of depth `p` — co-utilizing both pipe
+//! sets and collapsing dependent-instruction spacing from latency to
+//! throughput.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`hid`] — the hybrid intermediate description (portable SIMD op layer
+//!   + the paper's description tables),
+//! * [`kernels`] — the compiled `(v, s, p)` kernel grid,
+//! * [`core`] — templates, translator (Alg. 1), candidate generator,
+//!   pruning optimizer (Alg. 2),
+//! * [`uarch`] — CPU models, out-of-order port simulator, cache and
+//!   frequency models,
+//! * [`storage`] / [`engine`] / [`ssb`] — the evaluation substrate: column
+//!   store, star-query engine with Scalar/SIMD/Hybrid/Voila flavors, and
+//!   the Star Schema Benchmark.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hef::core::{tune_simulated, Family};
+//! use hef::uarch::CpuModel;
+//!
+//! // Offline phase: tune the MurmurHash operator for a Xeon Silver 4110.
+//! let tuned = tune_simulated(Family::Murmur, &CpuModel::silver_4110());
+//! println!("{}", tuned.describe());
+//! assert!(tuned.cfg.v + tuned.cfg.s >= 1);
+//! ```
+
+pub use hef_core as core;
+pub use hef_engine as engine;
+pub use hef_hid as hid;
+pub use hef_kernels as kernels;
+pub use hef_ssb as ssb;
+pub use hef_storage as storage;
+pub use hef_uarch as uarch;

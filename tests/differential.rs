@@ -1,0 +1,198 @@
+//! Differential tests: the AVX-512 backend against the portable emulation
+//! backend, for every kernel family, across a spread of grid nodes and
+//! adversarial input lengths. On machines without AVX-512 these tests
+//! degrade to emulation-vs-emulation (still exercising dispatch).
+
+use hef::hid::Backend;
+use hef::kernels::{
+    all_configs, run_on, BloomFilter, Family, HybridConfig, KernelIo, ProbeTable,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn backends() -> Vec<Backend> {
+    let mut b = vec![Backend::Emu];
+    if Backend::Avx2.is_available() {
+        b.push(Backend::Avx2);
+    }
+    if Backend::Avx512.is_available() {
+        b.push(Backend::Avx512);
+    }
+    b
+}
+
+/// A spread of nodes covering corners and the paper's optima.
+fn sample_nodes() -> Vec<HybridConfig> {
+    vec![
+        HybridConfig::SCALAR,
+        HybridConfig::SIMD,
+        HybridConfig::new(1, 3, 2),
+        HybridConfig::new(1, 1, 3),
+        HybridConfig::new(8, 0, 1),
+        HybridConfig::new(8, 4, 4),
+        HybridConfig::new(0, 4, 4),
+        HybridConfig::new(2, 2, 2),
+    ]
+}
+
+fn random_input(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+#[test]
+fn map_families_agree_across_backends_and_nodes() {
+    for family in [Family::Murmur, Family::Crc64] {
+        // Lengths straddle multiples of the largest step (8*8+4)*4 = 272.
+        for n in [0, 1, 7, 271, 272, 273, 1000, 4096] {
+            let input = random_input(n, 0xC0FFEE + n as u64);
+            let mut expect: Option<Vec<u64>> = None;
+            for backend in backends() {
+                for cfg in sample_nodes() {
+                    let mut out = vec![0u64; n];
+                    let mut io = KernelIo::Map { input: &input, output: &mut out };
+                    assert!(run_on(family, cfg, backend, &mut io));
+                    match &expect {
+                        None => expect = Some(out),
+                        Some(e) => assert_eq!(
+                            &out, e,
+                            "{} n={n} {cfg} {:?}",
+                            family.name(),
+                            backend
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn probe_agrees_across_backends_with_collisions() {
+    let mut table = ProbeTable::with_capacity(5000);
+    let mut rng = SmallRng::seed_from_u64(77);
+    for _ in 0..5000 {
+        let k = rng.gen_range(0..20_000u64);
+        if k != u64::MAX {
+            table.insert(k, k.wrapping_mul(31) % (u64::MAX - 1));
+        }
+    }
+    let keys = random_input(3001, 88).iter().map(|k| k % 25_000).collect::<Vec<_>>();
+    let expect: Vec<u64> = keys.iter().map(|&k| table.probe_scalar(k)).collect();
+    for backend in backends() {
+        for cfg in sample_nodes() {
+            let mut out = vec![0u64; keys.len()];
+            let mut io = KernelIo::Probe { keys: &keys, table: &table, out: &mut out };
+            assert!(run_on(Family::Probe, cfg, backend, &mut io));
+            assert_eq!(out, expect, "{cfg} {backend:?}");
+        }
+    }
+}
+
+#[test]
+fn filter_agrees_across_backends_including_signed_edges() {
+    let mut input = random_input(2111, 99);
+    // Seed some signed-negative values and boundary hits.
+    input[0] = (-1i64) as u64;
+    input[1] = 50;
+    input[2] = 100;
+    input[3] = 49;
+    input[4] = 101;
+    let (lo, hi) = (50u64, 100u64);
+    let expect: Vec<u64> = input
+        .iter()
+        .enumerate()
+        .filter(|(_, &x)| (lo as i64) <= x as i64 && x as i64 <= hi as i64)
+        .map(|(i, _)| 1000 + i as u64)
+        .collect();
+    for backend in backends() {
+        for cfg in sample_nodes() {
+            let mut sel = Vec::new();
+            let mut io = KernelIo::Filter {
+                input: &input,
+                lo,
+                hi,
+                base: 1000,
+                sel: &mut sel,
+            };
+            assert!(run_on(Family::Filter, cfg, backend, &mut io));
+            assert_eq!(sel, expect, "{cfg} {backend:?}");
+        }
+    }
+}
+
+#[test]
+fn aggregations_agree_across_backends_with_wraparound() {
+    let a = random_input(1537, 4);
+    let b = random_input(1537, 5);
+    let sum_ref = a.iter().fold(0u64, |s, &x| s.wrapping_add(x));
+    let dot_ref = a
+        .iter()
+        .zip(&b)
+        .fold(0u64, |s, (&x, &y)| s.wrapping_add(x.wrapping_mul(y)));
+    for backend in backends() {
+        for cfg in sample_nodes() {
+            let mut acc = 0u64;
+            let mut io = KernelIo::AggSum { a: &a, acc: &mut acc };
+            assert!(run_on(Family::AggSum, cfg, backend, &mut io));
+            assert_eq!(acc, sum_ref, "sum {cfg} {backend:?}");
+
+            let mut acc = 0u64;
+            let mut io = KernelIo::AggDot { a: &a, b: &b, acc: &mut acc };
+            assert!(run_on(Family::AggDot, cfg, backend, &mut io));
+            assert_eq!(acc, dot_ref, "dot {cfg} {backend:?}");
+        }
+    }
+}
+
+#[test]
+fn bloom_agrees_across_backends() {
+    let mut filter = BloomFilter::with_capacity(3000);
+    let mut rng = SmallRng::seed_from_u64(21);
+    for _ in 0..3000 {
+        filter.insert(rng.gen_range(0..50_000u64));
+    }
+    let keys: Vec<u64> = (0..2345).map(|i| i * 31 % 70_000).collect();
+    let expect: Vec<u64> = keys.iter().map(|&k| u64::from(filter.check_scalar(k))).collect();
+    for backend in backends() {
+        for cfg in sample_nodes() {
+            let mut out = vec![0u64; keys.len()];
+            let mut io = KernelIo::Bloom { keys: &keys, filter: &filter, out: &mut out };
+            assert!(run_on(Family::BloomCheck, cfg, backend, &mut io));
+            assert_eq!(out, expect, "{cfg} {backend:?}");
+        }
+    }
+}
+
+#[test]
+fn gather_agrees_across_backends() {
+    let src = random_input(4096, 1);
+    let idx: Vec<u64> = random_input(1777, 2).iter().map(|x| x % 4096).collect();
+    let expect: Vec<u64> = idx.iter().map(|&i| src[i as usize]).collect();
+    for backend in backends() {
+        for cfg in sample_nodes() {
+            let mut out = vec![0u64; idx.len()];
+            let mut io = KernelIo::Gather { src: &src, idx: &idx, out: &mut out };
+            assert!(run_on(Family::Gather, cfg, backend, &mut io));
+            assert_eq!(out, expect, "{cfg} {backend:?}");
+        }
+    }
+}
+
+#[test]
+fn full_grid_murmur_differential() {
+    // Every compiled node of one family, both backends, one length.
+    let input = random_input(1111, 0xAB);
+    let reference: Vec<u64> = input
+        .iter()
+        .map(|&x| hef::kernels::murmur::murmur64(x))
+        .collect();
+    for backend in backends() {
+        for cfg in all_configs() {
+            let mut out = vec![0u64; input.len()];
+            let mut io = KernelIo::Map { input: &input, output: &mut out };
+            assert!(run_on(Family::Murmur, cfg, backend, &mut io));
+            assert_eq!(out, reference, "{cfg} {backend:?}");
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Integration tests spanning the whole workspace: SSB data generation →
+//! query planning → execution in every engine flavor → result agreement,
+//! plus the offline tuning path feeding the engine.
+
+use hef::core::{tune_simulated, Family};
+use hef::engine::{execute_star, ExecConfig, Flavor, HybridConfig};
+use hef::ssb::{build_plan, generate, QueryId};
+use hef::uarch::CpuModel;
+
+#[test]
+fn all_13_queries_agree_across_all_flavors() {
+    let data = generate(0.003, 20260707);
+    for q in QueryId::ALL {
+        let plan = build_plan(&data, q);
+        let reference = execute_star(&plan, &data.lineorder, &ExecConfig::scalar());
+        for flavor in [Flavor::Simd, Flavor::Hybrid, Flavor::Voila] {
+            let out = execute_star(&plan, &data.lineorder, &ExecConfig::for_flavor(flavor));
+            assert_eq!(
+                out.groups,
+                reference.groups,
+                "{} under {}",
+                q.name(),
+                flavor.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn tuned_configs_drive_the_engine() {
+    // Offline phase on a modeled CPU, then feed the tuned nodes into the
+    // engine's hybrid flavor; results must match scalar exactly.
+    let model = CpuModel::silver_4110();
+    let probe = tune_simulated(Family::Probe, &model).cfg;
+    let filter = tune_simulated(Family::Filter, &model).cfg;
+    let agg = tune_simulated(Family::AggSum, &model).cfg;
+
+    let data = generate(0.002, 7);
+    for q in [QueryId::Q1_1, QueryId::Q2_1, QueryId::Q4_3] {
+        let plan = build_plan(&data, q);
+        let tuned = execute_star(
+            &plan,
+            &data.lineorder,
+            &ExecConfig::hybrid(filter, probe, agg),
+        );
+        let reference = execute_star(&plan, &data.lineorder, &ExecConfig::scalar());
+        assert_eq!(tuned.groups, reference.groups, "{}", q.name());
+    }
+}
+
+#[test]
+fn results_are_stable_across_batch_sizes() {
+    let data = generate(0.002, 99);
+    let plan = build_plan(&data, QueryId::Q3_2);
+    let mut cfg = ExecConfig::hybrid_default();
+    let reference = execute_star(&plan, &data.lineorder, &cfg);
+    for batch in [64, 333, 1024, 4096, usize::MAX >> 20] {
+        cfg.batch = batch;
+        let out = execute_star(&plan, &data.lineorder, &cfg);
+        assert_eq!(out.groups, reference.groups, "batch={batch}");
+    }
+}
+
+#[test]
+fn every_grid_node_executes_q2_1_correctly() {
+    // The whole compiled kernel grid must be usable as a probe config.
+    let data = generate(0.0008, 3);
+    let plan = build_plan(&data, QueryId::Q2_1);
+    let reference = execute_star(&plan, &data.lineorder, &ExecConfig::scalar());
+    for cfg in hef::kernels::all_configs() {
+        let exec = ExecConfig::hybrid(HybridConfig::SCALAR, cfg, HybridConfig::SCALAR);
+        let out = execute_star(&plan, &data.lineorder, &exec);
+        assert_eq!(out.groups, reference.groups, "probe node {cfg}");
+    }
+}
+
+#[test]
+fn scale_factor_scales_results_roughly_linearly() {
+    // Twice the data → roughly twice the matched rows (statistically).
+    let small = generate(0.002, 5);
+    let large = generate(0.004, 5);
+    let plan_s = build_plan(&small, QueryId::Q2_1);
+    let plan_l = build_plan(&large, QueryId::Q2_1);
+    let out_s = execute_star(&plan_s, &small.lineorder, &ExecConfig::scalar());
+    let out_l = execute_star(&plan_l, &large.lineorder, &ExecConfig::scalar());
+    let ratio = out_l.stats.rows_aggregated as f64 / out_s.stats.rows_aggregated.max(1) as f64;
+    assert!((1.2..3.4).contains(&ratio), "ratio {ratio}");
+}

@@ -1,0 +1,59 @@
+//! Golden tests for the translator: the exact target-code listing for the
+//! paper's Fig. 6(b) node is pinned, so any change to Algorithm 1's
+//! expansion rules (instance ordering, naming scheme, constant handling,
+//! element offsets) is caught as a diff.
+
+use hef::core::{templates, translate, HybridConfig};
+
+#[test]
+fn murmur_n132_listing_is_stable() {
+    let t = templates::murmur();
+    let code = translate(&t, HybridConfig::new(1, 3, 2));
+    let expected = include_str!("golden/murmur_n132.txt");
+    assert_eq!(
+        code.listing(),
+        expected,
+        "translator output drifted from tests/golden/murmur_n132.txt — \
+         if the change is intentional, regenerate the golden file"
+    );
+}
+
+#[test]
+fn listings_differ_between_nodes_but_share_the_template() {
+    let t = templates::murmur();
+    let a = translate(&t, HybridConfig::new(1, 3, 2)).listing();
+    let b = translate(&t, HybridConfig::new(2, 3, 2)).listing();
+    assert_ne!(a, b);
+    // Both expand the same constants exactly once.
+    for l in [&a, &b] {
+        assert_eq!(l.matches("const uint64_t m_c").count(), 1);
+        assert_eq!(l.matches("__m512i m_vc").count(), 1);
+    }
+    // The wider node carries the extra vector instance everywhere.
+    assert!(b.contains("data_v1_p0") && !a.contains("data_v1_p0"));
+}
+
+#[test]
+fn every_family_translates_at_every_corner_node() {
+    // No panics, valid expansion law, printable listing — across the whole
+    // template set and the grid corners.
+    for family in hef::kernels::Family::ALL {
+        let t = templates::for_family(family);
+        for cfg in [
+            HybridConfig::SCALAR,
+            HybridConfig::SIMD,
+            HybridConfig::new(8, 4, 4),
+            HybridConfig::new(0, 4, 4),
+            HybridConfig::new(8, 0, 4),
+        ] {
+            let code = translate(&t, cfg);
+            assert_eq!(
+                code.body_statements(),
+                t.stmts.len() * cfg.p * (cfg.v + cfg.s),
+                "{} {cfg}",
+                family.name()
+            );
+            assert!(!code.listing().is_empty());
+        }
+    }
+}
