@@ -1,24 +1,24 @@
-//! Criterion bench for the paper's Tables VIII/IX and the Fig. 3 pack
-//! story: CRC64's dependent-gather chain under increasing numbers of
-//! independent statement instances.
+//! Bench for the paper's Tables VIII/IX and the Fig. 3 pack story:
+//! CRC64's dependent-gather chain under increasing numbers of independent
+//! statement instances.
 //!
 //! The paper's tuned optimum is eight SIMD statements and no scalar
 //! statements; the sweep below shows the inter-issue interval collapsing
 //! from `vpgatherqq` latency toward its reciprocal throughput as more
 //! chains are put in flight.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hef_bench::measure::kernel_input;
 use hef_kernels::{run, Family, HybridConfig, KernelIo};
+use hef_testutil::bench::Group;
 
-fn bench_crc64(c: &mut Criterion) {
+fn main() {
     let n = 1 << 20;
     let input = kernel_input(n);
     let mut output = vec![0u64; n];
 
-    let mut g = c.benchmark_group("table8_9_crc64");
-    g.throughput(Throughput::Elements(n as u64));
-    g.sample_size(20);
+    let mut g = Group::new("table8_9_crc64")
+        .throughput_elems(n as u64)
+        .samples(20);
     for (label, cfg) in [
         ("scalar_n011", HybridConfig::SCALAR),
         ("simd_n101", HybridConfig::SIMD),
@@ -27,15 +27,10 @@ fn bench_crc64(c: &mut Criterion) {
         ("hybrid_n801_paper_optimum", HybridConfig::new(8, 0, 1)),
         ("hybrid_n132", HybridConfig::new(1, 3, 2)),
     ] {
-        g.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| {
-                let mut io = KernelIo::Map { input: &input, output: &mut output };
-                assert!(run(Family::Crc64, cfg, &mut io));
-            })
+        g.bench(label, || {
+            let mut io = KernelIo::Map { input: &input, output: &mut output };
+            assert!(run(Family::Crc64, cfg, &mut io));
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_crc64);
-criterion_main!(benches);

@@ -1,24 +1,24 @@
-//! Criterion bench for the paper's Tables VI/VII: MurmurHash computation
-//! under purely scalar, purely SIMD, and hybrid execution.
+//! Bench for the paper's Tables VI/VII: MurmurHash computation under
+//! purely scalar, purely SIMD, and hybrid execution.
 //!
-//! The paper hashes 10⁹ elements; here each Criterion sample hashes a
-//! 2²¹-element batch (LLC-resident streaming, like the paper's working
-//! set relative to its machines). The tuned node the paper reports for both
-//! Xeons is `(v=1, s=3, p=2)`; nearby nodes are included so regressions in
-//! the hybrid advantage are visible.
+//! The paper hashes 10⁹ elements; here each sample hashes a 2²¹-element
+//! batch (LLC-resident streaming, like the paper's working set relative to
+//! its machines). The tuned node the paper reports for both Xeons is
+//! `(v=1, s=3, p=2)`; nearby nodes are included so regressions in the
+//! hybrid advantage are visible.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hef_bench::measure::kernel_input;
 use hef_kernels::{run, Family, HybridConfig, KernelIo};
+use hef_testutil::bench::Group;
 
-fn bench_murmur(c: &mut Criterion) {
+fn main() {
     let n = 1 << 21;
     let input = kernel_input(n);
     let mut output = vec![0u64; n];
 
-    let mut g = c.benchmark_group("table6_7_murmur");
-    g.throughput(Throughput::Elements(n as u64));
-    g.sample_size(20);
+    let mut g = Group::new("table6_7_murmur")
+        .throughput_elems(n as u64)
+        .samples(20);
     for (label, cfg) in [
         ("scalar_n011", HybridConfig::SCALAR),
         ("simd_n101", HybridConfig::SIMD),
@@ -26,15 +26,10 @@ fn bench_murmur(c: &mut Criterion) {
         ("hybrid_n113", HybridConfig::new(1, 1, 3)),
         ("hybrid_n232", HybridConfig::new(2, 3, 2)),
     ] {
-        g.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| {
-                let mut io = KernelIo::Map { input: &input, output: &mut output };
-                assert!(run(Family::Murmur, cfg, &mut io));
-            })
+        g.bench(label, || {
+            let mut io = KernelIo::Map { input: &input, output: &mut output };
+            assert!(run(Family::Murmur, cfg, &mut io));
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_murmur);
-criterion_main!(benches);

@@ -7,10 +7,9 @@
 //! deeper packing sustains more outstanding misses, so its advantage grows
 //! with table size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hef_kernels::{run, Family, HybridConfig, KernelIo, ProbeTable};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hef_testutil::bench::Group;
+use hef_testutil::Rng;
 
 fn table_with(entries: usize) -> ProbeTable {
     let mut t = ProbeTable::with_capacity(entries);
@@ -20,9 +19,9 @@ fn table_with(entries: usize) -> ProbeTable {
     t
 }
 
-fn bench_probe(c: &mut Criterion) {
+fn main() {
     let nkeys = 1 << 18;
-    let mut rng = SmallRng::seed_from_u64(11);
+    let mut rng = Rng::seed_from_u64(11);
 
     // entries → table bytes ≈ entries*2(load factor)*16: 1k≈32KiB (L1/L2),
     // 16k≈512KiB (L2), 256k≈8MiB (LLC), 2M≈64MiB (memory).
@@ -32,28 +31,23 @@ fn bench_probe(c: &mut Criterion) {
             .map(|_| rng.gen_range(0..entries as u64 * 2))
             .collect();
         let mut out = vec![0u64; nkeys];
-        let mut g = c.benchmark_group(format!(
+        let mut g = Group::new(format!(
             "probe_ws_{}kib",
             table.working_set_bytes() / 1024
-        ));
-        g.throughput(Throughput::Elements(nkeys as u64));
-        g.sample_size(10);
+        ))
+        .throughput_elems(nkeys as u64)
+        .samples(10);
         for (label, cfg) in [
             ("scalar", HybridConfig::SCALAR),
             ("simd", HybridConfig::SIMD),
             ("hybrid_n113", HybridConfig::new(1, 1, 3)),
             ("hybrid_n404", HybridConfig::new(4, 0, 4)),
         ] {
-            g.bench_function(BenchmarkId::from_parameter(label), |b| {
-                b.iter(|| {
-                    let mut io = KernelIo::Probe { keys: &keys, table: &table, out: &mut out };
-                    assert!(run(Family::Probe, cfg, &mut io));
-                })
+            g.bench(label, || {
+                let mut io = KernelIo::Probe { keys: &keys, table: &table, out: &mut out };
+                assert!(run(Family::Probe, cfg, &mut io));
             });
         }
         g.finish();
     }
 }
-
-criterion_group!(benches, bench_probe);
-criterion_main!(benches);

@@ -1,31 +1,28 @@
-//! Criterion bench for the paper's Figs. 8–10: SSB queries under the four
-//! engine flavors.
+//! Bench for the paper's Figs. 8–10: SSB queries under the four engine
+//! flavors.
 //!
-//! A small scale factor keeps Criterion's repeated sampling tractable; the
-//! `repro` binary runs the full paper-scale sweeps. One query is taken per
+//! A small scale factor keeps repeated sampling tractable; the `repro`
+//! binary runs the full paper-scale sweeps. One query is taken per
 //! join-count family (Q2.x three joins over part/supplier/date, Q3.3 the
 //! high-selectivity case, Q4.2 four joins).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hef_engine::{execute_star, ExecConfig, Flavor};
 use hef_ssb::{build_plan, generate, QueryId};
+use hef_testutil::bench::Group;
 
-fn bench_ssb(c: &mut Criterion) {
+fn main() {
     let data = generate(0.02, 4242);
     for q in [QueryId::Q2_1, QueryId::Q3_3, QueryId::Q4_2] {
         let plan = build_plan(&data, q);
-        let mut g = c.benchmark_group(format!("fig8_{}", q.name().replace('.', "_")));
-        g.throughput(Throughput::Elements(data.lineorder.len() as u64));
-        g.sample_size(10);
+        let mut g = Group::new(format!("fig8_{}", q.name().replace('.', "_")))
+            .throughput_elems(data.lineorder.len() as u64)
+            .samples(10);
         for flavor in Flavor::ALL {
             let cfg = ExecConfig::for_flavor(flavor);
-            g.bench_function(BenchmarkId::from_parameter(flavor.name()), |b| {
-                b.iter(|| execute_star(&plan, &data.lineorder, &cfg))
+            g.bench(flavor.name(), || {
+                execute_star(&plan, &data.lineorder, &cfg);
             });
         }
         g.finish();
     }
 }
-
-criterion_group!(benches, bench_ssb);
-criterion_main!(benches);

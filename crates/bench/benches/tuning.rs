@@ -2,42 +2,33 @@
 //! versus exhaustive enumeration over the simulated cost surface (§IV.C),
 //! and the full simulated tuning pipeline per operator family.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hef_core::{initial_candidate, optimizer, templates, tune_simulated, Family};
+use hef_testutil::bench::Group;
 use hef_uarch::CpuModel;
 
-fn bench_search(c: &mut Criterion) {
+fn main() {
     let model = CpuModel::silver_4110();
 
-    let mut g = c.benchmark_group("offline_search");
-    g.sample_size(10);
+    let mut g = Group::new("offline_search").samples(10);
     for family in [Family::Murmur, Family::Crc64, Family::Probe] {
         let template = templates::for_family(family);
-        g.bench_function(BenchmarkId::new("pruned", family.name()), |b| {
-            b.iter(|| {
-                let initial = initial_candidate(&model, &template);
-                let mut eval = optimizer::SimulatedCost::new(&model, &template);
-                optimizer::optimize(initial, &mut eval)
-            })
+        g.bench(format!("pruned/{}", family.name()), || {
+            let initial = initial_candidate(&model, &template);
+            let mut eval = optimizer::SimulatedCost::new(&model, &template);
+            optimizer::optimize(initial, &mut eval);
         });
-        g.bench_function(BenchmarkId::new("exhaustive", family.name()), |b| {
-            b.iter(|| {
-                let mut eval = optimizer::SimulatedCost::new(&model, &template);
-                optimizer::exhaustive(&mut eval)
-            })
+        g.bench(format!("exhaustive/{}", family.name()), || {
+            let mut eval = optimizer::SimulatedCost::new(&model, &template);
+            optimizer::exhaustive(&mut eval);
         });
     }
     g.finish();
 
-    let mut g = c.benchmark_group("tune_simulated_end_to_end");
-    g.sample_size(10);
+    let mut g = Group::new("tune_simulated_end_to_end").samples(10);
     for family in Family::ALL {
-        g.bench_function(BenchmarkId::from_parameter(family.name()), |b| {
-            b.iter(|| tune_simulated(family, &model))
+        g.bench(family.name(), || {
+            tune_simulated(family, &model);
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_search);
-criterion_main!(benches);

@@ -1,6 +1,5 @@
-//! Wall-clock measurement on the build machine.
-
-use std::time::Instant;
+//! Wall-clock measurement on the build machine, on top of the
+//! `hef-testutil` clock discipline (warm-up run, best-of-k wall time).
 
 use hef_engine::{execute_star, ExecConfig, QueryOutput, StarPlan};
 use hef_kernels::{run_on, Family, HybridConfig, KernelIo};
@@ -26,14 +25,11 @@ pub fn measure_query(
     cfg: &ExecConfig,
     repeats: usize,
 ) -> (Measured, QueryOutput) {
-    let mut out = execute_star(plan, fact, cfg); // warm-up + result
-    let mut best = f64::INFINITY;
-    for _ in 0..repeats.max(1) {
-        let t = Instant::now();
-        out = execute_star(plan, fact, cfg);
-        best = best.min(t.elapsed().as_secs_f64());
-    }
-    (Measured { secs: best }, out)
+    let out = execute_star(plan, fact, cfg); // the (identical every run) result
+    let secs = hef_testutil::time_best_of(repeats, || {
+        execute_star(plan, fact, cfg);
+    });
+    (Measured { secs }, out)
 }
 
 /// Measure a map-family kernel (murmur / crc64) over `input`.
@@ -44,17 +40,14 @@ pub fn measure_kernel(
     repeats: usize,
 ) -> Measured {
     let mut output = vec![0u64; input.len()];
-    let mut best = f64::INFINITY;
-    // Warm-up.
+    // Probe once so an off-grid node fails loudly rather than timing a no-op.
     let mut io = KernelIo::Map { input, output: &mut output };
     assert!(run_on(family, cfg, hef_hid::Backend::native(), &mut io));
-    for _ in 0..repeats.max(1) {
-        let t = Instant::now();
+    let secs = hef_testutil::time_best_of(repeats, || {
         let mut io = KernelIo::Map { input, output: &mut output };
         run_on(family, cfg, hef_hid::Backend::native(), &mut io);
-        best = best.min(t.elapsed().as_secs_f64());
-    }
-    Measured { secs: best }
+    });
+    Measured { secs }
 }
 
 /// Standard synthetic input for the kernel benchmarks (the paper hashes

@@ -13,7 +13,6 @@
 //! the best tested node is the grid optimum for monotone cost surfaces.
 
 use std::collections::HashMap;
-use std::time::Instant;
 
 use hef_kernels::{
     all_configs, BloomFilter, Family, HybridConfig, KernelIo, ProbeTable, P_AXIS, S_AXIS,
@@ -269,17 +268,15 @@ impl MeasuredCost {
 
 impl CostEvaluator for MeasuredCost {
     fn cost(&mut self, cfg: HybridConfig) -> f64 {
-        // Warm-up run (page faults, cache state), then timed trials.
+        // Probe once: off-grid nodes are infinitely expensive.
         if !self.run_once(cfg) {
-            return f64::INFINITY; // not on the compiled grid
+            return f64::INFINITY;
         }
-        let mut best = f64::INFINITY;
-        for _ in 0..self.trials {
-            let t = Instant::now();
+        // Shared clock discipline with the bench harness: warm-up run,
+        // then best-of-`trials` wall time.
+        hef_testutil::time_best_of(self.trials, || {
             self.run_once(cfg);
-            best = best.min(t.elapsed().as_secs_f64());
-        }
-        best
+        })
     }
 }
 

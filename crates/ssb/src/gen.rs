@@ -6,10 +6,8 @@
 //! SF1; we keep that rule and scale linearly below SF1 so small test
 //! workloads stay proportionate), and the fixed 7-year date dimension.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use hef_storage::{Column, Table};
+use hef_testutil::Rng;
 
 use crate::encode::*;
 
@@ -81,7 +79,7 @@ fn gen_date() -> Table {
     t
 }
 
-fn gen_customer(n: usize, rng: &mut SmallRng) -> Table {
+fn gen_customer(n: usize, rng: &mut Rng) -> Table {
     let mut key = Vec::with_capacity(n);
     let mut city_c = Vec::with_capacity(n);
     let mut nation = Vec::with_capacity(n);
@@ -101,7 +99,7 @@ fn gen_customer(n: usize, rng: &mut SmallRng) -> Table {
     t
 }
 
-fn gen_supplier(n: usize, rng: &mut SmallRng) -> Table {
+fn gen_supplier(n: usize, rng: &mut Rng) -> Table {
     let mut key = Vec::with_capacity(n);
     let mut city_c = Vec::with_capacity(n);
     let mut nation = Vec::with_capacity(n);
@@ -121,7 +119,7 @@ fn gen_supplier(n: usize, rng: &mut SmallRng) -> Table {
     t
 }
 
-fn gen_part(n: usize, rng: &mut SmallRng) -> Table {
+fn gen_part(n: usize, rng: &mut Rng) -> Table {
     let mut key = Vec::with_capacity(n);
     let mut mfgr = Vec::with_capacity(n);
     let mut category_c = Vec::with_capacity(n);
@@ -147,7 +145,7 @@ fn gen_lineorder(
     nsupp: usize,
     npart: usize,
     datekeys: &[u64],
-    rng: &mut SmallRng,
+    rng: &mut Rng,
 ) -> Table {
     let mut custkey = Vec::with_capacity(n);
     let mut partkey = Vec::with_capacity(n);
@@ -187,7 +185,7 @@ fn gen_lineorder(
 pub fn generate(sf: f64, seed: u64) -> SsbData {
     assert!(sf > 0.0, "scale factor must be positive");
     let (nl, nc, ns, np) = cardinalities(sf);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let date = gen_date();
     let customer = gen_customer(nc, &mut rng);
     let supplier = gen_supplier(ns, &mut rng);

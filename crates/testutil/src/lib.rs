@@ -1,0 +1,29 @@
+//! # hef-testutil — in-tree test, bench, and PRNG substrate
+//!
+//! The workspace builds fully offline: no external crates, no registry.
+//! This crate supplies the three pieces of infrastructure that used to come
+//! from `rand`, `proptest`, and `criterion`:
+//!
+//! * [`rng`] — a seeded SplitMix64 / xoshiro256** PRNG ([`Rng`]) behind the
+//!   small API the SSB generator, differential tests, and benches use
+//!   (`seed_from_u64`, `gen_range`, `shuffle`). Streams are pinned by
+//!   golden-vector tests, so every consumer is bit-reproducible.
+//! * [`prop`] — a minimal property-testing harness: strategy-style
+//!   generators, N-case loops, and failing-seed reporting
+//!   (`HEF_PROP_SEED=0x… cargo test` replays a failure exactly).
+//! * [`bench`] — a measurement harness (warmup, k-run median + MAD,
+//!   aligned text report) used by the benches under
+//!   `crates/bench/benches/` and by `hef-core`'s measured-cost evaluator.
+//!
+//! HEF's optimizer is *test-based* (Algorithm 2 prices candidate nodes by
+//! running them), so measurement and case generation are core system
+//! machinery here, not dev convenience — which is why this lives in a
+//! first-class crate rather than in scattered dev-dependencies.
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use bench::{time_best_of, Bench, Group, Stats};
+pub use prop::strategy;
+pub use rng::{Rng, SplitMix64};

@@ -1,0 +1,306 @@
+//! A minimal property-testing harness: strategy-style generators, N-case
+//! loops, and failing-seed reporting so every failure is replayable.
+//!
+//! A *strategy* is any `Fn(&mut Rng) -> T` closure; the combinators in
+//! [`strategy`] build the common ones. [`check`] runs the property over
+//! `cases` generated inputs, each from an independently seeded [`Rng`], and
+//! on failure panics with the case seed and a `HEF_PROP_SEED=0x…` replay
+//! recipe. Properties return `Result<(), String>` and typically use the
+//! [`prop_assert!`]/[`prop_assert_eq!`](crate::prop_assert_eq) macros.
+//!
+//! ```
+//! use hef_testutil::{prop, prop_assert_eq, strategy};
+//!
+//! prop::check("reverse twice is identity", strategy::vec_of(strategy::any_u64(), 0..64),
+//!     |v| {
+//!         let mut w = v.clone();
+//!         w.reverse();
+//!         w.reverse();
+//!         prop_assert_eq!(&w, v);
+//!         Ok(())
+//!     });
+//! ```
+//!
+//! Environment knobs:
+//! * `HEF_PROP_CASES=N` — override the number of cases for every property.
+//! * `HEF_PROP_SEED=0x…` — replay exactly one case: generate the input from
+//!   that case seed and run the property once (the failure message prints
+//!   the value to use).
+
+use std::fmt::Debug;
+
+use crate::rng::{Rng, SplitMix64};
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Generated inputs per property.
+    pub cases: usize,
+    /// Base seed; per-case seeds are derived from it.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        let cases = std::env::var("HEF_PROP_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(48);
+        Config { cases, seed: 0x8EF_5EED }
+    }
+}
+
+impl Config {
+    /// Default seed with an explicit case count.
+    pub fn with_cases(cases: usize) -> Config {
+        Config { cases, ..Config::default() }
+    }
+}
+
+fn replay_seed() -> Option<u64> {
+    let v = std::env::var("HEF_PROP_SEED").ok()?;
+    let v = v.trim();
+    let parsed = if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        v.parse()
+    };
+    Some(parsed.unwrap_or_else(|_| panic!("HEF_PROP_SEED=`{v}` is not a u64")))
+}
+
+/// Run `prop` over [`Config::default`]-many inputs drawn from `gen`.
+///
+/// Panics (test failure) on the first failing case, reporting the case
+/// index, the generated value, and the seed that replays it.
+pub fn check<T, G, P>(name: &str, gen: G, prop: P)
+where
+    T: Debug,
+    G: FnMut(&mut Rng) -> T,
+    P: FnMut(&T) -> Result<(), String>,
+{
+    check_with(&Config::default(), name, gen, prop)
+}
+
+/// [`check`] with an explicit configuration.
+pub fn check_with<T, G, P>(cfg: &Config, name: &str, mut gen: G, mut prop: P)
+where
+    T: Debug,
+    G: FnMut(&mut Rng) -> T,
+    P: FnMut(&T) -> Result<(), String>,
+{
+    if let Some(seed) = replay_seed() {
+        run_case(name, usize::MAX, seed, &mut gen, &mut prop);
+        return;
+    }
+    // Independent case seeds: a SplitMix64 stream over the base seed, so
+    // inserting/removing cases never perturbs the others.
+    let mut seeds = SplitMix64::new(cfg.seed);
+    for case in 0..cfg.cases {
+        run_case(name, case, seeds.next_u64(), &mut gen, &mut prop);
+    }
+}
+
+fn run_case<T, G, P>(name: &str, case: usize, seed: u64, gen: &mut G, prop: &mut P)
+where
+    T: Debug,
+    G: FnMut(&mut Rng) -> T,
+    P: FnMut(&T) -> Result<(), String>,
+{
+    let mut rng = Rng::seed_from_u64(seed);
+    let value = gen(&mut rng);
+    if let Err(msg) = prop(&value) {
+        let case = if case == usize::MAX { "replay".to_string() } else { case.to_string() };
+        panic!(
+            "property `{name}` failed (case {case}, seed {seed:#x})\n\
+             input: {value:?}\n\
+             cause: {msg}\n\
+             replay: HEF_PROP_SEED={seed:#x} cargo test <this test>"
+        );
+    }
+}
+
+/// Fail a property unless `cond` holds (usable only inside closures
+/// returning `Result<(), String>`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fail a property unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Strategy combinators: small building blocks returning
+/// `Fn(&mut Rng) -> T` closures.
+pub mod strategy {
+    use crate::rng::{Rng, SampleRange};
+    use std::ops::Range;
+
+    /// Uniform `u64` over the full domain.
+    pub fn any_u64() -> impl Fn(&mut Rng) -> u64 {
+        |rng| rng.next_u64()
+    }
+
+    /// Uniform `i64` over the full domain.
+    pub fn any_i64() -> impl Fn(&mut Rng) -> i64 {
+        |rng| rng.next_u64() as i64
+    }
+
+    /// Uniform value from a range (any type [`Rng::gen_range`] accepts).
+    pub fn in_range<R>(range: R) -> impl Fn(&mut Rng) -> R::Output
+    where
+        R: SampleRange + Clone,
+    {
+        move |rng| rng.gen_range(range.clone())
+    }
+
+    /// `Vec<T>` with a uniform length from `len` and elements from `elem`.
+    pub fn vec_of<T>(
+        elem: impl Fn(&mut Rng) -> T,
+        len: Range<usize>,
+    ) -> impl Fn(&mut Rng) -> Vec<T> {
+        move |rng| {
+            let n = if len.start == len.end { len.start } else { rng.gen_range(len.clone()) };
+            (0..n).map(|_| elem(rng)).collect()
+        }
+    }
+
+    /// Pair of independent strategies.
+    pub fn pair<A, B>(
+        a: impl Fn(&mut Rng) -> A,
+        b: impl Fn(&mut Rng) -> B,
+    ) -> impl Fn(&mut Rng) -> (A, B) {
+        move |rng| (a(rng), b(rng))
+    }
+
+    /// Transform a strategy's output.
+    pub fn map<A, B>(
+        a: impl Fn(&mut Rng) -> A,
+        f: impl Fn(A) -> B,
+    ) -> impl Fn(&mut Rng) -> B {
+        move |rng| f(a(rng))
+    }
+
+    /// Retry `a` until `keep` accepts (for sparse constraints only — the
+    /// filter loops forever if nothing passes).
+    pub fn filter<A>(
+        a: impl Fn(&mut Rng) -> A,
+        keep: impl Fn(&A) -> bool,
+    ) -> impl Fn(&mut Rng) -> A {
+        move |rng| loop {
+            let x = a(rng);
+            if keep(&x) {
+                return x;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0usize;
+        check_with(
+            &Config { cases: 17, seed: 1 },
+            "counts cases",
+            |rng| rng.next_u64(),
+            |_| {
+                count += 1;
+                Ok(())
+            },
+        );
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_input() {
+        let err = std::panic::catch_unwind(|| {
+            check_with(
+                &Config { cases: 10, seed: 2 },
+                "always fails",
+                |rng| rng.gen_range(0..100u64),
+                |_| Err("nope".into()),
+            )
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic payload");
+        assert!(msg.contains("always fails"), "{msg}");
+        assert!(msg.contains("HEF_PROP_SEED=0x"), "{msg}");
+        assert!(msg.contains("nope"), "{msg}");
+    }
+
+    #[test]
+    fn case_seeds_are_stable_across_runs() {
+        let mut first: Vec<u64> = Vec::new();
+        check_with(
+            &Config { cases: 5, seed: 3 },
+            "collect",
+            |rng| rng.next_u64(),
+            |&v| {
+                first.push(v);
+                Ok(())
+            },
+        );
+        let mut second: Vec<u64> = Vec::new();
+        check_with(
+            &Config { cases: 5, seed: 3 },
+            "collect",
+            |rng| rng.next_u64(),
+            |&v| {
+                second.push(v);
+                Ok(())
+            },
+        );
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn strategies_compose() {
+        let gen = strategy::pair(
+            strategy::vec_of(strategy::in_range(0..10u64), 1..20),
+            strategy::filter(strategy::any_i64(), |&x| x % 2 == 0),
+        );
+        check_with(&Config { cases: 32, seed: 4 }, "composed", gen, |(v, e)| {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&x| x < 10));
+            prop_assert!(e % 2 == 0, "filter must hold: {e}");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn prop_assert_eq_formats_both_sides() {
+        let r = (|| -> Result<(), String> {
+            prop_assert_eq!(1 + 1, 3);
+            Ok(())
+        })();
+        let msg = r.unwrap_err();
+        assert!(msg.contains("left: 2") && msg.contains("right: 3"), "{msg}");
+    }
+}

@@ -1,0 +1,63 @@
+//! Golden-vector tests pinning the PRNG streams bit-for-bit.
+//!
+//! Everything reproducible in this workspace — SSB data, differential-test
+//! inputs, property-test cases — derives from these streams, so any change
+//! to the generator is an intentional, reviewed event that shows up here
+//! first. If you deliberately change the algorithm, re-pin these vectors
+//! AND the `ssb_stream_is_pinned` golden in `crates/ssb`.
+
+use hef_testutil::{Rng, SplitMix64};
+
+#[test]
+fn splitmix64_matches_published_reference() {
+    // First three outputs for seed 0, from the published SplitMix64
+    // reference implementation.
+    let mut sm = SplitMix64::new(0);
+    assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+    assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    assert_eq!(sm.next_u64(), 0x06C4_5D18_8009_454F);
+    assert_eq!(sm.next_u64(), 0xF88B_B8A8_724C_81EC);
+}
+
+#[test]
+fn xoshiro_stream_is_pinned_for_fixed_seeds() {
+    let cases: [(u64, [u64; 8]); 3] = [
+        (0x0, [
+            0x99EC5F36CB75F2B4, 0xBF6E1F784956452A, 0x1A5F849D4933E6E0,
+            0x6AA594F1262D2D2C, 0xBBA5AD4A1F842E59, 0xFFEF8375D9EBCACA,
+            0x6C160DEED2F54C98, 0x8920AD648FC30A3F,
+        ]),
+        (0x2A, [
+            0x15780B2E0C2EC716, 0x6104D9866D113A7E, 0xAE17533239E499A1,
+            0xECB8AD4703B360A1, 0xFDE6DC7FE2EC5E64, 0xC50DA53101795238,
+            0xB82154855A65DDB2, 0xD99A2743EBE60087,
+        ]),
+        (0xDEAD_BEEF, [
+            0xC5555444A74D7E83, 0x65C30D37B4B16E38, 0x54F773200A4EFA23,
+            0x429AED75FB958AF7, 0xFB0E1DD69C255B2E, 0x9D6D02EC58814A27,
+            0xF4199B9DA2E4B2A3, 0x54BC5B2C11A4540A,
+        ]),
+    ];
+    for (seed, expect) in cases {
+        let mut rng = Rng::seed_from_u64(seed);
+        let got: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert_eq!(got, expect, "stream changed for seed {seed:#x}");
+    }
+}
+
+#[test]
+fn bounded_draws_are_pinned() {
+    // gen_range/gen_below are part of the pinned surface: the SSB
+    // generator's column values depend on the exact rejection behaviour.
+    let mut rng = Rng::seed_from_u64(7);
+    let below: Vec<u64> = (0..12).map(|_| rng.gen_below(1000)).collect();
+    assert_eq!(below, [700, 278, 839, 981, 990, 872, 60, 104, 403, 151, 541, 731]);
+}
+
+#[test]
+fn shuffle_is_pinned() {
+    let mut rng = Rng::seed_from_u64(9);
+    let mut xs: Vec<u64> = (0..10).collect();
+    rng.shuffle(&mut xs);
+    assert_eq!(xs, [4, 9, 7, 8, 3, 6, 5, 1, 2, 0]);
+}

@@ -6,14 +6,12 @@
 //! paper uses to motivate the *pack* optimization (§II.C), and `vpmullq`,
 //! which on Skylake-SP decodes to three multiply µops.
 
-use serde::{Deserialize, Serialize};
-
 /// Execution-resource class of a µop.
 ///
 /// "Scalar" classes execute on the integer GPR pipelines, "Vec" classes on
 /// the 512-bit SIMD pipelines; the port sets that accept each class are
 /// defined per [`crate::CpuModel`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UopClass {
     /// Scalar ALU op: add/sub/xor/or/and/shift/lea/cmp on GPRs.
     SAlu,
@@ -42,6 +40,45 @@ pub enum UopClass {
 }
 
 impl UopClass {
+    /// Every class, in the declaration order used by the text formats.
+    pub const ALL: [UopClass; 12] = [
+        UopClass::SAlu,
+        UopClass::SMul,
+        UopClass::SLoad,
+        UopClass::SStore,
+        UopClass::Branch,
+        UopClass::VAlu,
+        UopClass::VShift,
+        UopClass::VMul,
+        UopClass::VLoad,
+        UopClass::VStore,
+        UopClass::VGather,
+        UopClass::VMask,
+    ];
+
+    /// Canonical text-format name (`SAlu`, `VGather`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            UopClass::SAlu => "SAlu",
+            UopClass::SMul => "SMul",
+            UopClass::SLoad => "SLoad",
+            UopClass::SStore => "SStore",
+            UopClass::Branch => "Branch",
+            UopClass::VAlu => "VAlu",
+            UopClass::VShift => "VShift",
+            UopClass::VMul => "VMul",
+            UopClass::VLoad => "VLoad",
+            UopClass::VStore => "VStore",
+            UopClass::VGather => "VGather",
+            UopClass::VMask => "VMask",
+        }
+    }
+
+    /// Inverse of [`UopClass::name`]; `None` for unknown names.
+    pub fn parse(name: &str) -> Option<UopClass> {
+        UopClass::ALL.into_iter().find(|c| c.name() == name)
+    }
+
     /// `true` for the classes that execute on the 512-bit SIMD pipelines.
     pub fn is_vector(self) -> bool {
         matches!(
@@ -69,9 +106,15 @@ impl UopClass {
     }
 }
 
+impl std::fmt::Display for UopClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Cost of one µop: completion latency and the number of cycles the chosen
 /// execution port stays busy (reciprocal throughput).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UopCost {
     /// Cycles from issue until dependents may wake up.
     pub latency: u32,
@@ -116,24 +159,20 @@ mod tests {
 
     #[test]
     fn latency_never_below_port_busy() {
-        for class in [
-            UopClass::SAlu,
-            UopClass::SMul,
-            UopClass::SLoad,
-            UopClass::SStore,
-            UopClass::Branch,
-            UopClass::VAlu,
-            UopClass::VShift,
-            UopClass::VMul,
-            UopClass::VLoad,
-            UopClass::VStore,
-            UopClass::VGather,
-            UopClass::VMask,
-        ] {
+        for class in UopClass::ALL {
             let c = uop_cost(class);
             assert!(c.latency >= c.port_busy, "{class:?}");
             assert!(c.port_busy >= 1, "{class:?}");
         }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for class in UopClass::ALL {
+            assert_eq!(UopClass::parse(class.name()), Some(class));
+            assert_eq!(format!("{class}"), class.name());
+        }
+        assert_eq!(UopClass::parse("Bogus"), None);
     }
 
     #[test]

@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Full offline verification gate. The workspace has zero third-party
+# dependencies, so every step must succeed with no registry access.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo test --workspace -q --offline
+cargo bench -p hef-bench --no-run --offline
+
+echo "verify: OK"

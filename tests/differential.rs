@@ -7,8 +7,7 @@ use hef::hid::Backend;
 use hef::kernels::{
     all_configs, run_on, BloomFilter, Family, HybridConfig, KernelIo, ProbeTable,
 };
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hef_testutil::Rng;
 
 fn backends() -> Vec<Backend> {
     let mut b = vec![Backend::Emu];
@@ -36,8 +35,8 @@ fn sample_nodes() -> Vec<HybridConfig> {
 }
 
 fn random_input(n: usize, seed: u64) -> Vec<u64> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen()).collect()
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_u64()).collect()
 }
 
 #[test]
@@ -70,7 +69,7 @@ fn map_families_agree_across_backends_and_nodes() {
 #[test]
 fn probe_agrees_across_backends_with_collisions() {
     let mut table = ProbeTable::with_capacity(5000);
-    let mut rng = SmallRng::seed_from_u64(77);
+    let mut rng = Rng::seed_from_u64(77);
     for _ in 0..5000 {
         let k = rng.gen_range(0..20_000u64);
         if k != u64::MAX {
@@ -148,7 +147,7 @@ fn aggregations_agree_across_backends_with_wraparound() {
 #[test]
 fn bloom_agrees_across_backends() {
     let mut filter = BloomFilter::with_capacity(3000);
-    let mut rng = SmallRng::seed_from_u64(21);
+    let mut rng = Rng::seed_from_u64(21);
     for _ in 0..3000 {
         filter.insert(rng.gen_range(0..50_000u64));
     }

@@ -1,125 +1,168 @@
-//! Property-based tests (proptest) over the core invariants:
+//! Property-based tests (hef-testutil's harness) over the core invariants:
 //! kernel-vs-reference equivalence on arbitrary inputs, translator
 //! expansion laws, optimizer convergence on convex surfaces, and simulator
 //! sanity bounds.
+//!
+//! A failure prints the case seed; replay it exactly with
+//! `HEF_PROP_SEED=0x… cargo test --test proptests <name>`.
 
 use hef::core::{optimizer, templates, translate, HybridConfig};
-use hef::kernels::{run_on, Family, KernelIo, ProbeTable, P_AXIS, S_AXIS, V_AXIS};
 use hef::hid::Backend;
+use hef::kernels::{run_on, Family, KernelIo, ProbeTable, P_AXIS, S_AXIS, V_AXIS};
 use hef::uarch::{simulate, CpuModel};
-use proptest::prelude::*;
+use hef_testutil::rng::Rng;
+use hef_testutil::{prop, prop_assert, prop_assert_eq, strategy};
 
-/// Any node of the compiled grid.
-fn grid_node() -> impl Strategy<Value = HybridConfig> {
-    (0..V_AXIS.len(), 0..S_AXIS.len(), 0..P_AXIS.len())
-        .prop_map(|(v, s, p)| (V_AXIS[v], S_AXIS[s], P_AXIS[p]))
-        .prop_filter("non-empty", |(v, s, _)| v + s >= 1)
-        .prop_map(|(v, s, p)| HybridConfig { v, s, p })
+/// Strategy for any node of the compiled grid.
+fn grid_node(rng: &mut Rng) -> HybridConfig {
+    loop {
+        let v = V_AXIS[rng.gen_range(0..V_AXIS.len())];
+        let s = S_AXIS[rng.gen_range(0..S_AXIS.len())];
+        let p = P_AXIS[rng.gen_range(0..P_AXIS.len())];
+        if v + s >= 1 {
+            return HybridConfig { v, s, p };
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn murmur_kernel_equals_reference() {
+    prop::check(
+        "murmur_kernel_equals_reference",
+        strategy::pair(strategy::vec_of(strategy::any_u64(), 0..600), grid_node),
+        |(input, cfg)| {
+            let expect: Vec<u64> =
+                input.iter().map(|&x| hef::kernels::murmur::murmur64(x)).collect();
+            let mut out = vec![0u64; input.len()];
+            let mut io = KernelIo::Map { input, output: &mut out };
+            prop_assert!(run_on(Family::Murmur, *cfg, Backend::native(), &mut io));
+            prop_assert_eq!(out, expect);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn murmur_kernel_equals_reference(
-        input in proptest::collection::vec(any::<u64>(), 0..600),
-        cfg in grid_node(),
-    ) {
-        let expect: Vec<u64> = input.iter().map(|&x| hef::kernels::murmur::murmur64(x)).collect();
-        let mut out = vec![0u64; input.len()];
-        let mut io = KernelIo::Map { input: &input, output: &mut out };
-        prop_assert!(run_on(Family::Murmur, cfg, Backend::native(), &mut io));
-        prop_assert_eq!(out, expect);
-    }
+#[test]
+fn crc_kernel_equals_reference() {
+    prop::check(
+        "crc_kernel_equals_reference",
+        strategy::pair(strategy::vec_of(strategy::any_u64(), 0..600), grid_node),
+        |(input, cfg)| {
+            let expect: Vec<u64> =
+                input.iter().map(|&x| hef::kernels::crc64::crc64(x)).collect();
+            let mut out = vec![0u64; input.len()];
+            let mut io = KernelIo::Map { input, output: &mut out };
+            prop_assert!(run_on(Family::Crc64, *cfg, Backend::native(), &mut io));
+            prop_assert_eq!(out, expect);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn crc_kernel_equals_reference(
-        input in proptest::collection::vec(any::<u64>(), 0..600),
-        cfg in grid_node(),
-    ) {
-        let expect: Vec<u64> = input.iter().map(|&x| hef::kernels::crc64::crc64(x)).collect();
-        let mut out = vec![0u64; input.len()];
-        let mut io = KernelIo::Map { input: &input, output: &mut out };
-        prop_assert!(run_on(Family::Crc64, cfg, Backend::native(), &mut io));
-        prop_assert_eq!(out, expect);
-    }
-
-    #[test]
-    fn filter_kernel_equals_reference(
-        input in proptest::collection::vec(any::<u64>(), 0..600),
-        lo in any::<i64>(),
-        span in 0i64..1000,
-        cfg in grid_node(),
-    ) {
-        let hi = lo.saturating_add(span);
-        let expect: Vec<u64> = input.iter().enumerate()
-            .filter(|(_, &x)| lo <= x as i64 && x as i64 <= hi)
+#[test]
+fn filter_kernel_equals_reference() {
+    let gen = |rng: &mut Rng| {
+        let input = strategy::vec_of(strategy::any_u64(), 0..600)(rng);
+        let lo = rng.next_u64() as i64;
+        let span = rng.gen_range(0..1000i64);
+        (input, lo, lo.saturating_add(span), grid_node(rng))
+    };
+    prop::check("filter_kernel_equals_reference", gen, |(input, lo, hi, cfg)| {
+        let expect: Vec<u64> = input
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| *lo <= x as i64 && x as i64 <= *hi)
             .map(|(i, _)| i as u64)
             .collect();
         let mut sel = Vec::new();
         let mut io = KernelIo::Filter {
-            input: &input, lo: lo as u64, hi: hi as u64, base: 0, sel: &mut sel,
+            input,
+            lo: *lo as u64,
+            hi: *hi as u64,
+            base: 0,
+            sel: &mut sel,
         };
-        prop_assert!(run_on(Family::Filter, cfg, Backend::native(), &mut io));
+        prop_assert!(run_on(Family::Filter, *cfg, Backend::native(), &mut io));
         prop_assert_eq!(sel, expect);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn probe_kernel_equals_scalar_probe(
-        entries in proptest::collection::vec((0u64..10_000, 0u64..1_000_000), 1..400),
-        keys in proptest::collection::vec(0u64..12_000, 0..500),
-        cfg in grid_node(),
-    ) {
+#[test]
+fn probe_kernel_equals_scalar_probe() {
+    let gen = |rng: &mut Rng| {
+        let entries = strategy::vec_of(
+            strategy::pair(strategy::in_range(0..10_000u64), strategy::in_range(0..1_000_000u64)),
+            1..400,
+        )(rng);
+        let keys = strategy::vec_of(strategy::in_range(0..12_000u64), 0..500)(rng);
+        (entries, keys, grid_node(rng))
+    };
+    prop::check("probe_kernel_equals_scalar_probe", gen, |(entries, keys, cfg)| {
         let mut table = ProbeTable::with_capacity(entries.len());
-        for &(k, v) in &entries {
+        for &(k, v) in entries {
             table.insert(k, v);
         }
         let expect: Vec<u64> = keys.iter().map(|&k| table.probe_scalar(k)).collect();
         let mut out = vec![0u64; keys.len()];
-        let mut io = KernelIo::Probe { keys: &keys, table: &table, out: &mut out };
-        prop_assert!(run_on(Family::Probe, cfg, Backend::native(), &mut io));
+        let mut io = KernelIo::Probe { keys, table: &table, out: &mut out };
+        prop_assert!(run_on(Family::Probe, *cfg, Backend::native(), &mut io));
         prop_assert_eq!(out, expect);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn agg_sum_is_permutation_invariant(
-        mut a in proptest::collection::vec(any::<u64>(), 0..500),
-        cfg in grid_node(),
-    ) {
-        let run_sum = |a: &[u64], cfg| {
-            let mut acc = 0u64;
-            let mut io = KernelIo::AggSum { a, acc: &mut acc };
-            assert!(run_on(Family::AggSum, cfg, Backend::native(), &mut io));
-            acc
-        };
-        let forward = run_sum(&a, cfg);
-        a.reverse();
-        let backward = run_sum(&a, cfg);
-        prop_assert_eq!(forward, backward);
-    }
+#[test]
+fn agg_sum_is_permutation_invariant() {
+    prop::check(
+        "agg_sum_is_permutation_invariant",
+        strategy::pair(strategy::vec_of(strategy::any_u64(), 0..500), grid_node),
+        |(a, cfg)| {
+            let run_sum = |a: &[u64], cfg| {
+                let mut acc = 0u64;
+                let mut io = KernelIo::AggSum { a, acc: &mut acc };
+                assert!(run_on(Family::AggSum, cfg, Backend::native(), &mut io));
+                acc
+            };
+            let forward = run_sum(a, *cfg);
+            let mut rev = a.clone();
+            rev.reverse();
+            let backward = run_sum(&rev, *cfg);
+            prop_assert_eq!(forward, backward);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn translator_expansion_law(cfg in grid_node()) {
-        // Every template statement expands to exactly p*(v+s) body lines,
-        // and no two body lines define the same variable instance.
+#[test]
+fn translator_expansion_law() {
+    // Every template statement expands to exactly p*(v+s) body lines,
+    // and no two body lines define the same variable instance.
+    prop::check("translator_expansion_law", grid_node, |&cfg| {
         for family in Family::ALL {
             let t = templates::for_family(family);
             let code = translate(&t, cfg);
             prop_assert_eq!(code.body_statements(), t.stmts.len() * cfg.p * (cfg.v + cfg.s));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn trace_size_scales_with_node(cfg in grid_node()) {
+#[test]
+fn trace_size_scales_with_node() {
+    prop::check("trace_size_scales_with_node", grid_node, |&cfg| {
         let t = templates::murmur();
         let body = hef::core::to_loop_body(&t, cfg);
         // 13 statements × p × (v+s) µops + induction + branch.
         prop_assert_eq!(body.len(), 13 * cfg.p * (cfg.v + cfg.s) + 2);
         prop_assert!(body.validate().is_ok());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn simulator_ipc_bounded_and_deterministic(cfg in grid_node()) {
+#[test]
+fn simulator_ipc_bounded_and_deterministic() {
+    prop::check("simulator_ipc_bounded_and_deterministic", grid_node, |&cfg| {
         let t = templates::agg_dot();
         let body = hef::core::to_loop_body(&t, cfg);
         let m = CpuModel::gold_6240r();
@@ -130,26 +173,33 @@ proptest! {
         prop_assert!(a.ipc > 0.0);
         let total: u64 = a.issued_hist.iter().sum();
         prop_assert_eq!(total, a.cycles);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn optimizer_finds_convex_optimum_from_any_start(
-        start in grid_node(),
-        opt in grid_node(),
-    ) {
-        struct Convex { opt: HybridConfig }
-        impl optimizer::CostEvaluator for Convex {
-            fn cost(&mut self, cfg: HybridConfig) -> f64 {
-                let ax = |x: usize, axis: &[usize]| {
-                    axis.iter().position(|&a| a == x).unwrap() as f64
-                };
-                1.0 + (ax(cfg.v, V_AXIS) - ax(self.opt.v, V_AXIS)).abs()
-                    + (ax(cfg.s, S_AXIS) - ax(self.opt.s, S_AXIS)).abs()
-                    + (ax(cfg.p, P_AXIS) - ax(self.opt.p, P_AXIS)).abs()
+#[test]
+fn optimizer_finds_convex_optimum_from_any_start() {
+    prop::check(
+        "optimizer_finds_convex_optimum_from_any_start",
+        strategy::pair(grid_node, grid_node),
+        |&(start, opt)| {
+            struct Convex {
+                opt: HybridConfig,
             }
-        }
-        let mut eval = Convex { opt };
-        let out = optimizer::optimize(start, &mut eval);
-        prop_assert_eq!(out.best, opt);
-    }
+            impl optimizer::CostEvaluator for Convex {
+                fn cost(&mut self, cfg: HybridConfig) -> f64 {
+                    let ax = |x: usize, axis: &[usize]| {
+                        axis.iter().position(|&a| a == x).unwrap() as f64
+                    };
+                    1.0 + (ax(cfg.v, V_AXIS) - ax(self.opt.v, V_AXIS)).abs()
+                        + (ax(cfg.s, S_AXIS) - ax(self.opt.s, S_AXIS)).abs()
+                        + (ax(cfg.p, P_AXIS) - ax(self.opt.p, P_AXIS)).abs()
+                }
+            }
+            let mut eval = Convex { opt };
+            let out = optimizer::optimize(start, &mut eval);
+            prop_assert_eq!(out.best, opt);
+            Ok(())
+        },
+    );
 }
