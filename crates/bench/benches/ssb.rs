@@ -6,7 +6,8 @@
 //! join-count family (Q2.x three joins over part/supplier/date, Q3.3 the
 //! high-selectivity case, Q4.2 four joins).
 
-use hef_engine::{execute_star, ExecConfig, Flavor};
+use hef_bench::config::exec_config;
+use hef_engine::{execute_star, Flavor};
 use hef_ssb::{build_plan, generate, QueryId};
 use hef_testutil::bench::Group;
 
@@ -18,7 +19,7 @@ fn main() {
             .throughput_elems(data.lineorder.len() as u64)
             .samples(10);
         for flavor in Flavor::ALL {
-            let cfg = ExecConfig::for_flavor(flavor);
+            let cfg = exec_config(flavor);
             g.bench(flavor.name(), || {
                 execute_star(&plan, &data.lineorder, &cfg);
             });

@@ -27,11 +27,12 @@
 //! run as 0.25/0.5/1.25 by default — the same 1:2:5 ratio, sized for this
 //! machine; pass `--sf` to change.
 
+use hef_bench::config::{exec_config, tuned_hybrid};
 use hef_bench::counters::{issue_histogram, model_kernel, model_query};
 use hef_bench::measure::{kernel_input, measure_kernel, measure_query};
 use hef_bench::report::{eng, f2, TableWriter};
-use hef_core::{optimizer, space, templates, tune_measured, tune_simulated};
-use hef_engine::{ExecConfig, Flavor};
+use hef_core::{optimizer, space, templates, tune_measured, tune_simulated, Registry};
+use hef_engine::Flavor;
 use hef_kernels::{Family, HybridConfig};
 use hef_ssb::{build_plan, generate, QueryId, SsbData};
 use hef_uarch::CpuModel;
@@ -110,7 +111,7 @@ fn ssb_figure(fig: &str, scale: &str, opts: &Opts) {
         let mut ms = Vec::new();
         let mut modeled: Vec<(f64, f64)> = Vec::new();
         for flavor in Flavor::ALL {
-            let cfg = ExecConfig::for_flavor(flavor);
+            let cfg = exec_config(flavor);
             let (m, out) = measure_query(&plan, &data.lineorder, &cfg, opts.repeats);
             ms.push(m.ms());
             modeled.push((
@@ -160,7 +161,7 @@ fn counter_table(name: &str, q: QueryId, scale: &str, model: CpuModel, opts: &Op
             vec!["Time (ms, measured here)".into()],
         ];
     for flavor in Flavor::ALL {
-        let cfg = ExecConfig::for_flavor(flavor);
+        let cfg = exec_config(flavor);
         let (m, out) = measure_query(&plan, &data.lineorder, &cfg, opts.repeats);
         let c = model_query(&model, flavor, &out.stats);
         rows[0].push(eng(c.instructions));
@@ -325,7 +326,7 @@ fn ablation_bloom(opts: &Opts) {
     for q in [hef_ssb::QueryId::Q2_3, hef_ssb::QueryId::Q3_3, hef_ssb::QueryId::Q3_4,
               hef_ssb::QueryId::Q2_1, hef_ssb::QueryId::Q4_2] {
         let plan = build_plan(&data, q);
-        let cfg = ExecConfig::hybrid_default();
+        let cfg = tuned_hybrid();
         let (plain, out_plain) = measure_query(&plan, &data.lineorder, &cfg, opts.repeats);
         let mut bcfg = cfg;
         bcfg.use_bloom = true;
@@ -356,7 +357,7 @@ fn ablation_dynamic(opts: &Opts) {
             let (m, _) = measure_query(
                 &plan,
                 &data.lineorder,
-                &ExecConfig::for_flavor(flavor),
+                &exec_config(flavor),
                 opts.repeats,
             );
             if m.ms() < best.1 {
@@ -380,9 +381,23 @@ fn ablation_dynamic(opts: &Opts) {
 fn tune(opts: &Opts) {
     println!("\n=== HEF offline tuning on this machine (measured) ===\n");
     let n = opts.n.min(4_000_000);
+    let mut reg = Registry::new("this machine (repro tune)");
     for family in Family::ALL {
         let t = tune_measured(family, n);
         println!("  {}", t.describe());
+        reg.insert_tuned(&t);
+    }
+    std::fs::create_dir_all("results").ok();
+    let path = std::path::Path::new("results/tuned.txt");
+    match reg.save(path) {
+        Ok(()) => println!(
+            "\nsaved {} tuned nodes to {}; set HEF_REGISTRY={} so engines and \
+             benches warm-load them at startup",
+            reg.len(),
+            path.display(),
+            path.display()
+        ),
+        Err(e) => eprintln!("warning: could not save {}: {e}", path.display()),
     }
     println!("\n=== HEF offline tuning on the modeled Xeons (simulated) ===\n");
     for model in [CpuModel::silver_4110(), CpuModel::gold_6240r()] {

@@ -11,10 +11,12 @@
 //! Criterion benches under `benches/` mirror the same rows with
 //! statistically grounded timing.
 
+pub mod config;
 pub mod counters;
 pub mod measure;
 pub mod report;
 
+pub use config::{exec_config, tuned_hybrid};
 pub use counters::{model_kernel, model_query, QueryCounters};
 pub use measure::{measure_kernel, measure_query, Measured};
 pub use report::TableWriter;

@@ -23,11 +23,13 @@
 
 pub mod dynamic;
 pub mod ops;
+pub mod parallel;
 pub mod star;
 pub mod voila;
 
 pub use dynamic::{choose_flavor, execute_star_dynamic, Selection};
 pub use ops::{gather_keys, grouped_accumulate};
+pub use parallel::{execute_star_parallel, resolve_threads};
 pub use star::{
     build_dimension, execute_star, DimJoin, ExecConfig, ExecStats, Flavor, Measure,
     QueryOutput, RangeFilter, StarPlan,

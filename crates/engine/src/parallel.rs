@@ -1,0 +1,222 @@
+//! Morsel-driven parallel star-query execution.
+//!
+//! SSB is embarrassingly parallel over the fact table: every operator of the
+//! VIP-style pipeline (filter → probes → grouped aggregation) is a pure
+//! function of the rows it scans plus read-only shared state (the dimension
+//! probe tables and Bloom filters). This module splits the fact table into
+//! *morsels* — a few pipeline batches each, following the morsel-driven
+//! scheduling of HyPer — and lets `std::thread::scope` workers claim them
+//! from a shared atomic cursor. Each worker runs the **same** per-flavor
+//! pipeline the serial executor uses (`star::PipelineWorker` or
+//! `voila::VoilaWorker`) with private batch buffers, a private dense
+//! group-accumulator array, and private [`ExecStats`]; the main thread
+//! merges the per-worker outputs at the end.
+//!
+//! Determinism: group accumulators are wrapping `u64` sums and every stats
+//! field is a sum over disjoint row ranges, so the merged output is
+//! independent of which worker claimed which morsel and of merge order —
+//! parallel output is bit-identical to the serial path at any thread count.
+//! The differential and property tests in `tests/` pin this down.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use hef_storage::Table;
+
+use crate::star::{ExecConfig, ExecStats, Flavor, PipelineWorker, QueryOutput, StarPlan};
+use crate::voila::VoilaWorker;
+
+/// Pipeline batches per morsel. Morsels are the scheduling quantum: large
+/// enough that cursor contention is negligible (one `fetch_add` per
+/// `MORSEL_BATCHES * batch` rows), small enough that workers stay balanced
+/// on skewed selectivity and the per-batch working set stays cache-resident.
+pub const MORSEL_BATCHES: usize = 4;
+
+/// Resolve a requested worker-thread count: an explicit nonzero request
+/// wins; otherwise the `HEF_THREADS` environment variable; otherwise
+/// [`std::thread::available_parallelism`].
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("HEF_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// One worker of either execution strategy (the parallel scheduler is
+/// flavor-agnostic; Voila rides along so the paper's comparison stays
+/// apples-to-apples at every thread count).
+enum AnyWorker<'a> {
+    Pipeline(PipelineWorker<'a>),
+    Voila(VoilaWorker<'a>),
+}
+
+impl<'a> AnyWorker<'a> {
+    fn new(plan: &'a StarPlan, fact: &'a Table, cfg: &'a ExecConfig) -> Self {
+        if cfg.flavor == Flavor::Voila {
+            AnyWorker::Voila(VoilaWorker::new(plan, fact, cfg.batch))
+        } else {
+            AnyWorker::Pipeline(PipelineWorker::new(plan, fact, cfg))
+        }
+    }
+
+    fn run_range(&mut self, lo: usize, hi: usize) {
+        match self {
+            AnyWorker::Pipeline(w) => w.run_range(lo, hi),
+            AnyWorker::Voila(w) => w.run_range(lo, hi),
+        }
+    }
+
+    fn finish(self) -> QueryOutput {
+        match self {
+            AnyWorker::Pipeline(w) => w.finish(),
+            AnyWorker::Voila(w) => w.finish(),
+        }
+    }
+}
+
+/// Execute `plan` with `threads` workers pulling morsels from a shared
+/// atomic cursor. Callers normally go through [`crate::execute_star`], which
+/// resolves the thread count first.
+pub fn execute_star_parallel(
+    plan: &StarPlan,
+    fact: &Table,
+    cfg: &ExecConfig,
+    threads: usize,
+) -> QueryOutput {
+    let n = fact.len();
+    let threads = threads.max(1);
+    let morsel = (MORSEL_BATCHES * cfg.batch).max(1);
+    let cursor = AtomicUsize::new(0);
+
+    let mut outputs: Vec<QueryOutput> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                s.spawn(move || {
+                    let mut w = AnyWorker::new(plan, fact, cfg);
+                    loop {
+                        let lo = cursor.fetch_add(morsel, Ordering::Relaxed);
+                        if lo >= n {
+                            break;
+                        }
+                        w.run_range(lo, (lo + morsel).min(n));
+                    }
+                    w.finish()
+                })
+            })
+            .collect();
+        for h in handles {
+            outputs.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    merge_outputs(plan, outputs)
+}
+
+/// Merge per-worker outputs into one [`QueryOutput`]. Group cells and every
+/// per-row stats field are sums over disjoint row ranges (wrapping adds →
+/// commutative and associative, so worker scheduling cannot change the
+/// result); the probe-table working set is shared, not per-worker, so
+/// `table_bytes` is taken from the plan rather than summed.
+fn merge_outputs(plan: &StarPlan, outputs: Vec<QueryOutput>) -> QueryOutput {
+    let ndims = plan.dims.len();
+    let mut merged = QueryOutput {
+        groups: vec![0u64; plan.group_cells()],
+        stats: ExecStats {
+            probes: vec![0; ndims],
+            hits: vec![0; ndims],
+            table_bytes: plan.dims.iter().map(|d| d.table.working_set_bytes()).collect(),
+            ..Default::default()
+        },
+    };
+    for out in outputs {
+        for (m, g) in merged.groups.iter_mut().zip(out.groups.iter()) {
+            *m = m.wrapping_add(*g);
+        }
+        merged.stats.rows_scanned += out.stats.rows_scanned;
+        merged.stats.rows_after_filter += out.stats.rows_after_filter;
+        for (m, p) in merged.stats.probes.iter_mut().zip(out.stats.probes.iter()) {
+            *m += p;
+        }
+        for (m, h) in merged.stats.hits.iter_mut().zip(out.stats.hits.iter()) {
+            *m += h;
+        }
+        merged.stats.rows_aggregated += out.stats.rows_aggregated;
+        merged.stats.materialized += out.stats.materialized;
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::star::{build_dimension, execute_star_serial, Measure};
+    use hef_storage::Column;
+
+    fn toy(n: u64) -> (Table, StarPlan) {
+        let mut fact = Table::new("fact");
+        fact.add_column(Column::new("fk", (0..n).map(|i| i % 128).collect()));
+        fact.add_column(Column::new("rev", (0..n).map(|i| i % 11 + 1).collect()));
+        let mut dim = Table::new("dim");
+        dim.add_column(Column::new("key", (0..128).collect()));
+        let d = build_dimension(
+            &dim,
+            "key",
+            |r| dim.col("key")[r] < 96,
+            |r| dim.col("key")[r] % 8,
+            8,
+            "fk",
+        );
+        let plan = StarPlan {
+            name: "toy".into(),
+            filters: vec![],
+            dims: vec![d],
+            measure: Measure::Sum("rev".into()),
+        };
+        (fact, plan)
+    }
+
+    #[test]
+    fn parallel_matches_serial_at_various_thread_counts() {
+        let (fact, plan) = toy(20_000);
+        for flavor in Flavor::ALL {
+            let cfg = ExecConfig::for_flavor(flavor);
+            let serial = execute_star_serial(&plan, &fact, &cfg);
+            for threads in [1, 2, 3, 7] {
+                let par = execute_star_parallel(&plan, &fact, &cfg, threads);
+                assert_eq!(par, serial, "{} × {threads} threads", flavor.name());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_sub_morsel_inputs() {
+        for n in [0u64, 1, 7, 100] {
+            let (fact, plan) = toy(n);
+            let cfg = ExecConfig::hybrid_default();
+            let serial = execute_star_serial(&plan, &fact, &cfg);
+            let par = execute_star_parallel(&plan, &fact, &cfg, 4);
+            assert_eq!(par, serial, "n={n}");
+        }
+    }
+
+    #[test]
+    fn explicit_thread_request_wins_over_auto() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn threads_config_routes_execute_star() {
+        let (fact, plan) = toy(10_000);
+        let serial = crate::execute_star(&plan, &fact, &ExecConfig::scalar().with_threads(1));
+        let par = crate::execute_star(&plan, &fact, &ExecConfig::scalar().with_threads(4));
+        assert_eq!(par, serial);
+    }
+}

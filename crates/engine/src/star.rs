@@ -45,6 +45,10 @@ pub struct ExecConfig {
     /// Rows per pipeline batch (the paper/VIP use ~vector-register-friendly
     /// batches; Voila uses 1024).
     pub batch: usize,
+    /// Worker threads for the morsel-driven parallel executor. `0` resolves
+    /// at execution time: `HEF_THREADS` if set, else
+    /// `std::thread::available_parallelism()`.
+    pub threads: usize,
 }
 
 impl ExecConfig {
@@ -59,6 +63,7 @@ impl ExecConfig {
             use_bloom: false,
             backend: Backend::native(),
             batch: 1024,
+            threads: 0,
         }
     }
 
@@ -73,6 +78,7 @@ impl ExecConfig {
             use_bloom: false,
             backend: Backend::native(),
             batch: 1024,
+            threads: 0,
         }
     }
 
@@ -89,6 +95,7 @@ impl ExecConfig {
             use_bloom: false,
             backend: Backend::native(),
             batch: 1024,
+            threads: 0,
         }
     }
 
@@ -103,6 +110,7 @@ impl ExecConfig {
             use_bloom: false,
             backend: Backend::native(),
             batch: 1024,
+            threads: 0,
         }
     }
 
@@ -118,7 +126,19 @@ impl ExecConfig {
             use_bloom: false,
             backend: Backend::native(),
             batch: 1024,
+            threads: 0,
         }
+    }
+
+    /// Hybrid execution with a tuned node for every kernel family the
+    /// pipeline dispatches (filter, probe, aggregation, gather).
+    pub fn hybrid_tuned(
+        filter: HybridConfig,
+        probe: HybridConfig,
+        agg: HybridConfig,
+        gather: HybridConfig,
+    ) -> ExecConfig {
+        ExecConfig { gather, ..ExecConfig::hybrid(filter, probe, agg) }
     }
 
     /// The config for a flavor with defaults.
@@ -129,6 +149,13 @@ impl ExecConfig {
             Flavor::Hybrid => ExecConfig::hybrid_default(),
             Flavor::Voila => ExecConfig::voila(),
         }
+    }
+
+    /// Builder-style thread-count override (`0` = auto, see
+    /// [`ExecConfig::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> ExecConfig {
+        self.threads = threads;
+        self
     }
 }
 
@@ -186,7 +213,7 @@ impl StarPlan {
 }
 
 /// Execution statistics, consumed by the `hef-uarch` counter assembly.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecStats {
     pub rows_scanned: u64,
     pub rows_after_filter: u64,
@@ -205,7 +232,7 @@ pub struct ExecStats {
 }
 
 /// Result of executing a star plan.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryOutput {
     /// Dense group accumulators (length = `plan.group_cells()`).
     pub groups: Vec<u64>,
@@ -262,45 +289,97 @@ pub fn build_dimension(
     }
 }
 
-/// Execute `plan` against `fact` using `cfg`. Routes Voila to its own
-/// engine; all other flavors share the VIP-style pipeline below.
+/// Execute `plan` against `fact` using `cfg`.
+///
+/// Resolves the worker-thread count (see [`ExecConfig::threads`]) and routes
+/// every flavor — including Voila — through the morsel-driven parallel
+/// executor when more than one worker is requested; a single worker runs the
+/// serial pipeline directly (identical code either way: the parallel path is
+/// the same per-worker pipeline over morsels instead of the whole table).
 pub fn execute_star(plan: &StarPlan, fact: &Table, cfg: &ExecConfig) -> QueryOutput {
-    if cfg.flavor == Flavor::Voila {
-        return crate::voila::execute_star_voila(plan, fact, cfg.batch);
+    let threads = crate::parallel::resolve_threads(cfg.threads);
+    if threads > 1 {
+        return crate::parallel::execute_star_parallel(plan, fact, cfg, threads);
     }
-    execute_star_pipelined(plan, fact, cfg)
+    execute_star_serial(plan, fact, cfg)
 }
 
-fn execute_star_pipelined(plan: &StarPlan, fact: &Table, cfg: &ExecConfig) -> QueryOutput {
-    let n = fact.len();
-    let ndims = plan.dims.len();
-    let mut stats = ExecStats {
-        rows_scanned: n as u64,
-        probes: vec![0; ndims],
-        hits: vec![0; ndims],
-        table_bytes: plan.dims.iter().map(|d| d.table.working_set_bytes()).collect(),
-        ..Default::default()
-    };
-    let mut acc = vec![0u64; plan.group_cells()];
+/// The serial path: one worker over the whole fact table.
+pub(crate) fn execute_star_serial(plan: &StarPlan, fact: &Table, cfg: &ExecConfig) -> QueryOutput {
+    if cfg.flavor == Flavor::Voila {
+        let mut w = crate::voila::VoilaWorker::new(plan, fact, cfg.batch);
+        w.run_range(0, fact.len());
+        return w.finish();
+    }
+    let mut w = PipelineWorker::new(plan, fact, cfg);
+    w.run_range(0, fact.len());
+    w.finish()
+}
 
+/// One VIP-style pipeline worker: owns the reusable batch buffers, a private
+/// group-accumulator array, and private [`ExecStats`]. The serial executor
+/// is a single worker run over `0..n`; the parallel executor hands disjoint
+/// morsels of the fact table to one worker per thread and merges at the end
+/// (see `crate::parallel`).
+pub(crate) struct PipelineWorker<'a> {
+    plan: &'a StarPlan,
+    fact: &'a Table,
+    cfg: &'a ExecConfig,
+    acc: Vec<u64>,
+    stats: ExecStats,
     // Reusable batch buffers (workhorse allocations).
-    let buf_cap = cfg.batch.min(n);
-    let mut sel: Vec<u64> = Vec::with_capacity(buf_cap);
-    let mut keys: Vec<u64> = Vec::with_capacity(buf_cap);
-    let mut probe_out: Vec<u64> = Vec::with_capacity(buf_cap);
-    let mut gids: Vec<u64> = Vec::with_capacity(buf_cap);
-    let mut vals: Vec<u64> = Vec::with_capacity(buf_cap);
+    sel: Vec<u64>,
+    keys: Vec<u64>,
+    probe_out: Vec<u64>,
+    gids: Vec<u64>,
+    vals: Vec<u64>,
+}
 
-    let mut start = 0usize;
-    while start < n {
-        let end = (start + cfg.batch).min(n);
+impl<'a> PipelineWorker<'a> {
+    pub(crate) fn new(plan: &'a StarPlan, fact: &'a Table, cfg: &'a ExecConfig) -> Self {
+        let ndims = plan.dims.len();
+        let stats = ExecStats {
+            probes: vec![0; ndims],
+            hits: vec![0; ndims],
+            table_bytes: plan.dims.iter().map(|d| d.table.working_set_bytes()).collect(),
+            ..Default::default()
+        };
+        let buf_cap = cfg.batch.min(fact.len());
+        PipelineWorker {
+            plan,
+            fact,
+            cfg,
+            acc: vec![0u64; plan.group_cells()],
+            stats,
+            sel: Vec::with_capacity(buf_cap),
+            keys: Vec::with_capacity(buf_cap),
+            probe_out: Vec::with_capacity(buf_cap),
+            gids: Vec::with_capacity(buf_cap),
+            vals: Vec::with_capacity(buf_cap),
+        }
+    }
+
+    /// Process fact rows `lo..hi` batch by batch.
+    pub(crate) fn run_range(&mut self, lo: usize, hi: usize) {
+        self.stats.rows_scanned += (hi - lo) as u64;
+        let mut start = lo;
+        while start < hi {
+            let end = (start + self.cfg.batch).min(hi);
+            self.run_batch(start, end);
+            start = end;
+        }
+    }
+
+    fn run_batch(&mut self, start: usize, end: usize) {
+        let (plan, fact, cfg) = (self.plan, self.fact, self.cfg);
+        let ndims = plan.dims.len();
 
         // 1. Fact-table filters. The first runs as a kernel over the
-        // contiguous batch; later ones refine the selection (rare in the
-        // SSB joins the paper plots — Q1.x is the filter-heavy family).
-        sel.clear();
+        // contiguous batch; later ones refine the selection through the
+        // same tuned Filter grid (Q1.x is the filter-heavy family).
+        self.sel.clear();
         if plan.filters.is_empty() {
-            sel.extend(start as u64..end as u64);
+            self.sel.extend(start as u64..end as u64);
         } else {
             let f0 = &plan.filters[0];
             let colv = &fact.col(&f0.col)[start..end];
@@ -309,7 +388,7 @@ fn execute_star_pipelined(plan: &StarPlan, fact: &Table, cfg: &ExecConfig) -> Qu
                 lo: f0.lo,
                 hi: f0.hi,
                 base: start as u64,
-                sel: &mut sel,
+                sel: &mut self.sel,
             };
             assert!(
                 run_on(Family::Filter, cfg.filter, cfg.backend, &mut io),
@@ -317,100 +396,107 @@ fn execute_star_pipelined(plan: &StarPlan, fact: &Table, cfg: &ExecConfig) -> Qu
                 cfg.filter
             );
             for f in &plan.filters[1..] {
-                let col = fact.col(&f.col);
-                sel.retain(|&r| {
-                    let x = col[r as usize] as i64;
-                    f.lo as i64 <= x && x <= f.hi as i64
-                });
+                let mut io = KernelIo::FilterRefine {
+                    input: fact.col(&f.col),
+                    lo: f.lo,
+                    hi: f.hi,
+                    sel: &mut self.sel,
+                };
+                assert!(
+                    run_on(Family::Filter, cfg.filter, cfg.backend, &mut io),
+                    "filter node {} not compiled",
+                    cfg.filter
+                );
             }
         }
-        stats.rows_after_filter += sel.len() as u64;
+        self.stats.rows_after_filter += self.sel.len() as u64;
 
         // 2. Dimension probes, most selective first; selection vector
         // shrinks after each (VIP pipeline, no full materialization).
         let mut pays: Vec<Vec<u64>> = Vec::with_capacity(ndims);
         for (di, dim) in plan.dims.iter().enumerate() {
-            if sel.is_empty() {
+            if self.sel.is_empty() {
                 pays.push(Vec::new());
                 continue;
             }
             let col = fact.col(&dim.fk_col);
-            take(col, &sel, &mut keys, cfg);
+            take(col, &self.sel, &mut self.keys, cfg);
             if cfg.use_bloom {
                 // Semi-join pre-filter: drop definite misses before the
                 // (more expensive) table probe.
-                probe_out.clear();
-                probe_out.resize(keys.len(), 0);
+                self.probe_out.clear();
+                self.probe_out.resize(self.keys.len(), 0);
                 let mut io = KernelIo::Bloom {
-                    keys: &keys,
+                    keys: &self.keys,
                     filter: &dim.bloom,
-                    out: &mut probe_out,
+                    out: &mut self.probe_out,
                 };
                 assert!(run_on(Family::BloomCheck, cfg.probe, cfg.backend, &mut io));
                 let mut k = 0usize;
-                for j in 0..sel.len() {
-                    if probe_out[j] != 0 {
-                        sel[k] = sel[j];
-                        keys[k] = keys[j];
+                for j in 0..self.sel.len() {
+                    if self.probe_out[j] != 0 {
+                        self.sel[k] = self.sel[j];
+                        self.keys[k] = self.keys[j];
                         for ps in pays.iter_mut() {
                             ps[k] = ps[j];
                         }
                         k += 1;
                     }
                 }
-                sel.truncate(k);
-                keys.truncate(k);
+                self.sel.truncate(k);
+                self.keys.truncate(k);
                 for ps in pays.iter_mut() {
                     ps.truncate(k);
                 }
-                if sel.is_empty() {
+                if self.sel.is_empty() {
                     pays.push(Vec::new());
                     continue;
                 }
             }
-            probe_out.clear();
-            probe_out.resize(keys.len(), 0);
-            stats.probes[di] += keys.len() as u64;
+            self.probe_out.clear();
+            self.probe_out.resize(self.keys.len(), 0);
+            self.stats.probes[di] += self.keys.len() as u64;
             let mut io = KernelIo::Probe {
-                keys: &keys,
+                keys: &self.keys,
                 table: &dim.table,
-                out: &mut probe_out,
+                out: &mut self.probe_out,
             };
             assert!(
                 run_on(Family::Probe, cfg.probe, cfg.backend, &mut io),
                 "probe node {} not compiled",
                 cfg.probe
             );
-            let k = compact_hits(&mut sel, &mut pays, &mut probe_out);
-            stats.hits[di] += k as u64;
+            let k = compact_hits(&mut self.sel, &mut pays, &mut self.probe_out);
+            self.stats.hits[di] += k as u64;
         }
 
         // 3. Group ids and aggregation.
-        if !sel.is_empty() {
-            stats.rows_aggregated += sel.len() as u64;
-            gids.clear();
-            gids.resize(sel.len(), 0);
+        if !self.sel.is_empty() {
+            self.stats.rows_aggregated += self.sel.len() as u64;
+            self.gids.clear();
+            self.gids.resize(self.sel.len(), 0);
             for (di, dim) in plan.dims.iter().enumerate() {
                 let g = dim.groups as u64;
-                for (j, gid) in gids.iter_mut().enumerate() {
+                for (j, gid) in self.gids.iter_mut().enumerate() {
                     *gid = *gid * g + pays[di][j];
                 }
             }
-            materialize_measure(&plan.measure, fact, &sel, &mut vals, &mut keys, cfg);
-            if acc.len() == 1 {
+            materialize_measure(&plan.measure, fact, &self.sel, &mut self.vals, &mut self.keys, cfg);
+            if self.acc.len() == 1 {
                 // Ungrouped: the tuned aggregation kernel does the reduction.
                 let mut total = 0u64;
-                let mut io = KernelIo::AggSum { a: &vals, acc: &mut total };
+                let mut io = KernelIo::AggSum { a: &self.vals, acc: &mut total };
                 assert!(run_on(Family::AggSum, cfg.agg, cfg.backend, &mut io));
-                acc[0] = acc[0].wrapping_add(total);
+                self.acc[0] = self.acc[0].wrapping_add(total);
             } else {
-                grouped_accumulate(&mut acc, &gids, &vals);
+                grouped_accumulate(&mut self.acc, &self.gids, &self.vals);
             }
         }
-        start = end;
     }
 
-    QueryOutput { groups: acc, stats }
+    pub(crate) fn finish(self) -> QueryOutput {
+        QueryOutput { groups: self.acc, stats: self.stats }
+    }
 }
 
 /// Evaluate the measure expression for the selected rows into `vals`

@@ -35,36 +35,78 @@ const PREFETCH_DIST: usize = 16;
 /// Execute a star plan in the Voila style: vector(1024), full
 /// materialization, prefetch = 1.
 pub fn execute_star_voila(plan: &StarPlan, fact: &Table, batch: usize) -> QueryOutput {
-    let n = fact.len();
-    let ndims = plan.dims.len();
-    let mut stats = ExecStats {
-        rows_scanned: n as u64,
-        probes: vec![0; ndims],
-        hits: vec![0; ndims],
-        table_bytes: plan.dims.iter().map(|d| d.table.working_set_bytes()).collect(),
-        ..Default::default()
-    };
-    let mut acc = vec![0u64; plan.group_cells()];
+    let mut w = VoilaWorker::new(plan, fact, batch);
+    w.run_range(0, fact.len());
+    w.finish()
+}
 
-    // The live column set carried through the pipeline: every fk column
-    // still to be probed plus the measure columns.
-    let measure_cols: Vec<&str> = match &plan.measure {
-        Measure::Sum(a) => vec![a.as_str()],
-        Measure::SumProduct(a, b) | Measure::SumDiff(a, b) => vec![a.as_str(), b.as_str()],
-    };
+/// One Voila-style worker: owns the dense materialization buffers, a private
+/// group-accumulator array, and private [`ExecStats`] — the same worker
+/// shape as `star::PipelineWorker`, so the morsel-driven parallel executor
+/// can drive the comparator too (keeping the paper's Figs. 8–10 comparison
+/// apples-to-apples at every thread count).
+pub(crate) struct VoilaWorker<'a> {
+    plan: &'a StarPlan,
+    fact: &'a Table,
+    batch: usize,
+    /// Live measure column names (`bufs[ndims..]` in pipeline order).
+    measure_cols: Vec<&'a str>,
+    ncols: usize,
+    acc: Vec<u64>,
+    stats: ExecStats,
+    // Reusable dense buffers: index 0..ndims = fk columns, then measures.
+    bufs: Vec<Vec<u64>>,
+    gid: Vec<u64>,
+    slots: Vec<usize>,
+    pay: Vec<u64>,
+}
 
-    // Reusable dense buffers: index 0..ndims = fk columns, then measures,
-    // then the running group id.
-    let ncols = ndims + measure_cols.len();
-    let buf_cap = batch.min(n);
-    let mut bufs: Vec<Vec<u64>> = vec![Vec::with_capacity(buf_cap); ncols];
-    let mut gid: Vec<u64> = Vec::with_capacity(buf_cap);
-    let mut slots: Vec<usize> = Vec::with_capacity(buf_cap);
-    let mut pay: Vec<u64> = Vec::with_capacity(buf_cap);
+impl<'a> VoilaWorker<'a> {
+    pub(crate) fn new(plan: &'a StarPlan, fact: &'a Table, batch: usize) -> Self {
+        let ndims = plan.dims.len();
+        let stats = ExecStats {
+            probes: vec![0; ndims],
+            hits: vec![0; ndims],
+            table_bytes: plan.dims.iter().map(|d| d.table.working_set_bytes()).collect(),
+            ..Default::default()
+        };
+        // The live column set carried through the pipeline: every fk column
+        // still to be probed plus the measure columns.
+        let measure_cols: Vec<&str> = match &plan.measure {
+            Measure::Sum(a) => vec![a.as_str()],
+            Measure::SumProduct(a, b) | Measure::SumDiff(a, b) => vec![a.as_str(), b.as_str()],
+        };
+        let ncols = ndims + measure_cols.len();
+        let buf_cap = batch.min(fact.len());
+        VoilaWorker {
+            plan,
+            fact,
+            batch,
+            measure_cols,
+            ncols,
+            acc: vec![0u64; plan.group_cells()],
+            stats,
+            bufs: vec![Vec::with_capacity(buf_cap); ncols],
+            gid: Vec::with_capacity(buf_cap),
+            slots: Vec::with_capacity(buf_cap),
+            pay: Vec::with_capacity(buf_cap),
+        }
+    }
 
-    let mut start = 0usize;
-    while start < n {
-        let end = (start + batch).min(n);
+    /// Process fact rows `lo..hi` batch by batch.
+    pub(crate) fn run_range(&mut self, lo: usize, hi: usize) {
+        self.stats.rows_scanned += (hi - lo) as u64;
+        let mut start = lo;
+        while start < hi {
+            let end = (start + self.batch).min(hi);
+            self.run_batch(start, end);
+            start = end;
+        }
+    }
+
+    fn run_batch(&mut self, start: usize, end: usize) {
+        let (plan, fact, ncols) = (self.plan, self.fact, self.ncols);
+        let ndims = plan.dims.len();
 
         // Stage 0 materializes the live column set. Voila's data-centric
         // blend runs the most selective operator before materializing:
@@ -72,41 +114,41 @@ pub fn execute_star_voila(plan: &StarPlan, fact: &Table, batch: usize) -> QueryO
         // runs straight over the contiguous fk column, and only survivors
         // are copied — which is what makes Voila excel on high-selectivity
         // queries like Q2.3/Q3.3/Q3.4 in the paper.
-        for b in bufs.iter_mut() {
+        for b in self.bufs.iter_mut() {
             b.clear();
         }
-        gid.clear();
+        self.gid.clear();
         let mut first_dim = 0usize;
         if plan.filters.is_empty() && ndims > 0 {
             let dim = &plan.dims[0];
             let col = &fact.col(&dim.fk_col)[start..end];
-            stats.rows_after_filter += col.len() as u64;
-            stats.probes[0] += col.len() as u64;
+            self.stats.rows_after_filter += col.len() as u64;
+            self.stats.probes[0] += col.len() as u64;
             // Hash pass over the raw column.
-            slots.clear();
-            slots.extend(col.iter().map(|&k| dim.table.slot_of(k)));
+            self.slots.clear();
+            self.slots.extend(col.iter().map(|&k| dim.table.slot_of(k)));
             // Prefetch + probe + selective materialization.
             let g0 = dim.groups as u64;
             for (j, &key) in col.iter().enumerate() {
                 if j + PREFETCH_DIST < col.len() {
-                    dim.table.prefetch(slots[j + PREFETCH_DIST]);
+                    dim.table.prefetch(self.slots[j + PREFETCH_DIST]);
                 }
-                let pay0 = dim.table.probe_at(slots[j], key);
+                let pay0 = dim.table.probe_at(self.slots[j], key);
                 if pay0 == MISS {
                     continue;
                 }
                 let r = start + j;
                 for (ci, d) in plan.dims.iter().enumerate().skip(1) {
-                    bufs[ci].push(fact.col(&d.fk_col)[r]);
+                    self.bufs[ci].push(fact.col(&d.fk_col)[r]);
                 }
-                for (mi, mc) in measure_cols.iter().enumerate() {
-                    bufs[ndims + mi].push(fact.col(mc)[r]);
+                for (mi, mc) in self.measure_cols.iter().enumerate() {
+                    self.bufs[ndims + mi].push(fact.col(mc)[r]);
                 }
                 debug_assert!(pay0 < g0);
-                gid.push(pay0);
+                self.gid.push(pay0);
             }
-            stats.hits[0] += gid.len() as u64;
-            stats.materialized += (gid.len() * ncols) as u64;
+            self.stats.hits[0] += self.gid.len() as u64;
+            self.stats.materialized += (self.gid.len() * ncols) as u64;
             first_dim = 1;
         } else {
             let pass = |r: usize| -> bool {
@@ -120,86 +162,87 @@ pub fn execute_star_voila(plan: &StarPlan, fact: &Table, batch: usize) -> QueryO
                     continue;
                 }
                 for (ci, d) in plan.dims.iter().enumerate() {
-                    bufs[ci].push(fact.col(&d.fk_col)[r]);
+                    self.bufs[ci].push(fact.col(&d.fk_col)[r]);
                 }
-                for (mi, mc) in measure_cols.iter().enumerate() {
-                    bufs[ndims + mi].push(fact.col(mc)[r]);
+                for (mi, mc) in self.measure_cols.iter().enumerate() {
+                    self.bufs[ndims + mi].push(fact.col(mc)[r]);
                 }
-                gid.push(0);
+                self.gid.push(0);
             }
-            stats.rows_after_filter += gid.len() as u64;
-            stats.materialized += (gid.len() * (ncols + 1)) as u64;
+            self.stats.rows_after_filter += self.gid.len() as u64;
+            self.stats.materialized += (self.gid.len() * (ncols + 1)) as u64;
         }
 
         // Remaining stages: hash pass, prefetch+probe pass, compaction pass.
         for (di, dim) in plan.dims.iter().enumerate().skip(first_dim) {
-            let live = gid.len();
+            let live = self.gid.len();
             if live == 0 {
                 break;
             }
-            stats.probes[di] += live as u64;
+            self.stats.probes[di] += live as u64;
 
             // Hash pass (dense).
-            slots.clear();
-            slots.extend(bufs[di].iter().map(|&k| dim.table.slot_of(k)));
+            self.slots.clear();
+            self.slots.extend(self.bufs[di].iter().map(|&k| dim.table.slot_of(k)));
 
             // Prefetch + probe pass.
-            pay.clear();
-            pay.resize(live, 0);
+            self.pay.clear();
+            self.pay.resize(live, 0);
             for j in 0..live {
                 if j + PREFETCH_DIST < live {
-                    dim.table.prefetch(slots[j + PREFETCH_DIST]);
+                    dim.table.prefetch(self.slots[j + PREFETCH_DIST]);
                 }
-                pay[j] = dim.table.probe_at(slots[j], bufs[di][j]);
+                self.pay[j] = dim.table.probe_at(self.slots[j], self.bufs[di][j]);
             }
 
             // Compaction pass: rebuild every live buffer densely.
             let g = dim.groups as u64;
             let mut k = 0usize;
             for j in 0..live {
-                if pay[j] == MISS {
+                if self.pay[j] == MISS {
                     continue;
                 }
                 // Buffers already consumed by earlier stages are empty and
                 // skipped (e.g. the fk column of a probe run on the raw
                 // column in stage 0).
-                for b in bufs.iter_mut() {
+                for b in self.bufs.iter_mut() {
                     if b.len() == live {
                         b[k] = b[j];
                     }
                 }
-                gid[k] = gid[j] * g + pay[j];
+                self.gid[k] = self.gid[j] * g + self.pay[j];
                 k += 1;
             }
-            for b in bufs.iter_mut() {
+            for b in self.bufs.iter_mut() {
                 if b.len() == live {
                     b.truncate(k);
                 }
             }
-            gid.truncate(k);
-            stats.hits[di] += k as u64;
-            stats.materialized += (k * (ncols + 1)) as u64;
+            self.gid.truncate(k);
+            self.stats.hits[di] += k as u64;
+            self.stats.materialized += (k * (ncols + 1)) as u64;
         }
 
         // Final stage: measure evaluation over the dense buffers.
-        let live = gid.len();
+        let live = self.gid.len();
         if live > 0 {
-            stats.rows_aggregated += live as u64;
+            self.stats.rows_aggregated += live as u64;
             let vals: Vec<u64> = match &plan.measure {
-                Measure::Sum(_) => bufs[ndims][..live].to_vec(),
+                Measure::Sum(_) => self.bufs[ndims][..live].to_vec(),
                 Measure::SumProduct(_, _) => (0..live)
-                    .map(|j| bufs[ndims][j].wrapping_mul(bufs[ndims + 1][j]))
+                    .map(|j| self.bufs[ndims][j].wrapping_mul(self.bufs[ndims + 1][j]))
                     .collect(),
                 Measure::SumDiff(_, _) => (0..live)
-                    .map(|j| bufs[ndims][j].wrapping_sub(bufs[ndims + 1][j]))
+                    .map(|j| self.bufs[ndims][j].wrapping_sub(self.bufs[ndims + 1][j]))
                     .collect(),
             };
-            grouped_accumulate(&mut acc, &gid[..live], &vals);
+            grouped_accumulate(&mut self.acc, &self.gid[..live], &vals);
         }
-        start = end;
     }
 
-    QueryOutput { groups: acc, stats }
+    pub(crate) fn finish(self) -> QueryOutput {
+        QueryOutput { groups: self.acc, stats: self.stats }
+    }
 }
 
 #[cfg(test)]

@@ -165,6 +165,28 @@ impl Registry {
         Registry::parse(&text)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
+
+    /// Process-wide warmed registry, loaded once at first use.
+    ///
+    /// If `HEF_REGISTRY` names a registry file it is loaded (a warning is
+    /// printed and the default used when it cannot be read or parsed);
+    /// otherwise the registry is empty and [`Registry::get_or_default`]
+    /// serves the paper's SSB optimum `(1, 1, 3)` for every family. Engines
+    /// and benches call this at startup so repeat queries never re-tune or
+    /// re-read the file.
+    pub fn warm() -> &'static Registry {
+        static WARM: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
+        WARM.get_or_init(|| match std::env::var("HEF_REGISTRY") {
+            Ok(path) if !path.trim().is_empty() => match Registry::load(Path::new(&path)) {
+                Ok(reg) => reg,
+                Err(e) => {
+                    eprintln!("warning: HEF_REGISTRY={path}: {e}; using default nodes");
+                    Registry::default()
+                }
+            },
+            _ => Registry::default(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -224,6 +246,21 @@ mod tests {
             Registry::parse("murmur = 1 2"),
             Err(ParseError::Malformed { .. })
         ));
+    }
+
+    #[test]
+    fn warm_is_idempotent() {
+        // Two calls return the same allocation: load happens once.
+        let a = Registry::warm() as *const Registry;
+        let b = Registry::warm() as *const Registry;
+        assert_eq!(a, b);
+        if std::env::var_os("HEF_REGISTRY").is_none() {
+            // Without HEF_REGISTRY every family serves the SSB default.
+            assert_eq!(
+                Registry::warm().get_or_default(Family::Probe),
+                HybridConfig::new(1, 1, 3)
+            );
+        }
     }
 
     #[test]

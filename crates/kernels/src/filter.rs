@@ -76,10 +76,71 @@ pub unsafe fn body<B: Simd64, const V: usize, const S: usize, const P: usize>(
     }
 }
 
+/// The selection-refining filter body: compacts `sel` in place, keeping the
+/// row ids whose column value passes `lo <= x <= hi` (signed) and
+/// preserving their order. The SIMD statements gather the selected values
+/// (`vpgatherqq`), mask-compare, and compress-store the surviving row ids
+/// over the already-consumed prefix of `sel`; the write cursor always
+/// trails the read cursor, so the in-place compaction is sound.
+///
+/// # Safety
+/// Backend ISA must be available; every entry of `sel` must be a valid
+/// index into `input`.
+#[inline(always)]
+pub unsafe fn body_refine<B: Simd64, const V: usize, const S: usize, const P: usize>(
+    input: &[u64],
+    lo: u64,
+    hi: u64,
+    sel: &mut Vec<u64>,
+) {
+    const L: usize = hef_hid::LANES;
+    let n = sel.len();
+    let step = P * (V * L + S);
+    let main = if step == 0 { 0 } else { n - n % step };
+    let ptr = sel.as_mut_ptr();
+    let inp = input.as_ptr();
+
+    let lo_v = B::splat(lo);
+    let hi_v = B::splat(hi);
+
+    let mut w = 0usize;
+    let mut i = 0usize;
+    while i < main {
+        for pi in 0..P {
+            let pbase = i + pi * (V * L + S);
+            for vi in 0..V {
+                let off = pbase + vi * L;
+                let idx = B::loadu(ptr.add(off));
+                let x = B::gather(inp, idx);
+                let m = B::cmp(CmpOp::Ge, x, lo_v) & B::cmp(CmpOp::Le, x, hi_v);
+                w += B::compress_storeu(ptr.add(w), m, idx);
+            }
+            for si in 0..S {
+                let off = pbase + V * L + si;
+                let r = hef_hid::opaque64(*ptr.add(off));
+                if in_range(*inp.add(r as usize), lo, hi) {
+                    *ptr.add(w) = r;
+                    w += 1;
+                }
+            }
+        }
+        i += step;
+    }
+    for j in main..n {
+        let r = *ptr.add(j);
+        if in_range(*inp.add(r as usize), lo, hi) {
+            *ptr.add(w) = r;
+            w += 1;
+        }
+    }
+    sel.set_len(w);
+}
+
 /// Type-erasure adapter used by the generated dispatch shims.
 ///
 /// # Safety
-/// Backend ISA must be available; `io` must be [`KernelIo::Filter`].
+/// Backend ISA must be available; `io` must be [`KernelIo::Filter`] or
+/// [`KernelIo::FilterRefine`].
 #[inline(always)]
 pub unsafe fn run<B: Simd64, const V: usize, const S: usize, const P: usize>(
     io: &mut KernelIo<'_>,
@@ -88,7 +149,10 @@ pub unsafe fn run<B: Simd64, const V: usize, const S: usize, const P: usize>(
         KernelIo::Filter { input, lo, hi, base, sel } => {
             body::<B, V, S, P>(input, *lo, *hi, *base, sel)
         }
-        _ => panic!("filter kernel requires KernelIo::Filter"),
+        KernelIo::FilterRefine { input, lo, hi, sel } => {
+            body_refine::<B, V, S, P>(input, *lo, *hi, sel)
+        }
+        _ => panic!("filter kernel requires KernelIo::Filter or KernelIo::FilterRefine"),
     }
 }
 
@@ -132,6 +196,45 @@ mod tests {
         let mut sel = Vec::new();
         unsafe { body::<Emu, 1, 1, 1>(&input, 0, 10, 0, &mut sel) };
         assert_eq!(sel, vec![1, 2]);
+    }
+
+    #[test]
+    fn refine_matches_reference_in_order() {
+        let input: Vec<u64> = (0..1500).map(|i| (i * 53) % 200).collect();
+        // Start from an arbitrary selection (every third row) and refine it.
+        let start: Vec<u64> = (0..input.len() as u64).filter(|r| r % 3 == 0).collect();
+        let expect: Vec<u64> = start
+            .iter()
+            .copied()
+            .filter(|&r| in_range(input[r as usize], 40, 120))
+            .collect();
+        for (v, s, p) in [(0, 1, 1), (1, 0, 1), (1, 2, 2), (2, 1, 3)] {
+            let mut sel = start.clone();
+            unsafe {
+                match (v, s, p) {
+                    (0, 1, 1) => body_refine::<Emu, 0, 1, 1>(&input, 40, 120, &mut sel),
+                    (1, 0, 1) => body_refine::<Emu, 1, 0, 1>(&input, 40, 120, &mut sel),
+                    (1, 2, 2) => body_refine::<Emu, 1, 2, 2>(&input, 40, 120, &mut sel),
+                    (2, 1, 3) => body_refine::<Emu, 2, 1, 3>(&input, 40, 120, &mut sel),
+                    _ => unreachable!(),
+                }
+            }
+            assert_eq!(sel, expect, "({v},{s},{p})");
+        }
+    }
+
+    #[test]
+    fn refine_empty_none_and_all() {
+        let input: Vec<u64> = (0..300).collect();
+        let mut sel: Vec<u64> = Vec::new();
+        unsafe { body_refine::<Emu, 1, 1, 2>(&input, 0, 10, &mut sel) };
+        assert!(sel.is_empty());
+        let mut sel: Vec<u64> = (0..300).collect();
+        unsafe { body_refine::<Emu, 1, 1, 2>(&input, 500, 600, &mut sel) };
+        assert!(sel.is_empty());
+        let mut sel: Vec<u64> = (0..300).collect();
+        unsafe { body_refine::<Emu, 1, 1, 2>(&input, 0, 299, &mut sel) };
+        assert_eq!(sel, (0..300).collect::<Vec<u64>>());
     }
 
     #[test]

@@ -168,6 +168,16 @@ pub enum KernelIo<'a> {
         base: u64,
         sel: &'a mut Vec<u64>,
     },
+    /// Selection-refining range filter: compacts `sel` in place, keeping
+    /// only the rows `r` with `lo <= input[r] <= hi` (signed). Every entry
+    /// of `sel` must be in bounds of `input`. Runs on the [`Family::Filter`]
+    /// grid (secondary fact-table predicates of multi-filter queries).
+    FilterRefine {
+        input: &'a [u64],
+        lo: u64,
+        hi: u64,
+        sel: &'a mut Vec<u64>,
+    },
     /// Sum aggregation over `a`; result accumulated into `acc` (wrapping).
     AggSum { a: &'a [u64], acc: &'a mut u64 },
     /// Sum-of-products over `a`, `b`; result accumulated into `acc`

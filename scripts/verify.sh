@@ -9,4 +9,14 @@ cargo test -q --offline
 cargo test --workspace -q --offline
 cargo bench -p hef-bench --no-run --offline
 
+# Exercise both executor paths: serial (HEF_THREADS=1) and the morsel-driven
+# parallel scheduler (HEF_THREADS=4), which auto-resolved thread counts route
+# through whenever more than one worker is requested.
+HEF_THREADS=1 cargo test -q --offline --test parallel_differential --test end_to_end
+HEF_THREADS=4 cargo test -q --offline --test parallel_differential --test end_to_end
+
+# Cheap end-to-end run of the thread-scaling bench (asserts parallel output
+# equals serial on a real SSB query).
+cargo bench -p hef-bench --bench scaling --offline -- --smoke
+
 echo "verify: OK"

@@ -121,6 +121,37 @@ fn filter_agrees_across_backends_including_signed_edges() {
 }
 
 #[test]
+fn filter_refine_agrees_across_backends_and_nodes() {
+    // The selection-refining variant (secondary fact filters): start from a
+    // random selection and keep only in-range rows, in order, in place.
+    let mut input = random_input(4096, 123);
+    input[7] = 50;
+    input[8] = 100;
+    input[9] = (-3i64) as u64;
+    let (lo, hi) = (50u64, 100u64);
+    let mut rng = Rng::seed_from_u64(321);
+    for n in [0usize, 1, 7, 272, 273, 1999] {
+        let start: Vec<u64> = (0..n).map(|_| rng.gen_range(0..4096u64)).collect();
+        let expect: Vec<u64> = start
+            .iter()
+            .copied()
+            .filter(|&r| {
+                let x = input[r as usize] as i64;
+                lo as i64 <= x && x <= hi as i64
+            })
+            .collect();
+        for backend in backends() {
+            for cfg in sample_nodes() {
+                let mut sel = start.clone();
+                let mut io = KernelIo::FilterRefine { input: &input, lo, hi, sel: &mut sel };
+                assert!(run_on(Family::Filter, cfg, backend, &mut io));
+                assert_eq!(sel, expect, "n={n} {cfg} {backend:?}");
+            }
+        }
+    }
+}
+
+#[test]
 fn aggregations_agree_across_backends_with_wraparound() {
     let a = random_input(1537, 4);
     let b = random_input(1537, 5);

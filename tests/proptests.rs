@@ -7,8 +7,12 @@
 //! `HEF_PROP_SEED=0x… cargo test --test proptests <name>`.
 
 use hef::core::{optimizer, templates, translate, HybridConfig};
+use hef::engine::{
+    build_dimension, execute_star, execute_star_parallel, ExecConfig, Measure, StarPlan,
+};
 use hef::hid::Backend;
 use hef::kernels::{run_on, Family, KernelIo, ProbeTable, P_AXIS, S_AXIS, V_AXIS};
+use hef::storage::{Column, Table};
 use hef::uarch::{simulate, CpuModel};
 use hef_testutil::rng::Rng;
 use hef_testutil::{prop, prop_assert, prop_assert_eq, strategy};
@@ -175,6 +179,94 @@ fn simulator_ipc_bounded_and_deterministic() {
         prop_assert_eq!(total, a.cycles);
         Ok(())
     });
+}
+
+#[test]
+fn filter_refine_equals_retain() {
+    let gen = |rng: &mut Rng| {
+        let input = strategy::vec_of(strategy::any_u64(), 1..800)(rng);
+        let m = input.len() as u64;
+        let sel = strategy::vec_of(strategy::in_range(0..m), 0..500)(rng);
+        let lo = rng.next_u64() as i64;
+        let span = rng.gen_range(0..u64::MAX >> 1) as i64;
+        (input, sel, lo, lo.saturating_add(span), grid_node(rng))
+    };
+    prop::check("filter_refine_equals_retain", gen, |(input, sel, lo, hi, cfg)| {
+        let mut expect = sel.clone();
+        expect.retain(|&r| {
+            let x = input[r as usize] as i64;
+            *lo <= x && x <= *hi
+        });
+        let mut got = sel.clone();
+        let mut io = KernelIo::FilterRefine {
+            input,
+            lo: *lo as u64,
+            hi: *hi as u64,
+            sel: &mut got,
+        };
+        prop_assert!(run_on(Family::Filter, *cfg, Backend::native(), &mut io));
+        prop_assert_eq!(got, expect);
+        Ok(())
+    });
+}
+
+#[test]
+fn parallel_execution_is_schedule_invariant() {
+    // Morsel interleaving must never change the answer: for a random star
+    // query, random batch size, and random thread counts, the merged groups
+    // and stats are identical to the single-worker run — and to a repeated
+    // run at another thread count (per-thread accumulators merge by
+    // commutative wrapping adds).
+    let gen = |rng: &mut Rng| {
+        let n = rng.gen_range(0..6000u64);
+        let domain = rng.gen_range(1..300u64);
+        let fact_rows = strategy::vec_of(strategy::in_range(0..domain), n as usize..n as usize + 1)(rng);
+        let batch = [64usize, 256, 1024][rng.gen_range(0..3usize)];
+        let t1 = rng.gen_range(2..8usize);
+        let t2 = rng.gen_range(2..8usize);
+        (fact_rows, domain, batch, t1, t2)
+    };
+    prop::check(
+        "parallel_execution_is_schedule_invariant",
+        gen,
+        |(fact_rows, domain, batch, t1, t2)| {
+            let mut fact = Table::new("fact");
+            fact.add_column(Column::new("fk", fact_rows.clone()));
+            fact.add_column(Column::new(
+                "rev",
+                (0..fact_rows.len() as u64).map(|i| i % 13 + 1).collect(),
+            ));
+            let mut dim = Table::new("dim");
+            dim.add_column(Column::new("key", (0..*domain).collect()));
+            let cut = (*domain).div_ceil(2);
+            let d = build_dimension(
+                &dim,
+                "key",
+                |r| dim.col("key")[r] < cut,
+                |r| dim.col("key")[r] % 4,
+                4,
+                "fk",
+            );
+            let plan = StarPlan {
+                name: "prop".into(),
+                filters: vec![],
+                dims: vec![d],
+                measure: Measure::Sum("rev".into()),
+            };
+            let mut cfg = ExecConfig::hybrid_default().with_threads(1);
+            cfg.batch = *batch;
+            let serial = execute_star(&plan, &fact, &cfg);
+            let a = execute_star_parallel(&plan, &fact, &cfg, *t1);
+            let b = execute_star_parallel(&plan, &fact, &cfg, *t2);
+            let a2 = execute_star_parallel(&plan, &fact, &cfg, *t1);
+            prop_assert_eq!(&a.groups, &serial.groups);
+            prop_assert_eq!(&a.stats, &serial.stats);
+            prop_assert_eq!(&b.groups, &serial.groups);
+            prop_assert_eq!(&b.stats, &serial.stats);
+            prop_assert_eq!(&a2.groups, &a.groups);
+            Ok(())
+        },
+    );
 }
 
 #[test]
