@@ -29,7 +29,7 @@
 
 use hef_bench::config::{exec_config, tuned_hybrid};
 use hef_bench::counters::{issue_histogram, model_kernel, model_query};
-use hef_bench::measure::{kernel_input, measure_kernel, measure_query};
+use hef_bench::measure::{kernel_input, measure_kernel, measure_query, measure_query_reported};
 use hef_bench::report::{eng, f2, TableWriter};
 use hef_core::{optimizer, space, templates, tune_measured, tune_simulated, Registry};
 use hef_engine::Flavor;
@@ -112,7 +112,17 @@ fn ssb_figure(fig: &str, scale: &str, opts: &Opts) {
         let mut modeled: Vec<(f64, f64)> = Vec::new();
         for flavor in Flavor::ALL {
             let cfg = exec_config(flavor);
-            let (m, out) = measure_query(&plan, &data.lineorder, &cfg, opts.repeats);
+            let (m, out, report) = measure_query_reported(&plan, &data.lineorder, &cfg, opts.repeats);
+            if !report.is_clean() {
+                eprintln!(
+                    "[exec] {} {}: recovered run — {} morsels retried, {} workers lost{}",
+                    q.name(),
+                    flavor.name(),
+                    report.morsels_retried,
+                    report.workers_lost,
+                    if report.degraded_to_serial { ", degraded to serial" } else { "" }
+                );
+            }
             ms.push(m.ms());
             modeled.push((
                 model_query(&silver, flavor, &out.stats).time_ms,
@@ -381,7 +391,9 @@ fn ablation_dynamic(opts: &Opts) {
 fn tune(opts: &Opts) {
     println!("\n=== HEF offline tuning on this machine (measured) ===\n");
     let n = opts.n.min(4_000_000);
-    let mut reg = Registry::new("this machine (repro tune)");
+    // Stamp the saved registry with this machine's ISA so a later warm-load
+    // on a different backend detects the staleness and re-derives nodes.
+    let mut reg = Registry::with_host_provenance("this machine (repro tune)");
     for family in Family::ALL {
         let t = tune_measured(family, n);
         println!("  {}", t.describe());

@@ -1,7 +1,7 @@
 //! Wall-clock measurement on the build machine, on top of the
 //! `hef-testutil` clock discipline (warm-up run, best-of-k wall time).
 
-use hef_engine::{execute_star, ExecConfig, QueryOutput, StarPlan};
+use hef_engine::{execute_star, try_execute_star, ExecConfig, ExecReport, QueryOutput, StarPlan};
 use hef_kernels::{run_on, Family, HybridConfig, KernelIo};
 use hef_storage::Table;
 
@@ -18,6 +18,25 @@ impl Measured {
 }
 
 /// Execute `plan` `repeats` times under `cfg` and return the best time and
+/// the (identical every run) output, plus the executor's fault-recovery
+/// report from the untimed warm-up run. A degraded run still measures, but
+/// the report lets the harness flag numbers taken under recovery.
+pub fn measure_query_reported(
+    plan: &StarPlan,
+    fact: &Table,
+    cfg: &ExecConfig,
+    repeats: usize,
+) -> (Measured, QueryOutput, ExecReport) {
+    // The (identical every run) result, with recovery accounting.
+    let (out, report) = try_execute_star(plan, fact, cfg)
+        .unwrap_or_else(|e| panic!("bench query failed: {e}"));
+    let secs = hef_testutil::time_best_of(repeats, || {
+        execute_star(plan, fact, cfg);
+    });
+    (Measured { secs }, out, report)
+}
+
+/// Execute `plan` `repeats` times under `cfg` and return the best time and
 /// the (identical every run) output.
 pub fn measure_query(
     plan: &StarPlan,
@@ -25,11 +44,8 @@ pub fn measure_query(
     cfg: &ExecConfig,
     repeats: usize,
 ) -> (Measured, QueryOutput) {
-    let out = execute_star(plan, fact, cfg); // the (identical every run) result
-    let secs = hef_testutil::time_best_of(repeats, || {
-        execute_star(plan, fact, cfg);
-    });
-    (Measured { secs }, out)
+    let (m, out, _) = measure_query_reported(plan, fact, cfg, repeats);
+    (m, out)
 }
 
 /// Measure a map-family kernel (murmur / crc64) over `input`.

@@ -29,10 +29,12 @@ pub mod voila;
 
 pub use dynamic::{choose_flavor, execute_star_dynamic, Selection};
 pub use ops::{gather_keys, grouped_accumulate};
-pub use parallel::{execute_star_parallel, resolve_threads};
+pub use parallel::{
+    execute_star_parallel, resolve_threads, try_execute_star_parallel, ExecError, ExecReport,
+};
 pub use star::{
-    build_dimension, execute_star, DimJoin, ExecConfig, ExecStats, Flavor, Measure,
-    QueryOutput, RangeFilter, StarPlan,
+    build_dimension, execute_star, try_execute_star, DimJoin, ExecConfig, ExecStats, Flavor,
+    Measure, QueryOutput, RangeFilter, StarPlan,
 };
 
 pub use hef_kernels::{HybridConfig, ProbeTable, MISS};

@@ -17,10 +17,22 @@
 //! independent of which worker claimed which morsel and of merge order —
 //! parallel output is bit-identical to the serial path at any thread count.
 //! The differential and property tests in `tests/` pin this down.
+//!
+//! Fault tolerance: each morsel is executed under `catch_unwind`. A panic
+//! discards the whole worker (its partial accumulations are unmergeable),
+//! requeues everything that worker had completed plus the poisoned range,
+//! and a fresh worker takes over. A range that keeps failing degrades the
+//! query to the serial `PipelineWorker` path; if even that panics the caller
+//! gets a typed [`ExecError`]. Every recovery action is counted in the
+//! [`ExecReport`] returned beside the (bit-identical) output — a worker
+//! crash can change a query's latency, never its result.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use hef_storage::Table;
+use hef_testutil::fault;
 
 use crate::star::{ExecConfig, ExecStats, Flavor, PipelineWorker, QueryOutput, StarPlan};
 use crate::voila::VoilaWorker;
@@ -31,18 +43,51 @@ use crate::voila::VoilaWorker;
 /// on skewed selectivity and the per-batch working set stays cache-resident.
 pub const MORSEL_BATCHES: usize = 4;
 
+/// Hard ceiling on worker threads: 4× the machine's available parallelism
+/// (at least 4). More workers than that cannot help a CPU-bound pipeline
+/// and an absurd request (a typo'd `HEF_THREADS=100000`) must not spawn
+/// unbounded threads.
+fn thread_cap() -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .saturating_mul(4)
+        .max(4)
+}
+
 /// Resolve a requested worker-thread count: an explicit nonzero request
 /// wins; otherwise the `HEF_THREADS` environment variable; otherwise
-/// [`std::thread::available_parallelism`].
+/// [`std::thread::available_parallelism`]. Requests beyond 4× the available
+/// parallelism are clamped, and a malformed `HEF_THREADS` is reported once
+/// instead of being silently ignored.
 pub fn resolve_threads(requested: usize) -> usize {
+    static WARN_CLAMP: std::sync::Once = std::sync::Once::new();
+    static WARN_BAD_ENV: std::sync::Once = std::sync::Once::new();
+    let cap = thread_cap();
+    let clamp = |n: usize| {
+        if n > cap {
+            WARN_CLAMP.call_once(|| {
+                eprintln!(
+                    "warning: hef: {n} worker threads requested; clamping to {cap} \
+                     (4x available parallelism)"
+                );
+            });
+            cap
+        } else {
+            n
+        }
+    };
     if requested > 0 {
-        return requested;
+        return clamp(requested);
     }
     if let Ok(v) = std::env::var("HEF_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
+        match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return clamp(n),
+            _ => WARN_BAD_ENV.call_once(|| {
+                eprintln!(
+                    "warning: hef: HEF_THREADS=`{v}` is not a positive integer; \
+                     using available parallelism"
+                );
+            }),
         }
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -80,43 +125,256 @@ impl<'a> AnyWorker<'a> {
     }
 }
 
+/// Per-query fault-recovery counters, returned beside the output by
+/// [`crate::try_execute_star`]. A clean run is all zeros.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecReport {
+    /// Worker threads the query ran with (1 = serial path).
+    pub threads: usize,
+    /// Morsel ranges re-executed because a worker was lost (the poisoned
+    /// range plus every range the dead worker had already completed).
+    pub morsels_retried: usize,
+    /// Workers discarded after a panic (each is replaced in place).
+    pub workers_lost: usize,
+    /// The parallel attempt was abandoned and the query re-run serially.
+    pub degraded_to_serial: bool,
+}
+
+impl ExecReport {
+    /// `true` when no fault-recovery action was needed.
+    pub fn is_clean(&self) -> bool {
+        self.morsels_retried == 0 && self.workers_lost == 0 && !self.degraded_to_serial
+    }
+}
+
+/// Typed executor failure: every rung of the degradation ladder (retry,
+/// worker replacement, serial fallback) was exhausted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The serial fallback itself panicked.
+    Failed { query: String, message: String },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Failed { query, message } => {
+                write!(f, "query `{query}` failed after exhausting degradation ladder: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Failures tolerated per morsel range before the query abandons the
+/// parallel path and degrades to serial.
+const MAX_MORSEL_RETRIES: u32 = 2;
+
+/// Shared scheduling state: the fresh-work cursor plus the retry queue of
+/// `(lo, hi, attempts)` ranges reclaimed from dead workers.
+struct Scheduler {
+    n: usize,
+    morsel: usize,
+    cursor: AtomicUsize,
+    retry: Mutex<Vec<(usize, usize, u32)>>,
+    /// Ranges claimed but not yet completed or requeued. Workers only exit
+    /// when the cursor is exhausted, the retry queue is empty, and nothing
+    /// is in flight — an in-flight range may still fail and be requeued.
+    in_flight: AtomicUsize,
+    /// A range exceeded [`MAX_MORSEL_RETRIES`]: stop everything, go serial.
+    give_up: AtomicBool,
+    retried: AtomicUsize,
+    workers_lost: AtomicUsize,
+}
+
+impl Scheduler {
+    fn claim(&self) -> Option<(usize, usize, u32)> {
+        loop {
+            if self.give_up.load(Ordering::Acquire) {
+                return None;
+            }
+            {
+                let mut q = self.retry.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(r) = q.pop() {
+                    self.in_flight.fetch_add(1, Ordering::AcqRel);
+                    return Some(r);
+                }
+            }
+            let lo = self.cursor.fetch_add(self.morsel, Ordering::Relaxed);
+            if lo < self.n {
+                self.in_flight.fetch_add(1, Ordering::AcqRel);
+                return Some((lo, (lo + self.morsel).min(self.n), 0));
+            }
+            // Fresh work is exhausted. If anything is still in flight it may
+            // yet be requeued, so wait; otherwise we are done.
+            if self.in_flight.load(Ordering::Acquire) == 0 {
+                let empty =
+                    self.retry.lock().unwrap_or_else(|e| e.into_inner()).is_empty();
+                if empty && self.in_flight.load(Ordering::Acquire) == 0 {
+                    return None;
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    fn complete(&self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Requeue ranges after a worker loss. The poisoned range's attempt
+    /// count carries forward; replayed (previously completed) ranges start
+    /// fresh. Pushes happen before the in-flight decrement so no worker can
+    /// observe "queue empty and nothing in flight" mid-requeue.
+    fn requeue(&self, poisoned: (usize, usize, u32), done: &[(usize, usize)]) {
+        let (lo, hi, attempts) = poisoned;
+        self.workers_lost.fetch_add(1, Ordering::AcqRel);
+        if attempts >= MAX_MORSEL_RETRIES {
+            self.give_up.store(true, Ordering::Release);
+            self.complete();
+            return;
+        }
+        {
+            let mut q = self.retry.lock().unwrap_or_else(|e| e.into_inner());
+            q.push((lo, hi, attempts + 1));
+            for &(dlo, dhi) in done {
+                q.push((dlo, dhi, 0));
+            }
+        }
+        self.retried.fetch_add(1 + done.len(), Ordering::AcqRel);
+        self.complete();
+    }
+}
+
+/// One fault-isolated worker loop: claim ranges, run each under
+/// `catch_unwind`, and on a panic discard the whole worker (partial
+/// accumulations are unmergeable), requeue its completed ranges plus the
+/// poisoned one, and start over with a fresh worker. Returns `None` when
+/// the query gave up on the parallel path.
+fn worker_loop<'a>(
+    wid: usize,
+    sched: &Scheduler,
+    plan: &'a StarPlan,
+    fact: &'a Table,
+    cfg: &'a ExecConfig,
+) -> Option<QueryOutput> {
+    let mut w = AnyWorker::new(plan, fact, cfg);
+    let mut done: Vec<(usize, usize)> = Vec::new();
+    while let Some((lo, hi, attempts)) = sched.claim() {
+        let morsel_idx = lo / sched.morsel;
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            fault::maybe_panic_worker(wid, morsel_idx, fault::Phase::Before);
+            w.run_range(lo, hi);
+            fault::maybe_panic_worker(wid, morsel_idx, fault::Phase::After);
+        }));
+        match run {
+            Ok(()) => {
+                done.push((lo, hi));
+                sched.complete();
+            }
+            Err(_) => {
+                sched.requeue((lo, hi, attempts), &done);
+                w = AnyWorker::new(plan, fact, cfg);
+                done.clear();
+            }
+        }
+    }
+    if sched.give_up.load(Ordering::Acquire) {
+        return None;
+    }
+    Some(w.finish())
+}
+
 /// Execute `plan` with `threads` workers pulling morsels from a shared
-/// atomic cursor. Callers normally go through [`crate::execute_star`], which
-/// resolves the thread count first.
+/// atomic cursor, with the full degradation ladder. Callers normally go
+/// through [`crate::try_execute_star`], which resolves the thread count
+/// first.
+pub fn try_execute_star_parallel(
+    plan: &StarPlan,
+    fact: &Table,
+    cfg: &ExecConfig,
+    threads: usize,
+) -> Result<(QueryOutput, ExecReport), ExecError> {
+    let threads = threads.max(1);
+    let sched = Scheduler {
+        n: fact.len(),
+        morsel: (MORSEL_BATCHES * cfg.batch).max(1),
+        cursor: AtomicUsize::new(0),
+        retry: Mutex::new(Vec::new()),
+        in_flight: AtomicUsize::new(0),
+        give_up: AtomicBool::new(false),
+        retried: AtomicUsize::new(0),
+        workers_lost: AtomicUsize::new(0),
+    };
+
+    let mut outputs: Vec<QueryOutput> = Vec::with_capacity(threads);
+    let mut worker_escaped = false;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|wid| {
+                let sched = &sched;
+                s.spawn(move || worker_loop(wid, sched, plan, fact, cfg))
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(Some(out)) => outputs.push(out),
+                Ok(None) => {}
+                // A panic outside the catch_unwind window (worker
+                // construction, finish): treat like any worker loss and
+                // degrade.
+                Err(_) => worker_escaped = true,
+            }
+        }
+    });
+
+    let mut report = ExecReport {
+        threads,
+        morsels_retried: sched.retried.load(Ordering::Acquire),
+        workers_lost: sched.workers_lost.load(Ordering::Acquire),
+        degraded_to_serial: false,
+    };
+    if sched.give_up.load(Ordering::Acquire) || worker_escaped {
+        if worker_escaped {
+            report.workers_lost += 1;
+        }
+        report.degraded_to_serial = true;
+        let out = run_serial_guarded(plan, fact, cfg)?;
+        return Ok((out, report));
+    }
+    Ok((merge_outputs(plan, outputs), report))
+}
+
+/// The serial path, panic-guarded: its failure is the ladder's last rung
+/// and becomes a typed [`ExecError`].
+pub(crate) fn run_serial_guarded(
+    plan: &StarPlan,
+    fact: &Table,
+    cfg: &ExecConfig,
+) -> Result<QueryOutput, ExecError> {
+    catch_unwind(AssertUnwindSafe(|| crate::star::execute_star_serial(plan, fact, cfg)))
+        .map_err(|payload| {
+            let message = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            ExecError::Failed { query: plan.name.clone(), message }
+        })
+}
+
+/// Panicking convenience over [`try_execute_star_parallel`], for callers
+/// that treat an exhausted degradation ladder as fatal.
 pub fn execute_star_parallel(
     plan: &StarPlan,
     fact: &Table,
     cfg: &ExecConfig,
     threads: usize,
 ) -> QueryOutput {
-    let n = fact.len();
-    let threads = threads.max(1);
-    let morsel = (MORSEL_BATCHES * cfg.batch).max(1);
-    let cursor = AtomicUsize::new(0);
-
-    let mut outputs: Vec<QueryOutput> = Vec::with_capacity(threads);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let cursor = &cursor;
-                s.spawn(move || {
-                    let mut w = AnyWorker::new(plan, fact, cfg);
-                    loop {
-                        let lo = cursor.fetch_add(morsel, Ordering::Relaxed);
-                        if lo >= n {
-                            break;
-                        }
-                        w.run_range(lo, (lo + morsel).min(n));
-                    }
-                    w.finish()
-                })
-            })
-            .collect();
-        for h in handles {
-            outputs.push(h.join().expect("parallel worker panicked"));
-        }
-    });
-    merge_outputs(plan, outputs)
+    try_execute_star_parallel(plan, fact, cfg, threads)
+        .map(|(out, _)| out)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Merge per-worker outputs into one [`QueryOutput`]. Group cells and every
@@ -210,6 +468,48 @@ mod tests {
     fn explicit_thread_request_wins_over_auto() {
         assert_eq!(resolve_threads(3), 3);
         assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn absurd_thread_requests_are_clamped() {
+        let cap = thread_cap();
+        assert_eq!(resolve_threads(1_000_000), cap);
+        assert!(resolve_threads(cap) == cap);
+    }
+
+    #[test]
+    fn worker_panic_recovers_bit_identical() {
+        use hef_testutil::fault::{with_plan, FaultPlan, WorkerPanic};
+        let (fact, plan) = toy(20_000);
+        let cfg = ExecConfig::hybrid_default();
+        let serial = execute_star_serial(&plan, &fact, &cfg);
+        let faults = FaultPlan {
+            worker_panics: vec![WorkerPanic {
+                worker: None,
+                morsel: 2,
+                times: 1,
+                after: false,
+            }],
+            ..Default::default()
+        };
+        with_plan(faults, || {
+            let (out, report) =
+                try_execute_star_parallel(&plan, &fact, &cfg, 4).expect("recovers");
+            assert_eq!(out, serial, "recovery changed the result");
+            assert_eq!(report.workers_lost, 1);
+            assert!(report.morsels_retried >= 1);
+            assert!(!report.degraded_to_serial);
+            assert!(!report.is_clean());
+        });
+    }
+
+    #[test]
+    fn clean_run_reports_clean() {
+        let (fact, plan) = toy(10_000);
+        let cfg = ExecConfig::hybrid_default();
+        let (_, report) = try_execute_star_parallel(&plan, &fact, &cfg, 3).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.threads, 3);
     }
 
     #[test]

@@ -297,15 +297,42 @@ pub fn build_dimension(
 /// serial pipeline directly (identical code either way: the parallel path is
 /// the same per-worker pipeline over morsels instead of the whole table).
 pub fn execute_star(plan: &StarPlan, fact: &Table, cfg: &ExecConfig) -> QueryOutput {
-    let threads = crate::parallel::resolve_threads(cfg.threads);
-    if threads > 1 {
-        return crate::parallel::execute_star_parallel(plan, fact, cfg, threads);
-    }
-    execute_star_serial(plan, fact, cfg)
+    try_execute_star(plan, fact, cfg)
+        .map(|(out, _)| out)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// The serial path: one worker over the whole fact table.
+/// Execute `plan` with the full degradation ladder, returning the output
+/// together with the [`ExecReport`] of every recovery action (morsels
+/// retried, workers lost, serial degradation). The output is bit-identical
+/// to a clean run's — recovery can change latency, never results; a typed
+/// [`ExecError`] comes back only when even the serial fallback fails.
+///
+/// [`ExecReport`]: crate::parallel::ExecReport
+/// [`ExecError`]: crate::parallel::ExecError
+pub fn try_execute_star(
+    plan: &StarPlan,
+    fact: &Table,
+    cfg: &ExecConfig,
+) -> Result<(QueryOutput, crate::parallel::ExecReport), crate::parallel::ExecError> {
+    let threads = crate::parallel::resolve_threads(cfg.threads);
+    if threads > 1 {
+        return crate::parallel::try_execute_star_parallel(plan, fact, cfg, threads);
+    }
+    let report = crate::parallel::ExecReport { threads: 1, ..Default::default() };
+    crate::parallel::run_serial_guarded(plan, fact, cfg).map(|out| (out, report))
+}
+
+/// The serial path: one worker over the whole fact table. Consults the
+/// fault harness once (worker id [`hef_testutil::fault::SERIAL_WORKER`],
+/// morsel 0) so unrestricted `HEF_FAULT=panic:morsel=0` plans exercise the
+/// ladder's last rung too.
 pub(crate) fn execute_star_serial(plan: &StarPlan, fact: &Table, cfg: &ExecConfig) -> QueryOutput {
+    hef_testutil::fault::maybe_panic_worker(
+        hef_testutil::fault::SERIAL_WORKER,
+        0,
+        hef_testutil::fault::Phase::Before,
+    );
     if cfg.flavor == Flavor::Voila {
         let mut w = crate::voila::VoilaWorker::new(plan, fact, cfg.batch);
         w.run_range(0, fact.len());

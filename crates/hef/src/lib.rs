@@ -36,6 +36,7 @@
 //!   paper describes.
 
 pub mod candidate;
+pub mod error;
 pub mod ir;
 pub mod optimizer;
 pub mod parse;
@@ -46,11 +47,17 @@ pub mod translate;
 pub mod tuner;
 
 pub use candidate::initial_candidate;
+pub use error::{on_grid, HefError};
 pub use ir::{Operand, OperatorTemplate, Stmt};
-pub use optimizer::{optimize, CostEvaluator, MeasuredCost, SearchOutcome, SimulatedCost};
+pub use optimizer::{
+    optimize, try_neighbors, CostEvaluator, MeasuredCost, SearchOutcome, SimulatedCost,
+    SpikedCost,
+};
 pub use parse::{parse_file, parse_template, render_template};
-pub use registry::Registry;
-pub use translate::{translate, to_loop_body, TargetCode};
-pub use tuner::{tune_measured, tune_simulated, TunedOperator};
+pub use registry::{Registry, RegistryIssue, WarmReport};
+pub use translate::{translate, to_loop_body, try_to_loop_body, try_translate, TargetCode};
+pub use tuner::{
+    try_tune_source, try_tune_template, tune_measured, tune_simulated, TunedOperator,
+};
 
 pub use hef_kernels::{Family, HybridConfig};

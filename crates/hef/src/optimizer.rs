@@ -20,6 +20,7 @@ use hef_kernels::{
 };
 use hef_uarch::CpuModel;
 
+use crate::error::HefError;
 use crate::ir::OperatorTemplate;
 use crate::translate::to_loop_body;
 
@@ -50,8 +51,8 @@ impl SearchOutcome {
     }
 }
 
-fn axis_neighbors(x: usize, axis: &[usize]) -> Vec<usize> {
-    let i = axis.iter().position(|&a| a == x).expect("value on axis");
+fn axis_neighbors(x: usize, axis: &[usize]) -> Option<Vec<usize>> {
+    let i = axis.iter().position(|&a| a == x)?;
     let mut out = Vec::new();
     if i > 0 {
         out.push(axis[i - 1]);
@@ -59,27 +60,96 @@ fn axis_neighbors(x: usize, axis: &[usize]) -> Vec<usize> {
     if i + 1 < axis.len() {
         out.push(axis[i + 1]);
     }
-    out
+    Some(out)
 }
 
 /// Neighbours of `cfg` on the compiled grid: one axis step in `v`, `s`, or
-/// `p`, excluding the empty `(0,0,·)` column.
-pub fn neighbors(cfg: HybridConfig) -> Vec<HybridConfig> {
+/// `p`, excluding the empty `(0,0,·)` column. Off-grid nodes have no axis
+/// position to step from, so they are a typed error.
+pub fn try_neighbors(cfg: HybridConfig) -> Result<Vec<HybridConfig>, HefError> {
+    let (Some(vs), Some(ss), Some(ps)) = (
+        axis_neighbors(cfg.v, V_AXIS),
+        axis_neighbors(cfg.s, S_AXIS),
+        axis_neighbors(cfg.p, P_AXIS),
+    ) else {
+        return Err(HefError::off_grid(cfg));
+    };
     let mut out = Vec::new();
-    for v in axis_neighbors(cfg.v, V_AXIS) {
+    for v in vs {
         if v + cfg.s >= 1 {
             out.push(HybridConfig { v, ..cfg });
         }
     }
-    for s in axis_neighbors(cfg.s, S_AXIS) {
+    for s in ss {
         if cfg.v + s >= 1 {
             out.push(HybridConfig { s, ..cfg });
         }
     }
-    for p in axis_neighbors(cfg.p, P_AXIS) {
+    for p in ps {
         out.push(HybridConfig { p, ..cfg });
     }
-    out
+    Ok(out)
+}
+
+/// Panicking convenience over [`try_neighbors`] for known-on-grid nodes.
+pub fn neighbors(cfg: HybridConfig) -> Vec<HybridConfig> {
+    try_neighbors(cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Relative band within which two measurements are treated as a near-tie
+/// that one sample cannot decide, triggering median-of-3 re-measurement.
+const NEAR_TIE_BAND: f64 = 0.08;
+
+/// A measurement this many times worse than its reference is treated as a
+/// suspected outlier (interference, an injected spike) and re-measured.
+const OUTLIER_FACTOR: f64 = 3.0;
+
+/// NaN is an evaluator bug, not a price; treat it as unaffordable so the
+/// search's total order stays meaningful.
+fn sanitize(c: f64) -> f64 {
+    if c.is_nan() {
+        f64::INFINITY
+    } else {
+        c
+    }
+}
+
+fn median_of_3(eval: &mut dyn CostEvaluator, cfg: HybridConfig, first: f64) -> f64 {
+    let mut xs = [first, sanitize(eval.cost(cfg)), sanitize(eval.cost(cfg))];
+    xs.sort_by(f64::total_cmp);
+    xs[1]
+}
+
+/// One robust measurement: a single sample, re-measured (median of 3) when
+/// it is decision-critical — a near-tie with the expanded node, a suspected
+/// outlier, or a would-be new global best. This is the policy that keeps a
+/// single noisy sample from steering the search: winners/losers separated
+/// by a clear margin are accepted on one sample, but anything that would
+/// flip a classification or the final answer gets confirmed.
+fn robust_cost(
+    eval: &mut dyn CostEvaluator,
+    cfg: HybridConfig,
+    reference: Option<f64>,
+    running_best: f64,
+) -> f64 {
+    let c = sanitize(eval.cost(cfg));
+    if !c.is_finite() {
+        return c;
+    }
+    let suspicious = match reference {
+        Some(r) if r.is_finite() => {
+            let scale = c.abs().max(r.abs());
+            (c - r).abs() <= NEAR_TIE_BAND * scale || c > r * OUTLIER_FACTOR
+        }
+        // No finite reference (the initial node): it seeds every later
+        // comparison, so always confirm it.
+        _ => true,
+    };
+    if suspicious || c < running_best {
+        median_of_3(eval, cfg, c)
+    } else {
+        c
+    }
 }
 
 /// Run Algorithm 2 from `initial`.
@@ -89,9 +159,10 @@ pub fn optimize(initial: HybridConfig, eval: &mut dyn CostEvaluator) -> SearchOu
     let mut order: Vec<(HybridConfig, f64)> = Vec::new();
     let mut end_list: Vec<HybridConfig> = Vec::new();
 
-    let c0 = eval.cost(initial);
+    let c0 = robust_cost(eval, initial, None, f64::INFINITY);
     costs.insert(initial, c0);
     order.push((initial, c0));
+    let mut best = (initial, c0);
 
     // Candidate list of nodes to expand, kept sorted by ascending cost so
     // the most promising node is expanded first.
@@ -101,7 +172,7 @@ pub fn optimize(initial: HybridConfig, eval: &mut dyn CostEvaluator) -> SearchOu
     while let Some(pos) = candidates
         .iter()
         .enumerate()
-        .min_by(|a, b| costs[a.1].partial_cmp(&costs[b.1]).unwrap())
+        .min_by(|a, b| costs[a.1].total_cmp(&costs[b.1]))
         .map(|(i, _)| i)
     {
         let node = candidates.swap_remove(pos);
@@ -111,13 +182,19 @@ pub fn optimize(initial: HybridConfig, eval: &mut dyn CostEvaluator) -> SearchOu
         expanded.push(node);
         let node_cost = costs[&node];
 
-        for n in neighbors(node) {
+        // `node` came from `snap`/`try_neighbors`, so it is on-grid and
+        // `try_neighbors` cannot fail here; the empty default keeps the
+        // search panic-free regardless.
+        for n in try_neighbors(node).unwrap_or_default() {
             if costs.contains_key(&n) {
                 continue;
             }
-            let c = eval.cost(n);
+            let c = robust_cost(eval, n, Some(node_cost), best.1);
             costs.insert(n, c);
             order.push((n, c));
+            if c < best.1 {
+                best = (n, c);
+            }
             if c < node_cost {
                 candidates.push(n); // winner: expand its variants later
             } else {
@@ -126,25 +203,42 @@ pub fn optimize(initial: HybridConfig, eval: &mut dyn CostEvaluator) -> SearchOu
         }
     }
 
-    let (&best, &best_cost) = costs
-        .iter()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .expect("at least the initial node was tested");
-    SearchOutcome { best, best_cost, tested: order, end_list }
+    SearchOutcome { best: best.0, best_cost: best.1, tested: order, end_list }
 }
 
 /// Exhaustive baseline: test every grid node (the cost the pruning avoids).
 pub fn exhaustive(eval: &mut dyn CostEvaluator) -> SearchOutcome {
     let mut order = Vec::new();
     for cfg in all_configs() {
-        let c = eval.cost(cfg);
+        let c = sanitize(eval.cost(cfg));
         order.push((cfg, c));
     }
-    let &(best, best_cost) = order
+    let (best, best_cost) = order
         .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        .expect("grid non-empty");
+        .copied()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap_or((HybridConfig { v: 1, s: 1, p: 3 }, f64::INFINITY));
     SearchOutcome { best, best_cost, tested: order, end_list: Vec::new() }
+}
+
+/// Applies the armed fault plan's cost spikes (`HEF_FAULT=spike:…` or a
+/// programmatic [`hef_testutil::fault::FaultPlan`]) to an inner evaluator,
+/// counting measurements in global call order. The `tune_*` facades wrap
+/// their evaluators in this, so injected outliers exercise the search's
+/// re-measurement defence end-to-end; with no plan armed it is a single
+/// atomic load per call.
+pub struct SpikedCost<E> {
+    pub inner: E,
+}
+
+impl<E: CostEvaluator> CostEvaluator for SpikedCost<E> {
+    fn cost(&mut self, cfg: HybridConfig) -> f64 {
+        let c = self.inner.cost(cfg);
+        match hef_testutil::fault::next_cost_spike() {
+            Some(factor) => c * factor,
+            None => c,
+        }
+    }
 }
 
 /// Prices a node by simulating its translated µop trace on a CPU model —
@@ -370,6 +464,74 @@ mod tests {
             let c = eval.cost(HybridConfig::new(1, 1, 1));
             assert!(c.is_finite() && c > 0.0, "{}", f.name());
         }
+    }
+
+    #[test]
+    fn off_grid_neighbors_are_a_typed_error() {
+        let e = try_neighbors(HybridConfig { v: 3, s: 1, p: 2 }).unwrap_err();
+        assert!(matches!(e, HefError::OffGrid { v: 3, s: 1, p: 2 }), "{e}");
+        let e = try_neighbors(HybridConfig { v: 1, s: 1, p: 9 }).unwrap_err();
+        assert!(matches!(e, HefError::OffGrid { .. }));
+    }
+
+    /// An evaluator that returns NaN for one node.
+    struct Poisoned {
+        inner: Synthetic,
+        bad: HybridConfig,
+    }
+
+    impl CostEvaluator for Poisoned {
+        fn cost(&mut self, cfg: HybridConfig) -> f64 {
+            if cfg == self.bad {
+                f64::NAN
+            } else {
+                self.inner.cost(cfg)
+            }
+        }
+    }
+
+    #[test]
+    fn nan_cost_never_wins_or_panics() {
+        let opt = HybridConfig::new(1, 3, 2);
+        let mut eval = Poisoned {
+            inner: Synthetic { opt, calls: 0 },
+            bad: HybridConfig::new(1, 2, 2),
+        };
+        let out = optimize(HybridConfig::new(1, 1, 1), &mut eval);
+        assert!(out.best_cost.is_finite());
+        assert_ne!(out.best, eval.bad);
+        assert_eq!(out.best, opt);
+    }
+
+    #[test]
+    fn downward_spike_cannot_hijack_best() {
+        use hef_testutil::fault::{CostSpike, FaultPlan};
+        let opt = HybridConfig::new(1, 3, 2);
+        // Spike one mid-search measurement down 100×: the would-be-new-best
+        // re-measurement (median of 3) must discard it.
+        let plan = FaultPlan {
+            cost_spikes: vec![CostSpike { trial: 7, factor: 0.01 }],
+            ..Default::default()
+        };
+        hef_testutil::fault::with_plan(plan, || {
+            let mut eval = SpikedCost { inner: Synthetic { opt, calls: 0 } };
+            let out = optimize(HybridConfig::new(2, 2, 2), &mut eval);
+            assert_eq!(out.best, opt, "spiked measurement became best");
+        });
+    }
+
+    #[test]
+    fn spiked_cost_is_transparent_without_spikes() {
+        // An empty plan (taken to serialize against other fault tests):
+        // the wrapper must not perturb any measurement.
+        hef_testutil::fault::with_plan(Default::default(), || {
+            let mut plain = Synthetic { opt: HybridConfig::new(1, 3, 2), calls: 0 };
+            let mut wrapped =
+                SpikedCost { inner: Synthetic { opt: HybridConfig::new(1, 3, 2), calls: 0 } };
+            for cfg in all_configs().take(10) {
+                assert_eq!(plain.cost(cfg), wrapped.cost(cfg));
+            }
+        });
     }
 
     #[test]

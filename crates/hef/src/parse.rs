@@ -167,10 +167,11 @@ fn interface_name(op: HidOp) -> &'static str {
 /// containing exactly one).
 pub fn parse_template(source: &str) -> Result<OperatorTemplate, ParseError> {
     let mut templates = parse_file(source)?;
-    match templates.len() {
-        1 => Ok(templates.pop_first().expect("len checked").1),
-        0 => err(0, "no operator block found"),
-        n => err(0, format!("expected one operator block, found {n}")),
+    let n = templates.len();
+    match templates.pop_first() {
+        Some((_, t)) if n == 1 => Ok(t),
+        None => err(0, "no operator block found"),
+        Some(_) => err(0, format!("expected one operator block, found {n}")),
     }
 }
 

@@ -9,9 +9,23 @@
 //! ```text
 //! # hef tuned-operator registry v1
 //! # cpu: Intel Xeon Silver 4110
+//! # isa: avx512
 //! murmur = 1 3 2
 //! crc64 = 8 0 1
 //! ```
+//!
+//! Because a production deployment's hot path keys off this file, loading
+//! is defensive at two levels:
+//!
+//! * [`Registry::parse`] is **strict**: malformed lines, unknown or
+//!   duplicate families, off-grid `(v, s, p)` triples, and
+//!   future-versioned headers are typed [`ParseError`]s.
+//! * [`Registry::warm`] applies the **degradation ladder**: a bad or stale
+//!   registry never panics and never changes query results. Salvageable
+//!   entries are kept; off-grid or stale nodes fall back *per family* to
+//!   the candidate generator's analytical pick (§IV.A, Eq. 1–2); every
+//!   decision is recorded as a structured [`RegistryIssue`] in the
+//!   [`WarmReport`].
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -19,6 +33,7 @@ use std::path::Path;
 
 use hef_kernels::{Family, HybridConfig};
 
+use crate::error::on_grid;
 use crate::tuner::TunedOperator;
 
 /// A set of tuned nodes, keyed by operator family.
@@ -27,6 +42,9 @@ pub struct Registry {
     entries: BTreeMap<&'static str, HybridConfig>,
     /// Free-form provenance line (CPU name, date, …).
     pub cpu: String,
+    /// ISA provenance (`avx512`, `avx2`, `emu`): the backend the nodes were
+    /// tuned on. Empty when unrecorded (pre-provenance files).
+    pub isa: String,
 }
 
 /// Errors from [`Registry::parse`].
@@ -36,8 +54,16 @@ pub enum ParseError {
     Malformed { line: usize, text: String },
     /// The family name is unknown.
     UnknownFamily { line: usize, name: String },
-    /// The `(v, s, p)` triple is invalid (`v + s == 0` or `p == 0`).
+    /// The `(v, s, p)` triple is structurally invalid (`v + s == 0` or
+    /// `p == 0`).
     InvalidNode { line: usize, v: usize, s: usize, p: usize },
+    /// The `(v, s, p)` triple is well-formed but not on the compiled kernel
+    /// grid — no kernel exists for it.
+    OffGridNode { line: usize, name: String, v: usize, s: usize, p: usize },
+    /// The same family appears twice.
+    DuplicateFamily { line: usize, name: String },
+    /// The version header names a format this build does not understand.
+    UnsupportedVersion { line: usize, version: String },
 }
 
 impl std::fmt::Display for ParseError {
@@ -52,6 +78,18 @@ impl std::fmt::Display for ParseError {
             ParseError::InvalidNode { line, v, s, p } => {
                 write!(f, "line {line}: invalid node ({v}, {s}, {p})")
             }
+            ParseError::OffGridNode { line, name, v, s, p } => {
+                write!(f, "line {line}: `{name}` node ({v}, {s}, {p}) is off the compiled grid")
+            }
+            ParseError::DuplicateFamily { line, name } => {
+                write!(f, "line {line}: duplicate entry for family `{name}`")
+            }
+            ParseError::UnsupportedVersion { line, version } => {
+                write!(
+                    f,
+                    "line {line}: unsupported registry version `{version}` (this build reads v1)"
+                )
+            }
         }
     }
 }
@@ -62,10 +100,80 @@ fn family_by_name(name: &str) -> Option<Family> {
     Family::ALL.into_iter().find(|f| f.name() == name)
 }
 
+/// One parsed line of the registry format.
+enum Line {
+    Skip,
+    Cpu(String),
+    Isa(String),
+    Entry(Family, HybridConfig),
+}
+
+/// Parse one (already `trim`med) line. Shared by the strict and lenient
+/// parsers so they cannot drift.
+fn parse_line(line: &str, line_no: usize) -> Result<Line, ParseError> {
+    if let Some(rest) = line.strip_prefix("# hef tuned-operator registry") {
+        let version = rest.trim();
+        if version.is_empty() || version == "v1" {
+            return Ok(Line::Skip);
+        }
+        return Err(ParseError::UnsupportedVersion {
+            line: line_no,
+            version: version.to_string(),
+        });
+    }
+    if let Some(cpu) = line.strip_prefix("# cpu:") {
+        return Ok(Line::Cpu(cpu.trim().to_string()));
+    }
+    if let Some(isa) = line.strip_prefix("# isa:") {
+        return Ok(Line::Isa(isa.trim().to_string()));
+    }
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(Line::Skip);
+    }
+    let (name, rest) = line
+        .split_once('=')
+        .ok_or_else(|| ParseError::Malformed { line: line_no, text: line.to_string() })?;
+    let name = name.trim();
+    let family = family_by_name(name)
+        .ok_or_else(|| ParseError::UnknownFamily { line: line_no, name: name.to_string() })?;
+    let nums: Vec<usize> = rest
+        .split_whitespace()
+        .map(str::parse)
+        .collect::<Result<_, _>>()
+        .map_err(|_| ParseError::Malformed { line: line_no, text: line.to_string() })?;
+    let [v, s, p] = nums[..] else {
+        return Err(ParseError::Malformed { line: line_no, text: line.to_string() });
+    };
+    if v + s == 0 || p == 0 {
+        return Err(ParseError::InvalidNode { line: line_no, v, s, p });
+    }
+    if !on_grid(v, s, p) {
+        return Err(ParseError::OffGridNode {
+            line: line_no,
+            name: name.to_string(),
+            v,
+            s,
+            p,
+        });
+    }
+    Ok(Line::Entry(family, HybridConfig { v, s, p }))
+}
+
 impl Registry {
     /// Empty registry with a provenance note.
     pub fn new(cpu: impl Into<String>) -> Registry {
-        Registry { entries: BTreeMap::new(), cpu: cpu.into() }
+        Registry { entries: BTreeMap::new(), cpu: cpu.into(), isa: String::new() }
+    }
+
+    /// Empty registry stamped with this machine's provenance: `cpu` note
+    /// plus the native backend name as ISA, so a later [`Registry::warm`]
+    /// on different hardware detects the staleness.
+    pub fn with_host_provenance(cpu: impl Into<String>) -> Registry {
+        Registry {
+            entries: BTreeMap::new(),
+            cpu: cpu.into(),
+            isa: hef_hid::Backend::native().name().to_string(),
+        }
     }
 
     /// Record a tuned node.
@@ -105,53 +213,73 @@ impl Registry {
         if !self.cpu.is_empty() {
             let _ = writeln!(out, "# cpu: {}", self.cpu);
         }
+        if !self.isa.is_empty() {
+            let _ = writeln!(out, "# isa: {}", self.isa);
+        }
         for (name, cfg) in &self.entries {
             let _ = writeln!(out, "{name} = {} {} {}", cfg.v, cfg.s, cfg.p);
         }
         out
     }
 
-    /// Parse the registry text format. Comments (`#`) and blank lines are
-    /// ignored; a `# cpu:` comment is captured as provenance.
+    /// Parse the registry text format, strictly: the first problem is a
+    /// typed error. Comments (`#`) and blank lines are ignored; `# cpu:` and
+    /// `# isa:` comments are captured as provenance; CRLF line endings and
+    /// trailing whitespace are tolerated.
     pub fn parse(text: &str) -> Result<Registry, ParseError> {
         let mut reg = Registry::default();
         for (i, raw) in text.lines().enumerate() {
             let line_no = i + 1;
-            let line = raw.trim();
-            if let Some(cpu) = line.strip_prefix("# cpu:") {
-                reg.cpu = cpu.trim().to_string();
-                continue;
+            match parse_line(raw.trim(), line_no)? {
+                Line::Skip => {}
+                Line::Cpu(cpu) => reg.cpu = cpu,
+                Line::Isa(isa) => reg.isa = isa,
+                Line::Entry(family, cfg) => {
+                    if reg.entries.contains_key(family.name()) {
+                        return Err(ParseError::DuplicateFamily {
+                            line: line_no,
+                            name: family.name().to_string(),
+                        });
+                    }
+                    reg.insert(family, cfg);
+                }
             }
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            let (name, rest) = line.split_once('=').ok_or_else(|| ParseError::Malformed {
-                line: line_no,
-                text: line.to_string(),
-            })?;
-            let name = name.trim();
-            let family =
-                family_by_name(name).ok_or_else(|| ParseError::UnknownFamily {
-                    line: line_no,
-                    name: name.to_string(),
-                })?;
-            let nums: Vec<usize> = rest
-                .split_whitespace()
-                .map(str::parse)
-                .collect::<Result<_, _>>()
-                .map_err(|_| ParseError::Malformed {
-                    line: line_no,
-                    text: line.to_string(),
-                })?;
-            let [v, s, p] = nums[..] else {
-                return Err(ParseError::Malformed { line: line_no, text: line.to_string() });
-            };
-            if v + s == 0 || p == 0 {
-                return Err(ParseError::InvalidNode { line: line_no, v, s, p });
-            }
-            reg.insert(family, HybridConfig { v, s, p });
         }
         Ok(reg)
+    }
+
+    /// Parse leniently: salvage every valid line, report every bad one.
+    /// Duplicates keep the **first** occurrence (the strict parser's
+    /// winner). A future-versioned header aborts salvage — the rest of the
+    /// file speaks a format this build does not know.
+    pub fn parse_lenient(text: &str) -> (Registry, Vec<RegistryIssue>) {
+        let mut reg = Registry::default();
+        let mut issues = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            match parse_line(raw.trim(), line_no) {
+                Ok(Line::Skip) => {}
+                Ok(Line::Cpu(cpu)) => reg.cpu = cpu,
+                Ok(Line::Isa(isa)) => reg.isa = isa,
+                Ok(Line::Entry(family, cfg)) => {
+                    if reg.entries.contains_key(family.name()) {
+                        issues.push(RegistryIssue::BadLine {
+                            error: ParseError::DuplicateFamily {
+                                line: line_no,
+                                name: family.name().to_string(),
+                            },
+                        });
+                    } else {
+                        reg.insert(family, cfg);
+                    }
+                }
+                Err(e @ ParseError::UnsupportedVersion { .. }) => {
+                    return (Registry::default(), vec![RegistryIssue::BadLine { error: e }]);
+                }
+                Err(e) => issues.push(RegistryIssue::BadLine { error: e }),
+            }
+        }
+        (reg, issues)
     }
 
     /// Write to a file.
@@ -159,7 +287,19 @@ impl Registry {
         std::fs::write(path, self.to_text())
     }
 
-    /// Read from a file.
+    /// Read from a file (strict parse), as a typed [`HefError`].
+    ///
+    /// [`HefError`]: crate::HefError
+    pub fn try_load(path: &Path) -> Result<Registry, crate::HefError> {
+        let text = std::fs::read_to_string(path).map_err(|e| crate::HefError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        Registry::parse(&text).map_err(crate::HefError::from)
+    }
+
+    /// Read from a file (strict parse), as `std::io::Result` for callers on
+    /// the I/O seam.
     pub fn load(path: &Path) -> std::io::Result<Registry> {
         let text = std::fs::read_to_string(path)?;
         Registry::parse(&text)
@@ -168,30 +308,160 @@ impl Registry {
 
     /// Process-wide warmed registry, loaded once at first use.
     ///
-    /// If `HEF_REGISTRY` names a registry file it is loaded (a warning is
-    /// printed and the default used when it cannot be read or parsed);
-    /// otherwise the registry is empty and [`Registry::get_or_default`]
-    /// serves the paper's SSB optimum `(1, 1, 3)` for every family. Engines
-    /// and benches call this at startup so repeat queries never re-tune or
-    /// re-read the file.
+    /// If `HEF_REGISTRY` names a registry file it is loaded through the
+    /// degradation ladder (see [`Registry::warm_report`]); otherwise the
+    /// registry is empty and [`Registry::get_or_default`] serves the
+    /// paper's SSB optimum `(1, 1, 3)` for every family. Engines and
+    /// benches call this at startup so repeat queries never re-tune or
+    /// re-read the file. Every node served by the warmed registry is
+    /// guaranteed to be on the compiled kernel grid.
     pub fn warm() -> &'static Registry {
-        static WARM: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
-        WARM.get_or_init(|| match std::env::var("HEF_REGISTRY") {
-            Ok(path) if !path.trim().is_empty() => match Registry::load(Path::new(&path)) {
-                Ok(reg) => reg,
-                Err(e) => {
-                    eprintln!("warning: HEF_REGISTRY={path}: {e}; using default nodes");
-                    Registry::default()
-                }
-            },
-            _ => Registry::default(),
+        &Registry::warm_report().0
+    }
+
+    /// [`Registry::warm`] plus the structured [`WarmReport`] of everything
+    /// the degradation ladder did:
+    ///
+    /// 1. unreadable file → empty registry (defaults serve every family);
+    /// 2. future-versioned file → same;
+    /// 3. bad lines (malformed / unknown / duplicate / off-grid) → line
+    ///    dropped; off-grid families fall back to the candidate generator's
+    ///    analytical pick;
+    /// 4. stale ISA provenance (`# isa:` differs from the running backend)
+    ///    → **every** recorded node replaced by the analytical pick.
+    ///
+    /// Since every grid node computes identical results, none of these
+    /// degradations can change a query's output — only its speed.
+    pub fn warm_report() -> &'static (Registry, WarmReport) {
+        static WARM: std::sync::OnceLock<(Registry, WarmReport)> = std::sync::OnceLock::new();
+        WARM.get_or_init(|| {
+            let (reg, report) = match std::env::var("HEF_REGISTRY") {
+                Ok(path) if !path.trim().is_empty() => Registry::load_degraded(Path::new(&path)),
+                _ => (Registry::default(), WarmReport::default()),
+            };
+            for issue in &report.issues {
+                eprintln!("warning: hef registry: {issue}");
+            }
+            (reg, report)
         })
+    }
+
+    /// The degradation ladder on one file: never fails, returns the best
+    /// salvageable registry plus the issue log. Fault injection
+    /// (`HEF_FAULT=registry:…`) corrupts the text between read and parse.
+    pub fn load_degraded(path: &Path) -> (Registry, WarmReport) {
+        let mut report = WarmReport { source: Some(path.display().to_string()), issues: vec![] };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                report.issues.push(RegistryIssue::Unreadable {
+                    path: path.display().to_string(),
+                    message: e.to_string(),
+                });
+                return (Registry::default(), report);
+            }
+        };
+        let text = hef_testutil::fault::corrupt_registry(&text).unwrap_or(text);
+        let (mut reg, issues) = Registry::parse_lenient(&text);
+        report.issues = issues;
+
+        // Families whose recorded node was dropped fall back to the
+        // analytical pick (Eq. 1–2) for this host.
+        let mut fallback_families: Vec<Family> = report
+            .issues
+            .iter()
+            .filter_map(|i| match i {
+                RegistryIssue::BadLine {
+                    error: ParseError::OffGridNode { name, .. },
+                } => family_by_name(name),
+                _ => None,
+            })
+            .collect();
+
+        // Stale ISA: the whole file was tuned for a different backend.
+        let current_isa = hef_hid::Backend::native().name();
+        if !reg.isa.is_empty() && reg.isa != current_isa {
+            report.issues.push(RegistryIssue::StaleIsa {
+                recorded: reg.isa.clone(),
+                current: current_isa.to_string(),
+            });
+            fallback_families
+                .extend(Family::ALL.into_iter().filter(|f| reg.get(*f).is_some()));
+            reg.isa = current_isa.to_string();
+        }
+
+        fallback_families.sort_by_key(|f| f.name());
+        fallback_families.dedup_by_key(|f| f.name());
+        let model = hef_uarch::CpuModel::host();
+        for family in fallback_families {
+            let template = crate::templates::for_family(family);
+            let node = crate::candidate::initial_candidate(&model, &template);
+            report.issues.push(RegistryIssue::Fallback { family: family.name(), node });
+            reg.insert(family, node);
+        }
+        (reg, report)
+    }
+}
+
+/// One structured warning from the degradation ladder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryIssue {
+    /// The file could not be read at all.
+    Unreadable { path: String, message: String },
+    /// A line was dropped (with the strict parser's diagnosis).
+    BadLine { error: ParseError },
+    /// The recorded ISA does not match the running backend.
+    StaleIsa { recorded: String, current: String },
+    /// A family was re-pointed at the candidate generator's analytical pick.
+    Fallback { family: &'static str, node: HybridConfig },
+}
+
+impl std::fmt::Display for RegistryIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryIssue::Unreadable { path, message } => {
+                write!(f, "{path}: {message}; using default nodes")
+            }
+            RegistryIssue::BadLine { error } => write!(f, "{error}; line dropped"),
+            RegistryIssue::StaleIsa { recorded, current } => write!(
+                f,
+                "tuned for isa `{recorded}` but running on `{current}`; re-deriving nodes"
+            ),
+            RegistryIssue::Fallback { family, node } => {
+                write!(f, "{family}: falling back to analytical candidate {node}")
+            }
+        }
+    }
+}
+
+/// Everything [`Registry::warm`] did to arrive at the served registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WarmReport {
+    /// The `HEF_REGISTRY` path, when one was consulted.
+    pub source: Option<String>,
+    /// Ladder decisions, in occurrence order.
+    pub issues: Vec<RegistryIssue>,
+}
+
+impl WarmReport {
+    /// `true` when the registry loaded cleanly (or no file was requested).
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// Number of families degraded to the analytical pick.
+    pub fn fallbacks(&self) -> usize {
+        self.issues
+            .iter()
+            .filter(|i| matches!(i, RegistryIssue::Fallback { .. }))
+            .count()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hef_kernels::{P_AXIS, S_AXIS, V_AXIS};
 
     fn sample() -> Registry {
         let mut r = Registry::new("Intel Xeon Silver 4110");
@@ -202,10 +472,12 @@ mod tests {
 
     #[test]
     fn text_roundtrip_preserves_everything() {
-        let r = sample();
+        let mut r = sample();
+        r.isa = "avx512".into();
         let parsed = Registry::parse(&r.to_text()).unwrap();
         assert_eq!(parsed, r);
         assert_eq!(parsed.cpu, "Intel Xeon Silver 4110");
+        assert_eq!(parsed.isa, "avx512");
         assert_eq!(parsed.get(Family::Murmur), Some(HybridConfig::new(1, 3, 2)));
     }
 
@@ -217,7 +489,15 @@ mod tests {
         let r = sample();
         r.save(&path).unwrap();
         assert_eq!(Registry::load(&path).unwrap(), r);
+        assert_eq!(Registry::try_load(&path).unwrap(), r);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn try_load_types_the_io_error() {
+        let e = Registry::try_load(Path::new("/nonexistent/registry.txt")).unwrap_err();
+        assert!(matches!(e, crate::HefError::Io { .. }));
+        assert!(e.to_string().contains("/nonexistent/registry.txt"));
     }
 
     #[test]
@@ -249,6 +529,126 @@ mod tests {
     }
 
     #[test]
+    fn off_grid_nodes_rejected() {
+        // v=3 is not on V_AXIS even though 3 is a valid s value.
+        assert!(!V_AXIS.contains(&3));
+        assert!(matches!(
+            Registry::parse("murmur = 3 1 2"),
+            Err(ParseError::OffGridNode { line: 1, v: 3, s: 1, p: 2, .. })
+        ));
+        // p=7 off P_AXIS, s=9 off S_AXIS.
+        assert!(!P_AXIS.contains(&7) && !S_AXIS.contains(&9));
+        assert!(matches!(
+            Registry::parse("crc64 = 1 1 7"),
+            Err(ParseError::OffGridNode { .. })
+        ));
+        assert!(matches!(
+            Registry::parse("crc64 = 1 9 1"),
+            Err(ParseError::OffGridNode { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_families_rejected() {
+        let e = Registry::parse("murmur = 1 3 2\nmurmur = 1 1 1").unwrap_err();
+        assert!(matches!(e, ParseError::DuplicateFamily { line: 2, .. }), "{e}");
+    }
+
+    #[test]
+    fn crlf_and_trailing_whitespace_tolerated() {
+        let text = "# hef tuned-operator registry v1\r\n# cpu: Xeon\r\nmurmur = 1 3 2  \r\n\r\n";
+        let r = Registry::parse(text).unwrap();
+        assert_eq!(r.cpu, "Xeon");
+        assert_eq!(r.get(Family::Murmur), Some(HybridConfig::new(1, 3, 2)));
+    }
+
+    #[test]
+    fn future_version_header_is_a_clear_error() {
+        let e = Registry::parse("# hef tuned-operator registry v2\nmurmur = 1 3 2").unwrap_err();
+        assert!(
+            matches!(e, ParseError::UnsupportedVersion { line: 1, ref version } if version == "v2"),
+            "{e}"
+        );
+        assert!(e.to_string().contains("this build reads v1"));
+        // v1 and the bare legacy header both parse.
+        assert!(Registry::parse("# hef tuned-operator registry v1").is_ok());
+        assert!(Registry::parse("# hef tuned-operator registry").is_ok());
+    }
+
+    #[test]
+    fn lenient_parse_salvages_good_lines() {
+        let text = "murmur = 1 3 2\nbogus = 1 1 1\ncrc64 = 3 1 1\nprobe = 1 1 2\nmurmur = 2 2 2\n";
+        let (reg, issues) = Registry::parse_lenient(text);
+        // murmur (first), probe kept; bogus unknown, crc64 off-grid, murmur dup dropped.
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.get(Family::Murmur), Some(HybridConfig::new(1, 3, 2)));
+        assert_eq!(reg.get(Family::Probe), Some(HybridConfig::new(1, 1, 2)));
+        assert_eq!(issues.len(), 3);
+        assert!(issues.iter().any(|i| matches!(
+            i,
+            RegistryIssue::BadLine { error: ParseError::OffGridNode { .. } }
+        )));
+    }
+
+    #[test]
+    fn lenient_parse_aborts_on_future_version() {
+        let (reg, issues) = Registry::parse_lenient("# hef tuned-operator registry v9\nmurmur = 1 3 2\n");
+        assert!(reg.is_empty());
+        assert_eq!(issues.len(), 1);
+    }
+
+    #[test]
+    fn degraded_load_replaces_off_grid_with_analytical_pick() {
+        let dir = std::env::temp_dir().join("hef-registry-degraded-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("offgrid.txt");
+        std::fs::write(&path, "murmur = 3 1 2\ncrc64 = 8 0 1\n").unwrap();
+        let (reg, report) = Registry::load_degraded(&path);
+        std::fs::remove_file(&path).ok();
+        // crc64 survives untouched; murmur falls back to an on-grid pick.
+        assert_eq!(reg.get(Family::Crc64), Some(HybridConfig::new(8, 0, 1)));
+        let murmur = reg.get(Family::Murmur).expect("fallback node recorded");
+        assert!(on_grid(murmur.v, murmur.s, murmur.p));
+        assert_eq!(report.fallbacks(), 1);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn degraded_load_handles_missing_file() {
+        let (reg, report) = Registry::load_degraded(Path::new("/nonexistent/tuned.txt"));
+        assert!(reg.is_empty());
+        assert!(matches!(report.issues[0], RegistryIssue::Unreadable { .. }));
+        // Defaults still serve every family.
+        assert_eq!(reg.get_or_default(Family::Probe), HybridConfig::new(1, 1, 3));
+    }
+
+    #[test]
+    fn stale_isa_rederives_every_recorded_family() {
+        let dir = std::env::temp_dir().join("hef-registry-stale-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stale.txt");
+        // No real backend is named `punchcards`.
+        std::fs::write(&path, "# isa: punchcards\nmurmur = 1 3 2\ncrc64 = 8 0 1\n").unwrap();
+        let (reg, report) = Registry::load_degraded(&path);
+        std::fs::remove_file(&path).ok();
+        assert!(report.issues.iter().any(|i| matches!(i, RegistryIssue::StaleIsa { .. })));
+        assert_eq!(report.fallbacks(), 2);
+        assert_eq!(reg.isa, hef_hid::Backend::native().name());
+        for f in [Family::Murmur, Family::Crc64] {
+            let n = reg.get(f).expect("replaced, not dropped");
+            assert!(on_grid(n.v, n.s, n.p));
+        }
+    }
+
+    #[test]
+    fn host_provenance_matches_native_backend() {
+        let r = Registry::with_host_provenance("this machine");
+        assert_eq!(r.isa, hef_hid::Backend::native().name());
+        let parsed = Registry::parse(&r.to_text()).unwrap();
+        assert_eq!(parsed.isa, r.isa);
+    }
+
+    #[test]
     fn warm_is_idempotent() {
         // Two calls return the same allocation: load happens once.
         let a = Registry::warm() as *const Registry;
@@ -260,6 +660,12 @@ mod tests {
                 Registry::warm().get_or_default(Family::Probe),
                 HybridConfig::new(1, 1, 3)
             );
+            assert!(Registry::warm_report().1.is_clean());
+        }
+        // Whatever the ladder decided, every served node is on-grid.
+        for f in Family::ALL {
+            let n = Registry::warm().get_or_default(f);
+            assert!(on_grid(n.v, n.s, n.p), "{}: {n}", f.name());
         }
     }
 

@@ -21,7 +21,12 @@ use hef_hid::desc::{describe, HidOp};
 use hef_kernels::HybridConfig;
 use hef_uarch::{Dep, LoopBody, UopClass};
 
+use crate::error::HefError;
 use crate::ir::{Operand, OperatorTemplate};
+
+fn invalid(t: &OperatorTemplate, message: impl Into<String>) -> HefError {
+    HefError::InvalidTemplate { operator: t.name.clone(), message: message.into() }
+}
 
 /// Generated target code for one `(v, s, p)` node.
 #[derive(Debug, Clone)]
@@ -115,9 +120,13 @@ fn operand_text(a: &Operand, lane: Lane) -> String {
     }
 }
 
-/// Generate the target-code listing for `cfg` (Algorithm 1).
-pub fn translate(t: &OperatorTemplate, cfg: HybridConfig) -> TargetCode {
-    t.validate().expect("invalid template");
+/// Generate the target-code listing for `cfg` (Algorithm 1), with template
+/// and grid problems reported as typed errors instead of panics.
+pub fn try_translate(t: &OperatorTemplate, cfg: HybridConfig) -> Result<TargetCode, HefError> {
+    t.validate().map_err(|m| invalid(t, m))?;
+    if !crate::error::on_grid(cfg.v, cfg.s, cfg.p) {
+        return Err(HefError::off_grid(cfg));
+    }
     let header = format!(
         "{}(const uint64_t *{}, const uint64_t size, ...) {{ // node {}",
         t.name,
@@ -146,25 +155,19 @@ pub fn translate(t: &OperatorTemplate, cfg: HybridConfig) -> TargetCode {
     let mut body = Vec::new();
     for st in &t.stmts {
         let d = describe(st.op);
+        // `validate()` guarantees a destination for every non-store
+        // statement; the placeholder keeps this loop panic-free.
+        let dname = st.dst.as_deref().unwrap_or("_");
         for lane in lanes(cfg) {
             let off = lane.elem_offset(cfg);
             let line = match (st.op, lane) {
                 (HidOp::Load, Lane::Vec { .. }) => {
                     let p = operand_text(&st.args[0], lane);
-                    format!(
-                        "{}_{} = {}({p} + ofs + {off});",
-                        st.dst.as_ref().unwrap(),
-                        lane.suffix(),
-                        d.avx512
-                    )
+                    format!("{dname}_{} = {}({p} + ofs + {off});", lane.suffix(), d.avx512)
                 }
                 (HidOp::Load, Lane::Scal { .. }) => {
                     let p = operand_text(&st.args[0], lane);
-                    format!(
-                        "{}_{} = *({p} + ofs + {off});",
-                        st.dst.as_ref().unwrap(),
-                        lane.suffix()
-                    )
+                    format!("{dname}_{} = *({p} + ofs + {off});", lane.suffix())
                 }
                 (HidOp::Store, Lane::Vec { .. }) => {
                     let src = operand_text(&st.args[0], lane);
@@ -179,31 +182,25 @@ pub fn translate(t: &OperatorTemplate, cfg: HybridConfig) -> TargetCode {
                 (HidOp::Gather, Lane::Vec { .. }) => {
                     let base = operand_text(&st.args[0], lane);
                     let idx = operand_text(&st.args[1], lane);
-                    format!(
-                        "{}_{} = {}({idx}, {base}, 8);",
-                        st.dst.as_ref().unwrap(),
-                        lane.suffix(),
-                        d.avx512
-                    )
+                    format!("{dname}_{} = {}({idx}, {base}, 8);", lane.suffix(), d.avx512)
                 }
                 (HidOp::Gather, Lane::Scal { .. }) => {
                     let base = operand_text(&st.args[0], lane);
                     let idx = operand_text(&st.args[1], lane);
-                    format!("{}_{} = {base}[{idx}];", st.dst.as_ref().unwrap(), lane.suffix())
+                    format!("{dname}_{} = {base}[{idx}];", lane.suffix())
                 }
                 (_, Lane::Vec { .. }) => {
                     let args: Vec<String> =
                         st.args.iter().map(|a| operand_text(a, lane)).collect();
                     format!(
-                        "{}_{} = {}({});",
-                        st.dst.as_ref().unwrap(),
+                        "{dname}_{} = {}({});",
                         lane.suffix(),
                         d.avx512,
                         args.join(", ")
                     )
                 }
                 (op, Lane::Scal { .. }) => {
-                    let dst = format!("{}_{}", st.dst.as_ref().unwrap(), lane.suffix());
+                    let dst = format!("{dname}_{}", lane.suffix());
                     let a0 = operand_text(&st.args[0], lane);
                     let scalar_op = |sym: &str| {
                         let a1 = operand_text(&st.args[1], lane);
@@ -234,7 +231,13 @@ pub fn translate(t: &OperatorTemplate, cfg: HybridConfig) -> TargetCode {
         }
     }
 
-    TargetCode { header, decls, body, cfg }
+    Ok(TargetCode { header, decls, body, cfg })
+}
+
+/// Panicking convenience over [`try_translate`] for known-good inputs (the
+/// built-in templates on grid nodes).
+pub fn translate(t: &OperatorTemplate, cfg: HybridConfig) -> TargetCode {
+    try_translate(t, cfg).unwrap_or_else(|e| panic!("translate `{}`: {e}", t.name))
 }
 
 fn uop_class(op: HidOp, lane: Lane) -> Option<UopClass> {
@@ -256,9 +259,13 @@ fn uop_class(op: HidOp, lane: Lane) -> Option<UopClass> {
 }
 
 /// Build the steady-state µop trace of the expanded loop body for the
-/// `hef-uarch` simulator.
-pub fn to_loop_body(t: &OperatorTemplate, cfg: HybridConfig) -> LoopBody {
-    t.validate().expect("invalid template");
+/// `hef-uarch` simulator, with template and grid problems reported as typed
+/// errors instead of panics.
+pub fn try_to_loop_body(t: &OperatorTemplate, cfg: HybridConfig) -> Result<LoopBody, HefError> {
+    t.validate().map_err(|m| invalid(t, m))?;
+    if !crate::error::on_grid(cfg.v, cfg.s, cfg.p) {
+        return Err(HefError::off_grid(cfg));
+    }
     let lanes = lanes(cfg);
 
     // Pass 1: assign µop indices in emission order and record definitions
@@ -291,23 +298,24 @@ pub fn to_loop_body(t: &OperatorTemplate, cfg: HybridConfig) -> LoopBody {
             for a in &st.args {
                 if let Operand::Var(n) = a {
                     let key = (n.clone(), lane);
-                    let def_list = defs
-                        .get(&key)
-                        .unwrap_or_else(|| panic!("no def for {n} at {lane:?}"));
+                    let Some(def_list) = defs.get(&key) else {
+                        return Err(invalid(t, format!("no definition for `{n}` at {lane:?}")));
+                    };
                     // Most recent def strictly before this statement → same
                     // iteration; otherwise the variable is loop-carried.
                     if let Some(&(_, di)) =
                         def_list.iter().rev().find(|(dsi, _)| *dsi < si_)
                     {
                         deps.push(Dep::same(di));
-                    } else {
-                        assert!(
-                            t.carried.iter().any(|c| c == n),
-                            "{}: use of `{n}` before def without carry",
-                            t.name
-                        );
-                        let &(_, di) = def_list.last().unwrap();
+                    } else if let (true, Some(&(_, di))) =
+                        (t.carried.iter().any(|c| c == n), def_list.last())
+                    {
                         deps.push(Dep::carried(di));
+                    } else {
+                        return Err(invalid(
+                            t,
+                            format!("use of `{n}` before definition without `carry`"),
+                        ));
                     }
                 }
             }
@@ -319,7 +327,12 @@ pub fn to_loop_body(t: &OperatorTemplate, cfg: HybridConfig) -> LoopBody {
     // Loop overhead: induction update and the back-edge branch.
     body.push(UopClass::SAlu, vec![]);
     body.push(UopClass::Branch, vec![]);
-    body
+    Ok(body)
+}
+
+/// Panicking convenience over [`try_to_loop_body`] for known-good inputs.
+pub fn to_loop_body(t: &OperatorTemplate, cfg: HybridConfig) -> LoopBody {
+    try_to_loop_body(t, cfg).unwrap_or_else(|e| panic!("loop body `{}`: {e}", t.name))
 }
 
 #[cfg(test)]
@@ -452,6 +465,31 @@ mod tests {
             packed_cpe < serial_cpe,
             "packed {packed_cpe} vs serial {serial_cpe}"
         );
+    }
+
+    #[test]
+    fn try_variants_type_the_errors() {
+        let t = templates::murmur();
+        // Off-grid nodes: no kernel exists, no listing is emitted.
+        let e = try_translate(&t, HybridConfig { v: 3, s: 1, p: 2 }).unwrap_err();
+        assert!(matches!(e, HefError::OffGrid { v: 3, s: 1, p: 2 }), "{e}");
+        let e = try_to_loop_body(&t, HybridConfig { v: 1, s: 1, p: 7 }).unwrap_err();
+        assert!(matches!(e, HefError::OffGrid { .. }));
+        // A structurally broken template is an InvalidTemplate, not a panic.
+        let bad = crate::ir::OperatorTemplate {
+            name: "bad".into(),
+            params: vec!["a".into()],
+            carried: vec![],
+            stmts: vec![crate::ir::Stmt {
+                op: HidOp::Add,
+                dst: Some("x".into()),
+                args: vec![Operand::Var("ghost".into()), Operand::Var("ghost".into())],
+            }],
+        };
+        let e = try_translate(&bad, cfg(1, 1, 1)).unwrap_err();
+        assert!(matches!(e, HefError::InvalidTemplate { .. }), "{e}");
+        let e = try_to_loop_body(&bad, cfg(1, 1, 1)).unwrap_err();
+        assert!(matches!(e, HefError::InvalidTemplate { .. }), "{e}");
     }
 
     #[test]

@@ -10,7 +10,9 @@ use hef_kernels::{Family, HybridConfig};
 use hef_uarch::CpuModel;
 
 use crate::candidate::initial_candidate;
-use crate::optimizer::{optimize, MeasuredCost, SearchOutcome, SimulatedCost};
+use crate::error::HefError;
+use crate::ir::OperatorTemplate;
+use crate::optimizer::{optimize, MeasuredCost, SearchOutcome, SimulatedCost, SpikedCost};
 use crate::templates;
 
 /// A tuned operator: the output of the offline phase.
@@ -42,11 +44,14 @@ impl TunedOperator {
 
 /// Tune an operator by running its compiled kernels on this machine with
 /// `n` elements of synthetic input per trial.
+///
+/// Measurements pass through [`SpikedCost`], so a `HEF_FAULT=spike:…` plan
+/// exercises the optimizer's median-of-3 re-measurement on the real path.
 pub fn tune_measured(family: Family, n: usize) -> TunedOperator {
     let template = templates::for_family(family);
     let model = CpuModel::host();
     let initial = initial_candidate(&model, &template);
-    let mut eval = MeasuredCost::new(family, n);
+    let mut eval = SpikedCost { inner: MeasuredCost::new(family, n) };
     let outcome = optimize(initial, &mut eval);
     TunedOperator { family, cfg: outcome.best, initial, outcome }
 }
@@ -56,9 +61,37 @@ pub fn tune_measured(family: Family, n: usize) -> TunedOperator {
 pub fn tune_simulated(family: Family, model: &CpuModel) -> TunedOperator {
     let template = templates::for_family(family);
     let initial = initial_candidate(model, &template);
-    let mut eval = SimulatedCost::new(model, &template);
+    let mut eval = SpikedCost { inner: SimulatedCost::new(model, &template) };
     let outcome = optimize(initial, &mut eval);
     TunedOperator { family, cfg: outcome.best, initial, outcome }
+}
+
+/// Tune a *user-supplied* template (the §IV.B path: operators arrive as
+/// text, not as built-ins) against a modeled CPU. Unlike the built-in
+/// facades this input is untrusted, so validation problems come back as a
+/// typed [`HefError`] instead of a panic deep inside the translator.
+pub fn try_tune_template(
+    template: &OperatorTemplate,
+    model: &CpuModel,
+) -> Result<(HybridConfig, SearchOutcome), HefError> {
+    template.validate().map_err(|m| HefError::InvalidTemplate {
+        operator: template.name.clone(),
+        message: m,
+    })?;
+    let initial = initial_candidate(model, template);
+    let mut eval = SpikedCost { inner: SimulatedCost::new(model, template) };
+    let outcome = optimize(initial, &mut eval);
+    Ok((outcome.best, outcome))
+}
+
+/// Parse-and-tune in one step: template source text → tuned node. The whole
+/// §IV.B user path with every failure typed.
+pub fn try_tune_source(
+    source: &str,
+    model: &CpuModel,
+) -> Result<(HybridConfig, SearchOutcome), HefError> {
+    let template = crate::parse::parse_template(source)?;
+    try_tune_template(&template, model)
 }
 
 #[cfg(test)]
@@ -95,5 +128,22 @@ mod tests {
         let t = tune_measured(Family::AggSum, 8192);
         assert!(t.outcome.best_cost.is_finite());
         assert!(t.describe().contains("agg_sum"));
+    }
+
+    #[test]
+    fn tuning_source_text_works_and_types_failures() {
+        let model = CpuModel::silver_4110();
+        let src = render_ok_template();
+        let (best, outcome) = try_tune_source(&src, &model).expect("valid source tunes");
+        assert!(crate::error::on_grid(best.v, best.s, best.p));
+        assert!(!outcome.tested.is_empty());
+
+        // Parse failure → HefError::Template, not a panic.
+        let e = try_tune_source("operator broken(", &model).unwrap_err();
+        assert!(matches!(e, crate::HefError::Template(_)), "{e}");
+    }
+
+    fn render_ok_template() -> String {
+        crate::parse::render_template(&templates::for_family(Family::AggSum))
     }
 }

@@ -14,6 +14,11 @@
 //! * [`bench`] — a measurement harness (warmup, k-run median + MAD,
 //!   aligned text report) used by the benches under
 //!   `crates/bench/benches/` and by `hef-core`'s measured-cost evaluator.
+//! * [`fault`] — deterministic, seed-driven fault injection ([`FaultPlan`],
+//!   `HEF_FAULT`): registry byte corruption, cost-measurement spikes, and
+//!   worker panics on chosen morsels, consulted by `hef-core` and
+//!   `hef-engine` at cheap hooks so the degradation ladder is testable
+//!   end-to-end.
 //!
 //! HEF's optimizer is *test-based* (Algorithm 2 prices candidate nodes by
 //! running them), so measurement and case generation are core system
@@ -21,9 +26,11 @@
 //! first-class crate rather than in scattered dev-dependencies.
 
 pub mod bench;
+pub mod fault;
 pub mod prop;
 pub mod rng;
 
 pub use bench::{time_best_of, Bench, Group, Stats};
+pub use fault::FaultPlan;
 pub use prop::strategy;
 pub use rng::{Rng, SplitMix64};

@@ -5,9 +5,30 @@ set -eu
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
+# Debug-assertions build: the dev profile keeps every debug_assert! live.
+cargo build --offline
 cargo test -q --offline
 cargo test --workspace -q --offline
 cargo bench -p hef-bench --no-run --offline
+
+# The robustness contract (ISSUE 3): panicking paths in the hardened
+# hef-core modules stay typed. Fail on any non-test unwrap()/expect().
+for f in parse translate registry; do
+    if sed '/#\[cfg(test)\]/,$d' "crates/hef/src/$f.rs" | grep -n '\.unwrap()\|\.expect('; then
+        echo "verify: FAIL — unwrap()/expect() outside tests in crates/hef/src/$f.rs" >&2
+        exit 1
+    fi
+done
+
+# Fault-injection suite: injected worker panics, registry corruption, and
+# cost spikes must never change results or abort the process.
+cargo test -q --offline --test fault_injection
+
+# Env-driven faults across the differential suite: a worker panic plus a
+# corrupted registry, injected via HEF_FAULT, must leave every parallel-vs-
+# serial comparison bit-identical.
+HEF_FAULT="panic:morsel=2,times=3;registry:flips=6,seed=11" \
+    cargo test -q --offline --test parallel_differential
 
 # Exercise both executor paths: serial (HEF_THREADS=1) and the morsel-driven
 # parallel scheduler (HEF_THREADS=4), which auto-resolved thread counts route

@@ -1,0 +1,310 @@
+//! Fault-injection suite: drives the `hef-testutil::fault` harness against
+//! the full stack and pins down the robustness contract of ISSUE 3:
+//!
+//! * a panicking parallel worker yields either a completed query
+//!   bit-identical to the serial output (recorded in [`ExecReport`]) or a
+//!   typed [`ExecError`] — never a process abort;
+//! * a corrupted, off-grid, or stale `HEF_REGISTRY` file changes no query
+//!   result — only which (all result-identical) grid nodes execute it;
+//! * a single injected cost-measurement spike never moves the tuner's
+//!   `best` by more than one grid step.
+//!
+//! Every faulted section runs inside `fault::with_plan`, which serializes
+//! process-wide so concurrent tests in this binary cannot observe each
+//! other's fault schedules; clean reference runs take the same guard with
+//! an empty plan.
+
+use hef::core::{initial_candidate, on_grid, optimize, templates, Registry, RegistryIssue};
+use hef::core::optimizer::{SimulatedCost, SpikedCost};
+use hef::engine::{
+    build_dimension, execute_star, try_execute_star, try_execute_star_parallel, ExecConfig,
+    Measure, QueryOutput, StarPlan,
+};
+use hef::kernels::{Family, HybridConfig, P_AXIS, S_AXIS, V_AXIS};
+use hef::storage::{Column, Table};
+use hef::uarch::CpuModel;
+use hef_testutil::fault::{with_plan, FaultPlan};
+use hef_testutil::prop;
+
+/// A toy star query large enough for several parallel morsels
+/// (batch 1024 × `MORSEL_BATCHES` 4 = 4096 rows per morsel; 20 000 rows
+/// span morsel indices 0..=4).
+fn toy() -> (Table, StarPlan) {
+    let n = 20_000u64;
+    let mut fact = Table::new("fact");
+    fact.add_column(Column::new("fk", (0..n).map(|i| i % 128).collect()));
+    fact.add_column(Column::new("rev", (0..n).map(|i| i % 11 + 1).collect()));
+    let mut dim = Table::new("dim");
+    dim.add_column(Column::new("key", (0..128).collect()));
+    let d = build_dimension(&dim, "key", |r| dim.col("key")[r] < 96, |r| dim.col("key")[r] % 8, 8, "fk");
+    let plan = StarPlan {
+        name: "toy".into(),
+        filters: vec![],
+        dims: vec![d],
+        measure: Measure::Sum("rev".into()),
+    };
+    (fact, plan)
+}
+
+/// Parse a `HEF_FAULT` spec (exercising the env grammar) into a plan,
+/// rejecting specs with typos so the tests can't silently test nothing.
+fn spec(s: &str) -> FaultPlan {
+    let (plan, warnings) = FaultPlan::parse(s);
+    assert!(warnings.is_empty(), "bad spec `{s}`: {warnings:?}");
+    assert!(!plan.is_empty(), "spec `{s}` parsed to an empty plan");
+    plan
+}
+
+/// A clean serial reference, run under the fault guard (empty plan) so a
+/// concurrently armed schedule can never leak into the reference run.
+fn serial_reference(plan: &StarPlan, fact: &Table, cfg: &ExecConfig) -> QueryOutput {
+    with_plan(FaultPlan::default(), || execute_star(plan, fact, &cfg.with_threads(1)))
+}
+
+// ---------------------------------------------------------------- worker panics
+
+#[test]
+fn one_worker_panic_is_retried_bit_identical() {
+    let (fact, plan) = toy();
+    let cfg = ExecConfig::hybrid_default();
+    let serial = serial_reference(&plan, &fact, &cfg);
+    with_plan(spec("panic:morsel=2,times=1"), || {
+        let (out, report) = try_execute_star_parallel(&plan, &fact, &cfg, 4)
+            .expect("one lost worker must be recoverable");
+        assert_eq!(out, serial, "recovery changed the result");
+        assert_eq!(report.workers_lost, 1);
+        assert!(report.morsels_retried >= 1);
+        assert!(!report.degraded_to_serial);
+    });
+}
+
+#[test]
+fn after_phase_panic_discards_poisoned_worker_state() {
+    // The hard case: the worker dies *after* folding the morsel into its
+    // accumulators. Keeping the worker would double-count; the executor
+    // must discard it and replay everything it had done.
+    let (fact, plan) = toy();
+    let cfg = ExecConfig::hybrid_default();
+    let serial = serial_reference(&plan, &fact, &cfg);
+    with_plan(spec("panic:morsel=1,times=1,after"), || {
+        let (out, report) = try_execute_star_parallel(&plan, &fact, &cfg, 4)
+            .expect("poisoned state must be replayable");
+        assert_eq!(out, serial, "poisoned accumulator leaked into the result");
+        assert_eq!(report.workers_lost, 1);
+        assert!(report.morsels_retried >= 1);
+    });
+}
+
+#[test]
+fn persistent_morsel_failure_degrades_to_serial() {
+    // Morsel 1 fails on every retry; the parallel path gives up and the
+    // serial fallback (whose fault hook fires on morsel 0 only) completes.
+    let (fact, plan) = toy();
+    let cfg = ExecConfig::hybrid_default();
+    let serial = serial_reference(&plan, &fact, &cfg);
+    with_plan(spec("panic:morsel=1,times=99"), || {
+        let (out, report) = try_execute_star_parallel(&plan, &fact, &cfg, 4)
+            .expect("serial fallback must complete");
+        assert_eq!(out, serial, "serial fallback changed the result");
+        assert!(report.degraded_to_serial);
+        assert!(report.workers_lost >= 1);
+    });
+}
+
+#[test]
+fn exhausted_ladder_is_a_typed_error_not_an_abort() {
+    // Morsel 0 fails forever, in the parallel workers *and* in the serial
+    // fallback (the serial executor consults the hook as morsel 0): every
+    // rung of the ladder is exhausted and the caller gets a typed error.
+    let (fact, plan) = toy();
+    let cfg = ExecConfig::hybrid_default();
+    with_plan(spec("panic:morsel=0,times=99"), || {
+        let err = try_execute_star_parallel(&plan, &fact, &cfg, 4)
+            .expect_err("nothing can run morsel 0; this must be an error");
+        let msg = err.to_string();
+        assert!(msg.contains("toy"), "error names the query: {msg}");
+        assert!(msg.contains("injected panic"), "error carries the panic payload: {msg}");
+
+        // The same contract through the public entry point.
+        assert!(try_execute_star(&plan, &fact, &cfg.with_threads(4)).is_err());
+    });
+}
+
+#[test]
+fn faulted_run_through_public_entry_point_reports_recovery() {
+    let (fact, plan) = toy();
+    let cfg = ExecConfig::hybrid_default();
+    let serial = serial_reference(&plan, &fact, &cfg);
+    with_plan(spec("panic:morsel=3,times=1"), || {
+        let (out, report) =
+            try_execute_star(&plan, &fact, &cfg.with_threads(4)).expect("recovers");
+        assert_eq!(out, serial);
+        assert_eq!(report.threads, 4);
+        assert!(!report.is_clean());
+    });
+}
+
+// ---------------------------------------------------------------- registry faults
+
+/// Registry entries deliberately different from both the paper default
+/// `(1, 1, 3)` and each other, so a silently-ignored file would be caught.
+fn good_registry_text() -> String {
+    let mut reg = Registry::with_host_provenance("fault-injection suite");
+    reg.insert(Family::Filter, HybridConfig { v: 2, s: 1, p: 2 });
+    reg.insert(Family::Probe, HybridConfig { v: 1, s: 2, p: 2 });
+    reg.insert(Family::AggSum, HybridConfig { v: 2, s: 2, p: 1 });
+    reg.insert(Family::Gather, HybridConfig { v: 8, s: 0, p: 1 });
+    reg.to_text()
+}
+
+fn hybrid_from(reg: &Registry) -> ExecConfig {
+    ExecConfig::hybrid_tuned(
+        reg.get_or_default(Family::Filter),
+        reg.get_or_default(Family::Probe),
+        reg.get_or_default(Family::AggSum),
+        reg.get_or_default(Family::Gather),
+    )
+}
+
+fn temp_registry(name: &str, text: &str) -> std::path::PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("hef_fault_{name}_{}.txt", std::process::id()));
+    std::fs::write(&path, text).expect("write temp registry");
+    path
+}
+
+#[test]
+fn corrupted_registry_changes_no_query_result() {
+    let (fact, plan) = toy();
+    let path = temp_registry("corrupt", &good_registry_text());
+
+    let (clean_reg, clean_report) =
+        with_plan(FaultPlan::default(), || Registry::load_degraded(&path));
+    assert!(clean_report.is_clean(), "{:?}", clean_report.issues);
+    let baseline = serial_reference(&plan, &fact, &hybrid_from(&clean_reg));
+    // The registry-tuned hybrid agrees with plain scalar execution.
+    assert_eq!(
+        baseline.groups,
+        serial_reference(&plan, &fact, &ExecConfig::scalar()).groups
+    );
+
+    for seed in 1..=10u64 {
+        let reg = with_plan(spec(&format!("registry:flips=8,seed={seed}")), || {
+            Registry::load_degraded(&path).0
+        });
+        for family in Family::ALL {
+            let node = reg.get_or_default(family);
+            assert!(
+                on_grid(node.v, node.s, node.p),
+                "seed {seed}: {} served off-grid node {node}",
+                family.name()
+            );
+        }
+        let out = serial_reference(&plan, &fact, &hybrid_from(&reg));
+        assert_eq!(out.groups, baseline.groups, "seed {seed} changed the query result");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn off_grid_registry_node_falls_back_and_result_is_unchanged() {
+    let (fact, plan) = toy();
+    let baseline = serial_reference(&plan, &fact, &ExecConfig::scalar());
+    let text = "# hef tuned-operator registry v1\n\
+                probe = 3 1 2\n\
+                filter = 2 1 2\n";
+    let path = temp_registry("offgrid", text);
+    let (reg, report) = with_plan(FaultPlan::default(), || Registry::load_degraded(&path));
+    assert!(
+        report.issues.iter().any(|i| matches!(i, RegistryIssue::Fallback { family, .. } if *family == "probe")),
+        "{:?}",
+        report.issues
+    );
+    assert_eq!(report.fallbacks(), 1);
+    assert_eq!(reg.get(Family::Filter), Some(HybridConfig { v: 2, s: 1, p: 2 }));
+    let probe = reg.get(Family::Probe).expect("fallback node recorded");
+    assert!(on_grid(probe.v, probe.s, probe.p));
+    let out = serial_reference(&plan, &fact, &hybrid_from(&reg));
+    assert_eq!(out.groups, baseline.groups);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn stale_isa_registry_rederives_and_result_is_unchanged() {
+    let (fact, plan) = toy();
+    let baseline = serial_reference(&plan, &fact, &ExecConfig::scalar());
+    let text = "# hef tuned-operator registry v1\n\
+                # isa: punchcards\n\
+                filter = 2 1 2\n\
+                probe = 1 2 2\n";
+    let path = temp_registry("stale", text);
+    let (reg, report) = with_plan(FaultPlan::default(), || Registry::load_degraded(&path));
+    assert!(report.issues.iter().any(|i| matches!(i, RegistryIssue::StaleIsa { .. })));
+    assert_eq!(report.fallbacks(), 2, "every recorded family re-derived");
+    for family in [Family::Filter, Family::Probe] {
+        let node = reg.get(family).expect("re-derived node recorded");
+        assert!(on_grid(node.v, node.s, node.p));
+    }
+    let out = serial_reference(&plan, &fact, &hybrid_from(&reg));
+    assert_eq!(out.groups, baseline.groups);
+    std::fs::remove_file(&path).ok();
+}
+
+// ---------------------------------------------------------------- cost spikes
+
+fn axis_index(x: usize, axis: &[usize]) -> usize {
+    axis.iter().position(|&a| a == x).unwrap_or_else(|| panic!("{x} off axis {axis:?}"))
+}
+
+/// Manhattan distance in axis-index space — "grid steps".
+fn grid_steps(a: HybridConfig, b: HybridConfig) -> usize {
+    axis_index(a.v, V_AXIS).abs_diff(axis_index(b.v, V_AXIS))
+        + axis_index(a.s, S_AXIS).abs_diff(axis_index(b.s, S_AXIS))
+        + axis_index(a.p, P_AXIS).abs_diff(axis_index(b.p, P_AXIS))
+}
+
+#[test]
+fn single_cost_spike_moves_best_at_most_one_grid_step() {
+    let silver = CpuModel::silver_4110();
+    // Unspiked reference search per family (pure simulation, no fault hooks).
+    let baselines: Vec<(Family, HybridConfig)> = Family::ALL
+        .into_iter()
+        .map(|family| {
+            let template = templates::for_family(family);
+            let initial = initial_candidate(&silver, &template);
+            let mut eval = SimulatedCost::new(&silver, &template);
+            (family, optimize(initial, &mut eval).best)
+        })
+        .collect();
+
+    // Each case is a full (simulated) tuner search; cap the count so the
+    // suite stays minutes-not-hours. HEF_PROP_SEED still replays any case.
+    let factors = [0.0625, 0.125, 8.0, 16.0];
+    prop::check_with(
+        &prop::Config::with_cases(16),
+        "one spike ⇒ best moves ≤ 1 grid step",
+        |rng| {
+            (
+                rng.gen_range(0..Family::ALL.len()),
+                rng.gen_range(0usize..30),
+                factors[rng.gen_range(0..factors.len())],
+            )
+        },
+        |&(fi, trial, factor)| {
+            let (family, base_best) = baselines[fi];
+            let template = templates::for_family(family);
+            let initial = initial_candidate(&silver, &template);
+            let spiked_best = with_plan(spec(&format!("spike:trial={trial},factor={factor}")), || {
+                let mut eval = SpikedCost { inner: SimulatedCost::new(&silver, &template) };
+                optimize(initial, &mut eval).best
+            });
+            let steps = grid_steps(base_best, spiked_best);
+            hef_testutil::prop_assert!(
+                steps <= 1,
+                "{}: spike trial={trial} factor={factor} moved best {base_best} -> {spiked_best} ({steps} steps)",
+                family.name()
+            );
+            Ok(())
+        },
+    );
+}
