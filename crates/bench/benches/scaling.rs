@@ -17,7 +17,7 @@
 
 use hef_bench::config::tuned_hybrid;
 use hef_bench::report::{f2, TableWriter};
-use hef_engine::{execute_star, resolve_threads};
+use hef_engine::{execute_star, resolve_threads, try_execute_star, ExecReport};
 use hef_ssb::{build_plan, generate, QueryId};
 use hef_testutil::bench::Bench;
 
@@ -52,15 +52,31 @@ fn main() {
     for &t in &counts[1..] {
         header.push(format!("x{t}T"));
     }
+    header.push("recovery".into());
     let mut table = TableWriter::new(header);
 
     for &q in queries {
         let plan = build_plan(&data, q);
         let mut ms: Vec<f64> = Vec::with_capacity(counts.len());
         let mut outputs = Vec::with_capacity(counts.len());
+        let mut recovery = ExecReport::default();
         for &t in &counts {
             let cfg = tuned_hybrid().with_threads(t);
-            outputs.push(execute_star(&plan, &data.lineorder, &cfg));
+            let (out, report) = try_execute_star(&plan, &data.lineorder, &cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", q.name()));
+            if !report.is_clean() {
+                eprintln!(
+                    "[scaling] {} @{t}T: recovered run — {} morsels retried, {} workers lost{}",
+                    q.name(),
+                    report.morsels_retried,
+                    report.workers_lost,
+                    if report.degraded_to_serial { ", degraded to serial" } else { "" }
+                );
+            }
+            recovery.morsels_retried += report.morsels_retried;
+            recovery.workers_lost += report.workers_lost;
+            recovery.degraded_to_serial |= report.degraded_to_serial;
+            outputs.push(out);
             let stats = Bench::with_samples(samples).run(|| {
                 std::hint::black_box(execute_star(&plan, &data.lineorder, &cfg));
             });
@@ -78,6 +94,16 @@ fn main() {
         let mut row: Vec<String> = vec![q.name().to_string()];
         row.extend(ms.iter().map(|&m| f2(m)));
         row.extend(ms[1..].iter().map(|&m| format!("{:.2}x", ms[0] / m)));
+        row.push(if recovery.is_clean() {
+            "clean".into()
+        } else {
+            format!(
+                "{}r/{}l{}",
+                recovery.morsels_retried,
+                recovery.workers_lost,
+                if recovery.degraded_to_serial { "/serial" } else { "" }
+            )
+        });
         table.row(row);
     }
     table.print();

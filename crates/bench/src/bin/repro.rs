@@ -15,12 +15,17 @@
 //!   ablation-dynamic         per-query best flavor (paper §VII)
 //!   ablation-bloom           Bloom semi-join pre-filtering vs plain probes
 //!   tune                     run the measured HEF tuner on this machine
+//!   qNN (e.g. q21, Q2.1)     one traced SSB query end to end (offline tune,
+//!                            registry warm, parallel execution)
+//!   report <trace.json>      validate + summarize a trace written earlier
 //!   all                      everything above
 //!
 //! options:
 //!   --sf <f>        override the scale factor
 //!   --n <elems>     kernel benchmark element count (default 20_000_000)
 //!   --repeats <k>   timing repeats (default 2)
+//!   --trace <file>  write a Chrome trace_event JSON of this run
+//!                   (equivalent to HEF_TRACE=<file>)
 //! ```
 //!
 //! Scale-factor mapping (see DESIGN.md §3): the paper's SF10/SF20/SF50 are
@@ -41,10 +46,11 @@ struct Opts {
     sf: Option<f64>,
     n: usize,
     repeats: usize,
+    trace: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
-    let mut o = Opts { sf: None, n: 20_000_000, repeats: 2 };
+    let mut o = Opts { sf: None, n: 20_000_000, repeats: 2, trace: None };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -58,6 +64,10 @@ fn parse_opts(args: &[String]) -> Opts {
             }
             "--repeats" => {
                 o.repeats = args[i + 1].parse().expect("--repeats <k>");
+                i += 2;
+            }
+            "--trace" => {
+                o.trace = Some(args[i + 1].clone());
                 i += 2;
             }
             other => panic!("unknown option {other}"),
@@ -213,6 +223,22 @@ fn kernel_table(name: &str, family: Family, hybrid: HybridConfig, model: CpuMode
     t.row(vec![
         "Time (ms, modeled)".to_string(),
         f2(modeled[0].time_ms), f2(modeled[1].time_ms), f2(modeled[2].time_ms),
+    ]);
+    // Hardware reference cycles (RDTSC) next to the simulator's cycle
+    // prediction: same unit, so the model can be judged without the
+    // frequency question. "-" when the platform has no cycle counter.
+    let mc = |m: &hef_bench::measure::Measured| {
+        m.mcycles().map_or("-".to_string(), f2)
+    };
+    t.row(vec![
+        "Mcycles (measured here)".to_string(),
+        mc(&meas[0]), mc(&meas[1]), mc(&meas[2]),
+    ]);
+    t.row(vec![
+        "Mcycles (modeled)".to_string(),
+        f2(modeled[0].time_ms * modeled[0].freq_ghz),
+        f2(modeled[1].time_ms * modeled[1].freq_ghz),
+        f2(modeled[2].time_ms * modeled[2].freq_ghz),
     ]);
     t.row(vec![
         "IPC (modeled)".to_string(),
@@ -420,10 +446,119 @@ fn tune(opts: &Opts) {
     }
 }
 
+// ---------------------------------------------------------------- traced query
+
+/// `q21` / `Q2.1` / `21` → `QueryId::Q2_1`.
+fn parse_query(cmd: &str) -> Option<QueryId> {
+    let digits: String = cmd.chars().filter(|c| c.is_ascii_digit()).collect();
+    if digits.len() != 2 || !cmd.chars().all(|c| "qQ.".contains(c) || c.is_ascii_digit()) {
+        return None;
+    }
+    QueryId::ALL
+        .into_iter()
+        .find(|q| q.name().chars().filter(|c| c.is_ascii_digit()).collect::<String>() == digits)
+}
+
+/// Run one SSB query end to end with the full offline phase, so a trace of
+/// this command shows tuner, translate, registry, query, worker, and morsel
+/// spans. Threads are forced to ≥2 so the morsel-driven parallel path runs.
+fn run_query(q: QueryId, opts: &Opts) {
+    let (sf, note) = scale_for("small", opts);
+    println!("\n=== {}: single traced query ({note}) ===\n", q.name());
+
+    // Offline phase: registry warm-load plus a simulated tune per kernel
+    // family (tuner/translate spans in the trace).
+    let (reg, warm) = hef_core::Registry::warm_report();
+    println!(
+        "registry: {} nodes warm-loaded{}",
+        reg.len(),
+        if warm.is_clean() { "" } else { " (degraded — see warnings)" }
+    );
+    let silver = CpuModel::silver_4110();
+    for family in Family::ALL {
+        let t = tune_simulated(family, &silver);
+        // Emit target code for the winner — the offline phase's artifact
+        // (and the `translate` span in the trace).
+        if let Err(e) = hef_core::try_translate(&templates::for_family(family), t.cfg) {
+            eprintln!("warning: translate {}: {e}", family.name());
+        }
+        println!("  {}", t.describe());
+    }
+
+    let data = gen_data(sf);
+    let plan = build_plan(&data, q);
+    let threads = hef_engine::resolve_threads(0).max(2);
+    let mut t = TableWriter::new(vec!["flavor", "ms", "threads", "retried", "lost", "serial"]);
+    for flavor in Flavor::ALL {
+        let cfg = exec_config(flavor).with_threads(threads);
+        let (m, _out, report) = measure_query_reported(&plan, &data.lineorder, &cfg, opts.repeats);
+        t.row(vec![
+            flavor.name().to_string(),
+            f2(m.ms()),
+            report.threads.to_string(),
+            report.morsels_retried.to_string(),
+            report.workers_lost.to_string(),
+            if report.degraded_to_serial { "yes".into() } else { "no".into() },
+        ]);
+    }
+    t.print();
+}
+
+/// Validate a Chrome trace written by `--trace`/`HEF_TRACE` and print a
+/// per-span-name summary. Exits non-zero on a malformed or unbalanced trace.
+fn trace_report(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = match hef_obs::check_trace(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: invalid trace {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("trace {path}: {} events ({} spans, {} instants), {} threads, {} dropped",
+        report.events,
+        report.spans.len(),
+        report.instants.len(),
+        report.thread_names.len(),
+        report.dropped,
+    );
+    // Aggregate spans by name: count + total self-exclusive-agnostic duration.
+    let mut agg: std::collections::BTreeMap<&str, (usize, f64)> = std::collections::BTreeMap::new();
+    for s in &report.spans {
+        let e = agg.entry(s.name.as_str()).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += s.dur_us;
+    }
+    let mut t = TableWriter::new(vec!["span", "count", "total ms"]);
+    for (name, (count, us)) in agg {
+        t.row(vec![name.to_string(), count.to_string(), f2(us / 1e3)]);
+    }
+    t.print();
+    for (tid, name) in &report.thread_names {
+        println!("  thread {tid}: {name}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
+    if cmd == "report" {
+        trace_report(args.get(1).map(String::as_str).unwrap_or_else(|| {
+            eprintln!("usage: repro report <trace.json>");
+            std::process::exit(2);
+        }));
+        return;
+    }
     let opts = parse_opts(&args[1.min(args.len())..]);
+    if let Some(path) = &opts.trace {
+        hef_obs::trace::start_file(path, hef_obs::Level::Fine);
+    }
 
     match cmd {
         "fig8" => ssb_figure("Fig 8", "small", &opts),
@@ -466,10 +601,26 @@ fn main() {
             ablation_dynamic(&opts);
             tune(&opts);
         }
-        _ => {
-            println!("usage: repro <experiment> [--sf f] [--n elems] [--repeats k]");
-            println!("experiments: fig8 fig9 fig10 table3..table9 fig11..fig14");
-            println!("             ablation-search ablation-pack ablation-bloom ablation-dynamic tune all");
+        other => match parse_query(other) {
+            Some(q) => run_query(q, &opts),
+            None => {
+                println!("usage: repro <experiment> [--sf f] [--n elems] [--repeats k] [--trace file]");
+                println!("experiments: fig8 fig9 fig10 table3..table9 fig11..fig14");
+                println!("             ablation-search ablation-pack ablation-bloom ablation-dynamic tune all");
+                println!("             qNN (traced single query, e.g. q21)   report <trace.json>");
+            }
+        },
+    }
+
+    if let Some(out) = hef_obs::trace::finish() {
+        if let Some(p) = &out.path {
+            eprintln!(
+                "[trace] wrote {} ({} events{})",
+                p.display(),
+                out.events,
+                if out.dropped > 0 { format!(", {} dropped", out.dropped) } else { String::new() }
+            );
         }
     }
+    hef_obs::metrics::report_if_enabled();
 }

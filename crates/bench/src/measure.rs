@@ -5,15 +5,23 @@ use hef_engine::{execute_star, try_execute_star, ExecConfig, ExecReport, QueryOu
 use hef_kernels::{run_on, Family, HybridConfig, KernelIo};
 use hef_storage::Table;
 
-/// A measured timing: best-of-`repeats` wall time.
+/// A measured timing: best-of-`repeats` wall time, plus the hardware
+/// reference-cycle count of the fastest run where the platform exposes one
+/// (see [`hef_testutil::read_cycles`]).
 #[derive(Debug, Clone, Copy)]
 pub struct Measured {
     pub secs: f64,
+    pub cycles: Option<u64>,
 }
 
 impl Measured {
     pub fn ms(&self) -> f64 {
         self.secs * 1e3
+    }
+
+    /// Hardware cycles of the fastest run, in millions.
+    pub fn mcycles(&self) -> Option<f64> {
+        self.cycles.map(|c| c as f64 / 1e6)
     }
 }
 
@@ -30,10 +38,10 @@ pub fn measure_query_reported(
     // The (identical every run) result, with recovery accounting.
     let (out, report) = try_execute_star(plan, fact, cfg)
         .unwrap_or_else(|e| panic!("bench query failed: {e}"));
-    let secs = hef_testutil::time_best_of(repeats, || {
+    let (secs, cycles) = hef_testutil::time_best_of_cycles(repeats, || {
         execute_star(plan, fact, cfg);
     });
-    (Measured { secs }, out, report)
+    (Measured { secs, cycles }, out, report)
 }
 
 /// Execute `plan` `repeats` times under `cfg` and return the best time and
@@ -59,11 +67,11 @@ pub fn measure_kernel(
     // Probe once so an off-grid node fails loudly rather than timing a no-op.
     let mut io = KernelIo::Map { input, output: &mut output };
     assert!(run_on(family, cfg, hef_hid::Backend::native(), &mut io));
-    let secs = hef_testutil::time_best_of(repeats, || {
+    let (secs, cycles) = hef_testutil::time_best_of_cycles(repeats, || {
         let mut io = KernelIo::Map { input, output: &mut output };
         run_on(family, cfg, hef_hid::Backend::native(), &mut io);
     });
-    Measured { secs }
+    Measured { secs, cycles }
 }
 
 /// Standard synthetic input for the kernel benchmarks (the paper hashes

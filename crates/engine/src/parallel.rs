@@ -60,17 +60,16 @@ fn thread_cap() -> usize {
 /// parallelism are clamped, and a malformed `HEF_THREADS` is reported once
 /// instead of being silently ignored.
 pub fn resolve_threads(requested: usize) -> usize {
-    static WARN_CLAMP: std::sync::Once = std::sync::Once::new();
-    static WARN_BAD_ENV: std::sync::Once = std::sync::Once::new();
     let cap = thread_cap();
     let clamp = |n: usize| {
         if n > cap {
-            WARN_CLAMP.call_once(|| {
-                eprintln!(
-                    "warning: hef: {n} worker threads requested; clamping to {cap} \
+            hef_obs::diag::warn_once(
+                "threads-clamp",
+                format!(
+                    "{n} worker threads requested; clamping to {cap} \
                      (4x available parallelism)"
-                );
-            });
+                ),
+            );
             cap
         } else {
             n
@@ -82,12 +81,13 @@ pub fn resolve_threads(requested: usize) -> usize {
     if let Ok(v) = std::env::var("HEF_THREADS") {
         match v.trim().parse::<usize>() {
             Ok(n) if n > 0 => return clamp(n),
-            _ => WARN_BAD_ENV.call_once(|| {
-                eprintln!(
-                    "warning: hef: HEF_THREADS=`{v}` is not a positive integer; \
+            _ => hef_obs::diag::warn_once(
+                "threads-bad-env",
+                format!(
+                    "HEF_THREADS=`{v}` is not a positive integer; \
                      using available parallelism"
-                );
-            }),
+                ),
+            ),
         }
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -230,8 +230,12 @@ impl Scheduler {
     fn requeue(&self, poisoned: (usize, usize, u32), done: &[(usize, usize)]) {
         let (lo, hi, attempts) = poisoned;
         self.workers_lost.fetch_add(1, Ordering::AcqRel);
+        hef_obs::metrics::add(hef_obs::metrics::Metric::WorkersLost, 1);
+        hef_obs::event!("worker_lost", lo = lo, hi = hi, attempts = attempts);
         if attempts >= MAX_MORSEL_RETRIES {
             self.give_up.store(true, Ordering::Release);
+            hef_obs::metrics::add(hef_obs::metrics::Metric::SerialDegradations, 1);
+            hef_obs::event!("degrade_serial", lo = lo, hi = hi);
             self.complete();
             return;
         }
@@ -243,6 +247,10 @@ impl Scheduler {
             }
         }
         self.retried.fetch_add(1 + done.len(), Ordering::AcqRel);
+        hef_obs::metrics::add(
+            hef_obs::metrics::Metric::MorselsRetried,
+            1 + done.len() as u64,
+        );
         self.complete();
     }
 }
@@ -259,11 +267,20 @@ fn worker_loop<'a>(
     fact: &'a Table,
     cfg: &'a ExecConfig,
 ) -> Option<QueryOutput> {
+    if hef_obs::trace::enabled() {
+        hef_obs::trace::set_thread_name(&format!("worker-{wid}"));
+    }
+    let _wspan = hef_obs::span!("worker", wid = wid);
     let mut w = AnyWorker::new(plan, fact, cfg);
     let mut done: Vec<(usize, usize)> = Vec::new();
     while let Some((lo, hi, attempts)) = sched.claim() {
         let morsel_idx = lo / sched.morsel;
+        hef_obs::metrics::add(hef_obs::metrics::Metric::MorselsClaimed, 1);
+        hef_obs::metrics::observe(hef_obs::metrics::Hist::MorselRows, (hi - lo) as u64);
+        // The span guard lives inside the catch_unwind closure so a panic
+        // still closes the morsel span on unwind.
         let run = catch_unwind(AssertUnwindSafe(|| {
+            let _mspan = hef_obs::span_fine!("morsel", lo = lo, hi = hi, attempt = attempts);
             fault::maybe_panic_worker(wid, morsel_idx, fault::Phase::Before);
             w.run_range(lo, hi);
             fault::maybe_panic_worker(wid, morsel_idx, fault::Phase::After);

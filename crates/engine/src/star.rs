@@ -316,6 +316,16 @@ pub fn try_execute_star(
     cfg: &ExecConfig,
 ) -> Result<(QueryOutput, crate::parallel::ExecReport), crate::parallel::ExecError> {
     let threads = crate::parallel::resolve_threads(cfg.threads);
+    let _qspan = if hef_obs::trace::enabled() {
+        hef_obs::trace::span_begin_labeled(
+            "query",
+            &format!("{} [{}]", plan.name, cfg.flavor.name()),
+            &[("rows", fact.len() as i64), ("threads", threads as i64)],
+        )
+    } else {
+        hef_obs::trace::SpanGuard::disabled()
+    };
+    hef_obs::metrics::add(hef_obs::metrics::Metric::QueriesExecuted, 1);
     if threads > 1 {
         return crate::parallel::try_execute_star_parallel(plan, fact, cfg, threads);
     }
@@ -437,6 +447,12 @@ impl<'a> PipelineWorker<'a> {
             }
         }
         self.stats.rows_after_filter += self.sel.len() as u64;
+        if hef_obs::metrics::enabled() {
+            use hef_obs::metrics::{add, observe, Hist, Metric};
+            add(Metric::FilterRowsIn, (end - start) as u64);
+            add(Metric::FilterRowsOut, self.sel.len() as u64);
+            observe(Hist::FilterBatchRowsOut, self.sel.len() as u64);
+        }
 
         // 2. Dimension probes, most selective first; selection vector
         // shrinks after each (VIP pipeline, no full materialization).
@@ -475,6 +491,11 @@ impl<'a> PipelineWorker<'a> {
                 for ps in pays.iter_mut() {
                     ps.truncate(k);
                 }
+                if hef_obs::metrics::enabled() {
+                    use hef_obs::metrics::{add, Metric};
+                    add(Metric::BloomKeys, self.probe_out.len() as u64);
+                    add(Metric::BloomDrops, (self.probe_out.len() - k) as u64);
+                }
                 if self.sel.is_empty() {
                     pays.push(Vec::new());
                     continue;
@@ -495,11 +516,20 @@ impl<'a> PipelineWorker<'a> {
             );
             let k = compact_hits(&mut self.sel, &mut pays, &mut self.probe_out);
             self.stats.hits[di] += k as u64;
+            if hef_obs::metrics::enabled() {
+                use hef_obs::metrics::{add, observe, Hist, Metric};
+                add(Metric::ProbeKeys, self.keys.len() as u64);
+                add(Metric::ProbeHits, k as u64);
+                observe(Hist::ProbeBatchHits, k as u64);
+            }
         }
 
         // 3. Group ids and aggregation.
         if !self.sel.is_empty() {
             self.stats.rows_aggregated += self.sel.len() as u64;
+            if hef_obs::metrics::enabled() {
+                hef_obs::metrics::add(hef_obs::metrics::Metric::AggRows, self.sel.len() as u64);
+            }
             self.gids.clear();
             self.gids.resize(self.sel.len(), 0);
             for (di, dim) in plan.dims.iter().enumerate() {
@@ -561,6 +591,9 @@ pub(crate) fn materialize_measure(
 /// scalar helper for off-grid nodes, which cannot happen for the shipped
 /// flavor configs).
 fn take(col: &[u64], sel: &[u64], out: &mut Vec<u64>, cfg: &ExecConfig) {
+    if hef_obs::metrics::enabled() {
+        hef_obs::metrics::add(hef_obs::metrics::Metric::GatherRows, sel.len() as u64);
+    }
     out.clear();
     out.resize(sel.len(), 0);
     let mut io = KernelIo::Gather { src: col, idx: sel, out };

@@ -107,6 +107,7 @@ impl<'a> VoilaWorker<'a> {
     fn run_batch(&mut self, start: usize, end: usize) {
         let (plan, fact, ncols) = (self.plan, self.fact, self.ncols);
         let ndims = plan.dims.len();
+        let materialized_before = self.stats.materialized;
 
         // Stage 0 materializes the live column set. Voila's data-centric
         // blend runs the most selective operator before materializing:
@@ -237,6 +238,12 @@ impl<'a> VoilaWorker<'a> {
                     .collect(),
             };
             grouped_accumulate(&mut self.acc, &self.gid[..live], &vals);
+        }
+        if hef_obs::metrics::enabled() {
+            hef_obs::metrics::add(
+                hef_obs::metrics::Metric::RowsMaterialized,
+                self.stats.materialized - materialized_before,
+            );
         }
     }
 

@@ -115,6 +115,8 @@ fn sanitize(c: f64) -> f64 {
 }
 
 fn median_of_3(eval: &mut dyn CostEvaluator, cfg: HybridConfig, first: f64) -> f64 {
+    hef_obs::metrics::add(hef_obs::metrics::Metric::TunerRemeasurements, 1);
+    hef_obs::metrics::add(hef_obs::metrics::Metric::TunerTrials, 2);
     let mut xs = [first, sanitize(eval.cost(cfg)), sanitize(eval.cost(cfg))];
     xs.sort_by(f64::total_cmp);
     xs[1]
@@ -132,6 +134,7 @@ fn robust_cost(
     reference: Option<f64>,
     running_best: f64,
 ) -> f64 {
+    hef_obs::metrics::add(hef_obs::metrics::Metric::TunerTrials, 1);
     let c = sanitize(eval.cost(cfg));
     if !c.is_finite() {
         return c;
@@ -155,6 +158,13 @@ fn robust_cost(
 /// Run Algorithm 2 from `initial`.
 pub fn optimize(initial: HybridConfig, eval: &mut dyn CostEvaluator) -> SearchOutcome {
     let initial = crate::candidate::snap(initial);
+    let _span = hef_obs::span!(
+        "optimize",
+        v = initial.v,
+        s = initial.s,
+        p = initial.p
+    );
+    hef_obs::metrics::add(hef_obs::metrics::Metric::TunerSearches, 1);
     let mut costs: HashMap<HybridConfig, f64> = HashMap::new();
     let mut order: Vec<(HybridConfig, f64)> = Vec::new();
     let mut end_list: Vec<HybridConfig> = Vec::new();
@@ -203,7 +213,12 @@ pub fn optimize(initial: HybridConfig, eval: &mut dyn CostEvaluator) -> SearchOu
         }
     }
 
-    SearchOutcome { best: best.0, best_cost: best.1, tested: order, end_list }
+    let outcome = SearchOutcome { best: best.0, best_cost: best.1, tested: order, end_list };
+    hef_obs::metrics::add(
+        hef_obs::metrics::Metric::TunerPruned,
+        outcome.pruned() as u64,
+    );
+    outcome
 }
 
 /// Exhaustive baseline: test every grid node (the cost the pruning avoids).
@@ -260,6 +275,8 @@ impl CostEvaluator for SimulatedCost<'_> {
     fn cost(&mut self, cfg: HybridConfig) -> f64 {
         let body = to_loop_body(self.template, cfg);
         let r = hef_uarch::simulate(self.model, &body, self.iterations);
+        hef_obs::metrics::add(hef_obs::metrics::Metric::SimRuns, 1);
+        hef_obs::metrics::add(hef_obs::metrics::Metric::SimCycles, r.cycles);
         let elems = (cfg.step() * self.iterations) as f64;
         // Nanoseconds per element: cycles / frequency, normalized per element
         // so different step widths are comparable.
@@ -279,6 +296,12 @@ pub struct MeasuredCost {
     bloom: Option<BloomFilter>,
     /// Timing trials per node; the minimum is used.
     pub trials: usize,
+    /// Hardware cycles of the fastest trial of the most recent [`cost`]
+    /// call (`hef_testutil::read_cycles`; `None` off x86_64 or before any
+    /// measurement). Lets callers report cycles alongside wall time.
+    ///
+    /// [`cost`]: CostEvaluator::cost
+    pub last_cycles: Option<u64>,
 }
 
 impl MeasuredCost {
@@ -316,6 +339,7 @@ impl MeasuredCost {
             table,
             bloom,
             trials: 3,
+            last_cycles: None,
         }
     }
 
@@ -367,10 +391,12 @@ impl CostEvaluator for MeasuredCost {
             return f64::INFINITY;
         }
         // Shared clock discipline with the bench harness: warm-up run,
-        // then best-of-`trials` wall time.
-        hef_testutil::time_best_of(self.trials, || {
+        // then best-of-`trials` wall time (cycles of the same best run).
+        let (secs, cycles) = hef_testutil::time_best_of_cycles(self.trials, || {
             self.run_once(cfg);
-        })
+        });
+        self.last_cycles = cycles;
+        secs
     }
 }
 

@@ -335,13 +335,11 @@ impl Registry {
     pub fn warm_report() -> &'static (Registry, WarmReport) {
         static WARM: std::sync::OnceLock<(Registry, WarmReport)> = std::sync::OnceLock::new();
         WARM.get_or_init(|| {
+            let _span = hef_obs::span!("registry_warm");
             let (reg, report) = match std::env::var("HEF_REGISTRY") {
                 Ok(path) if !path.trim().is_empty() => Registry::load_degraded(Path::new(&path)),
                 _ => (Registry::default(), WarmReport::default()),
             };
-            for issue in &report.issues {
-                eprintln!("warning: hef registry: {issue}");
-            }
             (reg, report)
         })
     }
@@ -350,14 +348,21 @@ impl Registry {
     /// salvageable registry plus the issue log. Fault injection
     /// (`HEF_FAULT=registry:…`) corrupts the text between read and parse.
     pub fn load_degraded(path: &Path) -> (Registry, WarmReport) {
+        let _span =
+            hef_obs::trace::span_begin_labeled("registry_load", &path.to_string_lossy(), &[]);
+        hef_obs::metrics::add(hef_obs::metrics::Metric::RegistryLoads, 1);
         let mut report = WarmReport { source: Some(path.display().to_string()), issues: vec![] };
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
+        // Reads go through the fault layer so HEF_FAULT=torn:/short: clauses
+        // exercise this ladder; a torn tail is lossily decoded and its
+        // garbage lines fall to the lenient parser below.
+        let text = match hef_testutil::fault::read_file(path) {
+            Ok((bytes, _mangled)) => String::from_utf8_lossy(&bytes).into_owned(),
             Err(e) => {
                 report.issues.push(RegistryIssue::Unreadable {
                     path: path.display().to_string(),
                     message: e.to_string(),
                 });
+                report.emit_diagnostics();
                 return (Registry::default(), report);
             }
         };
@@ -399,6 +404,7 @@ impl Registry {
             report.issues.push(RegistryIssue::Fallback { family: family.name(), node });
             reg.insert(family, node);
         }
+        report.emit_diagnostics();
         (reg, report)
     }
 }
@@ -447,6 +453,23 @@ impl WarmReport {
     /// `true` when the registry loaded cleanly (or no file was requested).
     pub fn is_clean(&self) -> bool {
         self.issues.is_empty()
+    }
+
+    /// Route every ladder decision through the `hef_obs` sink: a `diag`
+    /// warning (capturable in tests), a trace instant, and the registry
+    /// counters. Called once per `load_degraded`.
+    fn emit_diagnostics(&self) {
+        use hef_obs::metrics::{add, Metric};
+        for issue in &self.issues {
+            hef_obs::diag::warn(format!("registry: {issue}"));
+            hef_obs::trace::instant_labeled("registry_issue", &issue.to_string(), &[]);
+            match issue {
+                RegistryIssue::BadLine { .. } => add(Metric::RegistryLinesDropped, 1),
+                RegistryIssue::Fallback { .. } => add(Metric::RegistryFallbacks, 1),
+                RegistryIssue::StaleIsa { .. } => add(Metric::RegistryStaleIsa, 1),
+                RegistryIssue::Unreadable { .. } => {}
+            }
+        }
     }
 
     /// Number of families degraded to the analytical pick.

@@ -123,6 +123,11 @@ fn operand_text(a: &Operand, lane: Lane) -> String {
 /// Generate the target-code listing for `cfg` (Algorithm 1), with template
 /// and grid problems reported as typed errors instead of panics.
 pub fn try_translate(t: &OperatorTemplate, cfg: HybridConfig) -> Result<TargetCode, HefError> {
+    let _span = hef_obs::trace::span_begin_labeled(
+        "translate",
+        &t.name,
+        &[("v", cfg.v as i64), ("s", cfg.s as i64), ("p", cfg.p as i64)],
+    );
     t.validate().map_err(|m| invalid(t, m))?;
     if !crate::error::on_grid(cfg.v, cfg.s, cfg.p) {
         return Err(HefError::off_grid(cfg));
@@ -262,6 +267,16 @@ fn uop_class(op: HidOp, lane: Lane) -> Option<UopClass> {
 /// `hef-uarch` simulator, with template and grid problems reported as typed
 /// errors instead of panics.
 pub fn try_to_loop_body(t: &OperatorTemplate, cfg: HybridConfig) -> Result<LoopBody, HefError> {
+    // Fine level: the simulated search calls this per cost trial.
+    let _span = if hef_obs::trace::enabled_fine() {
+        hef_obs::trace::span_begin_labeled(
+            "to_loop_body",
+            &t.name,
+            &[("v", cfg.v as i64), ("s", cfg.s as i64), ("p", cfg.p as i64)],
+        )
+    } else {
+        hef_obs::trace::SpanGuard::disabled()
+    };
     t.validate().map_err(|m| invalid(t, m))?;
     if !crate::error::on_grid(cfg.v, cfg.s, cfg.p) {
         return Err(HefError::off_grid(cfg));

@@ -48,6 +48,8 @@ impl TunedOperator {
 /// Measurements pass through [`SpikedCost`], so a `HEF_FAULT=spike:…` plan
 /// exercises the optimizer's median-of-3 re-measurement on the real path.
 pub fn tune_measured(family: Family, n: usize) -> TunedOperator {
+    let _span =
+        hef_obs::trace::span_begin_labeled("tune", family.name(), &[("n", n as i64), ("measured", 1)]);
     let template = templates::for_family(family);
     let model = CpuModel::host();
     let initial = initial_candidate(&model, &template);
@@ -59,6 +61,8 @@ pub fn tune_measured(family: Family, n: usize) -> TunedOperator {
 /// Tune an operator against a modeled CPU (the path for the paper's Xeons,
 /// which this reproduction does not physically have).
 pub fn tune_simulated(family: Family, model: &CpuModel) -> TunedOperator {
+    let _span =
+        hef_obs::trace::span_begin_labeled("tune", family.name(), &[("measured", 0)]);
     let template = templates::for_family(family);
     let initial = initial_candidate(model, &template);
     let mut eval = SpikedCost { inner: SimulatedCost::new(model, &template) };

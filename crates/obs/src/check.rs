@@ -1,0 +1,426 @@
+//! In-tree Chrome-trace checker: a minimal JSON parser plus structural
+//! validation of `trace_event` documents (balanced B/E nesting per thread,
+//! monotonic span intervals, known phase codes).
+//!
+//! Used by `repro report`, the verify.sh trace smoke stage, and the
+//! round-trip tests. Deliberately small: it parses only what the trace
+//! writer emits plus enough generality to catch malformed output.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value. Object keys keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(kv) => kv.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("json parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected byte 0x{c:02x}"))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut kv = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(kv));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            kv.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(kv));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        if self.peek() != Some(b'"') {
+            return Err(self.err("expected string"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Multi-byte scalar: decode just this character.
+                    let len = match b {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        0xf0..=0xf7 => 4,
+                        _ => return Err(self.err("invalid utf-8 in string")),
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or_else(|| self.err("truncated utf-8 in string"))?;
+                    let s = std::str::from_utf8(chunk)
+                        .map_err(|_| self.err("invalid utf-8 in string"))?;
+                    out.push_str(s);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(&format!("bad number '{text}'")))
+    }
+}
+
+/// Parse a JSON document. The whole input must be consumed.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage after document"));
+    }
+    Ok(v)
+}
+
+/// A completed span reconstructed from a B/E pair.
+#[derive(Debug, Clone)]
+pub struct SpanRec {
+    pub tid: u64,
+    pub name: String,
+    /// Begin timestamp, microseconds since trace epoch.
+    pub ts_us: f64,
+    pub dur_us: f64,
+    /// Nesting depth at begin time (0 = top-level on its thread).
+    pub depth: usize,
+}
+
+/// Structural summary of a validated trace.
+#[derive(Debug, Default)]
+pub struct TraceReport {
+    pub events: usize,
+    pub spans: Vec<SpanRec>,
+    /// `(tid, name, ts_us)` instant events.
+    pub instants: Vec<(u64, String, f64)>,
+    /// Thread names from `thread_name` metadata events.
+    pub thread_names: BTreeMap<u64, String>,
+    /// Dropped-record count reported by the writer, if present.
+    pub dropped: u64,
+}
+
+impl TraceReport {
+    /// Spans with the given name.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRec> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+}
+
+/// Validate a Chrome `trace_event` document and summarize it.
+///
+/// Checks: parseable JSON, a `traceEvents` array, every event has a known
+/// phase, B/E events balance per thread with matching names and
+/// non-decreasing timestamps.
+pub fn check_trace(text: &str) -> Result<TraceReport, String> {
+    let doc = parse_json(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut report = TraceReport {
+        events: events.len(),
+        ..TraceReport::default()
+    };
+    if let Some(d) = doc
+        .get("otherData")
+        .and_then(|o| o.get("dropped"))
+        .and_then(Json::as_f64)
+    {
+        report.dropped = d as u64;
+    }
+    // Per-tid stack of open spans: (name, begin ts).
+    let mut stacks: BTreeMap<u64, Vec<(String, f64)>> = BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?
+            .to_string();
+        let tid = ev.get("tid").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        match ph {
+            "M" => {
+                if name == "thread_name" {
+                    if let Some(n) = ev
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                    {
+                        report.thread_names.insert(tid, n.to_string());
+                    }
+                }
+            }
+            "B" => {
+                let ts = ev
+                    .get("ts")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i}: B without ts"))?;
+                stacks.entry(tid).or_default().push((name, ts));
+            }
+            "E" => {
+                let ts = ev
+                    .get("ts")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i}: E without ts"))?;
+                let stack = stacks.entry(tid).or_default();
+                let Some((open_name, begin_ts)) = stack.pop() else {
+                    return Err(format!("event {i}: E '{name}' on tid {tid} with no open span"));
+                };
+                if open_name != name {
+                    return Err(format!(
+                        "event {i}: E '{name}' does not match open span '{open_name}' on tid {tid}"
+                    ));
+                }
+                if ts + 1e-9 < begin_ts {
+                    return Err(format!(
+                        "event {i}: span '{name}' on tid {tid} ends ({ts}) before it begins ({begin_ts})"
+                    ));
+                }
+                report.spans.push(SpanRec {
+                    tid,
+                    name,
+                    ts_us: begin_ts,
+                    dur_us: ts - begin_ts,
+                    depth: stack.len(),
+                });
+            }
+            "i" | "I" => {
+                let ts = ev.get("ts").and_then(Json::as_f64).unwrap_or(0.0);
+                report.instants.push((tid, name, ts));
+            }
+            "C" | "X" => {} // counters / complete events: tolerated, not emitted by us
+            other => return Err(format!("event {i}: unknown phase '{other}'")),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if let Some((name, _)) = stack.last() {
+            return Err(format!("unclosed span '{name}' on tid {tid}"));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let j = parse_json(r#"{"a":[1,2.5,-3e2],"b":"xA\n","c":true,"d":null}"#).unwrap();
+        assert_eq!(j.get("a").unwrap().as_arr().unwrap()[2].as_f64(), Some(-300.0));
+        assert_eq!(j.get("b").unwrap().as_str(), Some("xA\n"));
+        assert_eq!(j.get("c"), Some(&Json::Bool(true)));
+        assert_eq!(j.get("d"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{}extra").is_err());
+        assert!(parse_json(r#"{"a" 1}"#).is_err());
+    }
+
+    #[test]
+    fn checker_accepts_balanced_trace() {
+        let t = r#"{"traceEvents":[
+            {"ph":"M","name":"thread_name","pid":1,"tid":0,"args":{"name":"main"}},
+            {"ph":"B","name":"q","pid":1,"tid":0,"ts":1.0},
+            {"ph":"B","name":"m","pid":1,"tid":0,"ts":2.0},
+            {"ph":"i","name":"tick","pid":1,"tid":0,"ts":2.5,"s":"t"},
+            {"ph":"E","name":"m","pid":1,"tid":0,"ts":3.0},
+            {"ph":"E","name":"q","pid":1,"tid":0,"ts":4.0}
+        ]}"#;
+        let r = check_trace(t).unwrap();
+        assert_eq!(r.spans.len(), 2);
+        assert_eq!(r.thread_names.get(&0).map(String::as_str), Some("main"));
+        let m = r.spans_named("m").next().unwrap();
+        assert_eq!(m.depth, 1);
+        assert!((m.dur_us - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn checker_rejects_mismatched_and_unclosed() {
+        let cross = r#"{"traceEvents":[
+            {"ph":"B","name":"a","tid":0,"ts":1},
+            {"ph":"E","name":"b","tid":0,"ts":2}
+        ]}"#;
+        assert!(check_trace(cross).is_err());
+        let unclosed = r#"{"traceEvents":[{"ph":"B","name":"a","tid":0,"ts":1}]}"#;
+        assert!(check_trace(unclosed).is_err());
+        let naked_end = r#"{"traceEvents":[{"ph":"E","name":"a","tid":0,"ts":1}]}"#;
+        assert!(check_trace(naked_end).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! The single diagnostics sink.
+//!
+//! All warning-class output (`resolve_threads` clamping, registry
+//! degradation, fault-spec problems, storage salvage) funnels through
+//! [`warn`] / [`warn_once`]. By default a warning goes to stderr prefixed
+//! `warning: hef:`; under [`capture`] it is collected instead, so tests can
+//! assert on exact diagnostics without scraping the process's stderr.
+//! Every warning also bumps `Metric::DiagWarnings` and, when tracing is
+//! active, records an instant event named `diag`.
+use std::collections::HashSet;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn capture_slot() -> &'static Mutex<Option<Vec<String>>> {
+    static S: OnceLock<Mutex<Option<Vec<String>>>> = OnceLock::new();
+    S.get_or_init(|| Mutex::new(None))
+}
+
+fn once_keys() -> &'static Mutex<HashSet<&'static str>> {
+    static S: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    S.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Emit a warning through the sink.
+pub fn warn(msg: impl std::fmt::Display) {
+    let text = msg.to_string();
+    crate::metrics::add(crate::metrics::Metric::DiagWarnings, 1);
+    crate::trace::instant_labeled("diag", &text, &[]);
+    let mut slot = lock(capture_slot());
+    match slot.as_mut() {
+        Some(buf) => buf.push(text),
+        None => eprintln!("warning: hef: {text}"),
+    }
+}
+
+/// Emit a warning at most once per process per `key`.
+///
+/// [`capture`] resets the once-set on entry so tests can observe warnings
+/// that already fired earlier in the process.
+pub fn warn_once(key: &'static str, msg: impl std::fmt::Display) {
+    if lock(once_keys()).insert(key) {
+        warn(msg);
+    }
+}
+
+/// Run `f` with warnings captured instead of printed; returns `f`'s result
+/// and the captured warnings, oldest first.
+///
+/// Captures are process-global, so concurrent calls are serialized by an
+/// internal mutex, and `warn_once` keys are cleared on entry (capture is a
+/// test-only facility; re-arming once-warnings is the useful behavior).
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Vec<String>) {
+    static GUARD: Mutex<()> = Mutex::new(());
+    let _g = GUARD.lock().unwrap_or_else(|p| p.into_inner());
+    lock(once_keys()).clear();
+    *lock(capture_slot()) = None; // discard any stale buffer from a panicked capture
+    *lock(capture_slot()) = Some(Vec::new());
+    // Restore the pass-through sink even if `f` panics.
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            *lock(capture_slot()) = None;
+        }
+    }
+    let restore = Restore;
+    let r = f();
+    let captured = lock(capture_slot()).take().unwrap_or_default();
+    std::mem::forget(restore);
+    (r, captured)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_collects_instead_of_printing() {
+        let ((), msgs) = capture(|| {
+            warn("first thing");
+            warn(format!("second {}", 2));
+        });
+        assert_eq!(msgs, vec!["first thing".to_string(), "second 2".to_string()]);
+    }
+
+    #[test]
+    fn warn_once_fires_once_but_rearms_under_capture() {
+        let ((), a) = capture(|| {
+            warn_once("test-key", "hello");
+            warn_once("test-key", "hello again");
+        });
+        assert_eq!(a, vec!["hello".to_string()]);
+        // A new capture re-arms the key.
+        let ((), b) = capture(|| warn_once("test-key", "back"));
+        assert_eq!(b, vec!["back".to_string()]);
+    }
+
+    #[test]
+    fn capture_restores_on_panic() {
+        let res = std::panic::catch_unwind(|| {
+            capture(|| -> () { panic!("boom") });
+        });
+        assert!(res.is_err());
+        // Sink must be pass-through again; a fresh capture still works.
+        let ((), msgs) = capture(|| warn("after panic"));
+        assert_eq!(msgs, vec!["after panic".to_string()]);
+    }
+}

@@ -1,0 +1,71 @@
+//! `hef-obs` — zero-dependency observability for the hybrid execution framework.
+//!
+//! Three cooperating pieces, all hermetic (no third-party crates):
+//!
+//! * [`trace`] — a lock-light span/event API writing fixed-size records into
+//!   per-thread buffers stamped against a global epoch clock. Drained into
+//!   Chrome `trace_event` JSON (loadable in `chrome://tracing` / Perfetto)
+//!   plus a plain-text summary. Activated by `HEF_TRACE=<file>[:level]` or
+//!   programmatically ([`trace::start_capture`] / [`trace::start_file`]).
+//! * [`metrics`] — a fixed registry of monotonic counters and log2-bucket
+//!   histograms covering the scheduler, kernels, tuner, registry, storage,
+//!   and fault hooks. Activated by `HEF_METRICS=1` or [`metrics::enable`].
+//! * [`diag`] — the single warning sink. Everything that used to
+//!   `eprintln!` a warning routes through here so tests can capture and
+//!   assert diagnostics ([`diag::capture`]).
+//!
+//! The disabled path of every instrumentation site is one branch on a
+//! relaxed atomic load — verified by `benches/obs_overhead.rs` in
+//! `hef-bench`. When tracing/metrics are off the record structs are never
+//! constructed and macro arguments are never evaluated.
+
+pub mod check;
+pub mod diag;
+pub mod metrics;
+pub mod trace;
+
+pub use check::{check_trace, Json, SpanRec, TraceReport};
+pub use metrics::{Hist, Metric, Snapshot};
+pub use trace::{Level, SpanGuard, TraceOutput};
+
+/// Open a coarse-level span that ends when the returned guard drops.
+///
+/// Arguments after the name are `key = integer-expression` pairs recorded on
+/// the span; they are **not evaluated** when tracing is disabled.
+///
+/// ```
+/// let _s = hef_obs::span!("translate", v = 8, s = 2, p = 4);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::trace::enabled() {
+            $crate::trace::span_begin($name, &[$((stringify!($k), ($v) as i64)),*])
+        } else {
+            $crate::trace::SpanGuard::disabled()
+        }
+    };
+}
+
+/// Like [`span!`] but only recorded at `fine` trace level (per-morsel /
+/// per-call granularity). Disabled-path cost is identical: one relaxed load.
+#[macro_export]
+macro_rules! span_fine {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::trace::enabled_fine() {
+            $crate::trace::span_begin($name, &[$((stringify!($k), ($v) as i64)),*])
+        } else {
+            $crate::trace::SpanGuard::disabled()
+        }
+    };
+}
+
+/// Record an instant (zero-duration) event at coarse level.
+#[macro_export]
+macro_rules! event {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::trace::enabled() {
+            $crate::trace::instant($name, &[$((stringify!($k), ($v) as i64)),*]);
+        }
+    };
+}

@@ -1,0 +1,374 @@
+//! Metrics registry: a fixed set of monotonic counters plus log2-bucket
+//! histograms, all process-global atomics.
+//!
+//! The registry is deliberately *closed* (an enum, not string keys): adding a
+//! counter is a code change, lookups are array indexing, and a snapshot is a
+//! `memcpy`. Counters are only incremented when [`enabled`] — a relaxed
+//! atomic load — says so, activated by `HEF_METRICS=1` or [`enable`].
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Counter taxonomy. Grouped by subsystem; see DESIGN.md §8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Metric {
+    // Scheduler (engine::parallel)
+    QueriesExecuted,
+    MorselsClaimed,
+    MorselsRetried,
+    WorkersLost,
+    SerialDegradations,
+    // Kernels (engine::star / engine::voila)
+    FilterRowsIn,
+    FilterRowsOut,
+    ProbeKeys,
+    ProbeHits,
+    BloomKeys,
+    BloomDrops,
+    AggRows,
+    GatherRows,
+    RowsMaterialized,
+    // Tuner (hef-core::optimizer)
+    TunerSearches,
+    TunerTrials,
+    TunerRemeasurements,
+    TunerPruned,
+    // Cache/µarch simulator usage (hef-core::optimizer::SimulatedCost)
+    SimRuns,
+    SimCycles,
+    // Registry degradation (hef-core::registry)
+    RegistryLoads,
+    RegistryLinesDropped,
+    RegistryFallbacks,
+    RegistryStaleIsa,
+    // Storage (hef-storage::file)
+    ColumnFilesLoaded,
+    ColumnRowsSalvaged,
+    StorageIssues,
+    // Cross-cutting
+    FaultsInjected,
+    DiagWarnings,
+}
+
+impl Metric {
+    pub const ALL: [Metric; 29] = [
+        Metric::QueriesExecuted,
+        Metric::MorselsClaimed,
+        Metric::MorselsRetried,
+        Metric::WorkersLost,
+        Metric::SerialDegradations,
+        Metric::FilterRowsIn,
+        Metric::FilterRowsOut,
+        Metric::ProbeKeys,
+        Metric::ProbeHits,
+        Metric::BloomKeys,
+        Metric::BloomDrops,
+        Metric::AggRows,
+        Metric::GatherRows,
+        Metric::RowsMaterialized,
+        Metric::TunerSearches,
+        Metric::TunerTrials,
+        Metric::TunerRemeasurements,
+        Metric::TunerPruned,
+        Metric::SimRuns,
+        Metric::SimCycles,
+        Metric::RegistryLoads,
+        Metric::RegistryLinesDropped,
+        Metric::RegistryFallbacks,
+        Metric::RegistryStaleIsa,
+        Metric::ColumnFilesLoaded,
+        Metric::ColumnRowsSalvaged,
+        Metric::StorageIssues,
+        Metric::FaultsInjected,
+        Metric::DiagWarnings,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::QueriesExecuted => "scheduler.queries_executed",
+            Metric::MorselsClaimed => "scheduler.morsels_claimed",
+            Metric::MorselsRetried => "scheduler.morsels_retried",
+            Metric::WorkersLost => "scheduler.workers_lost",
+            Metric::SerialDegradations => "scheduler.serial_degradations",
+            Metric::FilterRowsIn => "kernel.filter_rows_in",
+            Metric::FilterRowsOut => "kernel.filter_rows_out",
+            Metric::ProbeKeys => "kernel.probe_keys",
+            Metric::ProbeHits => "kernel.probe_hits",
+            Metric::BloomKeys => "kernel.bloom_keys",
+            Metric::BloomDrops => "kernel.bloom_drops",
+            Metric::AggRows => "kernel.agg_rows",
+            Metric::GatherRows => "kernel.gather_rows",
+            Metric::RowsMaterialized => "kernel.rows_materialized",
+            Metric::TunerSearches => "tuner.searches",
+            Metric::TunerTrials => "tuner.trials",
+            Metric::TunerRemeasurements => "tuner.remeasurements",
+            Metric::TunerPruned => "tuner.pruned",
+            Metric::SimRuns => "sim.runs",
+            Metric::SimCycles => "sim.cycles",
+            Metric::RegistryLoads => "registry.loads",
+            Metric::RegistryLinesDropped => "registry.lines_dropped",
+            Metric::RegistryFallbacks => "registry.fallbacks",
+            Metric::RegistryStaleIsa => "registry.stale_isa",
+            Metric::ColumnFilesLoaded => "storage.column_files_loaded",
+            Metric::ColumnRowsSalvaged => "storage.column_rows_salvaged",
+            Metric::StorageIssues => "storage.issues",
+            Metric::FaultsInjected => "fault.injected",
+            Metric::DiagWarnings => "diag.warnings",
+        }
+    }
+}
+
+const N_METRICS: usize = Metric::ALL.len();
+
+/// Log2-bucket histograms. Bucket 0 holds value 0; bucket `i` (1..=16)
+/// holds values in `[2^(i-1), 2^i)`, saturating at the top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Hist {
+    /// Rows surviving the filter stage, per batch.
+    FilterBatchRowsOut,
+    /// Hash-probe hits per batch.
+    ProbeBatchHits,
+    /// Rows per claimed morsel.
+    MorselRows,
+}
+
+impl Hist {
+    pub const ALL: [Hist; 3] = [Hist::FilterBatchRowsOut, Hist::ProbeBatchHits, Hist::MorselRows];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::FilterBatchRowsOut => "kernel.filter_batch_rows_out",
+            Hist::ProbeBatchHits => "kernel.probe_batch_hits",
+            Hist::MorselRows => "scheduler.morsel_rows",
+        }
+    }
+}
+
+const N_HISTS: usize = Hist::ALL.len();
+/// Buckets per histogram: {0} ∪ 16 log2 ranges.
+pub const HIST_BUCKETS: usize = 17;
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_ROW: [AtomicU64; HIST_BUCKETS] = [ZERO; HIST_BUCKETS];
+static COUNTERS: [AtomicU64; N_METRICS] = [ZERO; N_METRICS];
+static HISTS: [[AtomicU64; HIST_BUCKETS]; N_HISTS] = [ZERO_ROW; N_HISTS];
+
+// 0 = uninitialized (probe HEF_METRICS on first use), 1 = off, 2 = on.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+#[inline]
+fn state() -> u8 {
+    let s = STATE.load(Ordering::Relaxed);
+    if s == 0 {
+        init_from_env()
+    } else {
+        s
+    }
+}
+
+#[cold]
+fn init_from_env() -> u8 {
+    let on = matches!(
+        std::env::var("HEF_METRICS").as_deref(),
+        Ok("1") | Ok("true") | Ok("on")
+    );
+    let v = if on { 2 } else { 1 };
+    // Racy double-init is fine: both writers agree on the env-derived value,
+    // and explicit enable()/disable() calls always win by storing later.
+    STATE.store(v, Ordering::Relaxed);
+    v
+}
+
+/// True when the metrics registry is recording.
+#[inline]
+pub fn enabled() -> bool {
+    state() == 2
+}
+
+/// Programmatically turn metrics on (tests, `repro`).
+pub fn enable() {
+    STATE.store(2, Ordering::Relaxed);
+}
+
+/// Programmatically turn metrics off.
+pub fn disable() {
+    STATE.store(1, Ordering::Relaxed);
+}
+
+/// Add `n` to a counter. One relaxed load + branch when disabled.
+#[inline]
+pub fn add(m: Metric, n: u64) {
+    if enabled() {
+        COUNTERS[m as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+#[inline]
+fn bucket(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Record one observation into a histogram.
+#[inline]
+pub fn observe(h: Hist, v: u64) {
+    if enabled() {
+        HISTS[h as usize][bucket(v)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of every counter and histogram.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Snapshot {
+    pub counters: [u64; N_METRICS],
+    pub hists: [[u64; HIST_BUCKETS]; N_HISTS],
+}
+
+/// Capture the current values of all counters and histograms.
+pub fn snapshot() -> Snapshot {
+    let mut counters = [0u64; N_METRICS];
+    for (dst, src) in counters.iter_mut().zip(COUNTERS.iter()) {
+        *dst = src.load(Ordering::Relaxed);
+    }
+    let mut hists = [[0u64; HIST_BUCKETS]; N_HISTS];
+    for (dst, src) in hists.iter_mut().zip(HISTS.iter()) {
+        for (d, s) in dst.iter_mut().zip(src.iter()) {
+            *d = s.load(Ordering::Relaxed);
+        }
+    }
+    Snapshot { counters, hists }
+}
+
+impl Snapshot {
+    /// Counter value for `m`.
+    pub fn get(&self, m: Metric) -> u64 {
+        self.counters[m as usize]
+    }
+
+    /// Histogram buckets for `h`.
+    pub fn hist(&self, h: Hist) -> &[u64; HIST_BUCKETS] {
+        &self.hists[h as usize]
+    }
+
+    /// Per-counter / per-bucket difference `self - earlier` (saturating).
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let mut out = self.clone();
+        for (d, e) in out.counters.iter_mut().zip(earlier.counters.iter()) {
+            *d = d.saturating_sub(*e);
+        }
+        for (dh, eh) in out.hists.iter_mut().zip(earlier.hists.iter()) {
+            for (d, e) in dh.iter_mut().zip(eh.iter()) {
+                *d = d.saturating_sub(*e);
+            }
+        }
+        out
+    }
+
+    /// Plain-text summary listing only non-zero counters/histograms.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let width = Metric::ALL
+            .iter()
+            .filter(|&&m| self.get(m) > 0)
+            .map(|m| m.name().len())
+            .max()
+            .unwrap_or(0);
+        for &m in Metric::ALL.iter() {
+            let v = self.get(m);
+            if v > 0 {
+                let _ = writeln!(out, "{:width$}  {v}", m.name());
+            }
+        }
+        for &h in Hist::ALL.iter() {
+            let b = self.hist(h);
+            if b.iter().any(|&c| c > 0) {
+                let _ = writeln!(out, "{}:", h.name());
+                for (i, &c) in b.iter().enumerate() {
+                    if c > 0 {
+                        let range = if i == 0 {
+                            "        0".to_string()
+                        } else {
+                            format!("{:>4}..{:<4}", 1u64 << (i - 1), 1u64 << i)
+                        };
+                        let _ = writeln!(out, "  {range}  {c}");
+                    }
+                }
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+/// Print a summary to stderr when metrics are enabled. Binaries call this at
+/// exit so `HEF_METRICS=1` has a visible effect.
+pub fn report_if_enabled() {
+    if enabled() {
+        eprintln!("--- hef metrics ---\n{}", snapshot().render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // enable()/disable() are process-global; serialize the tests that flip them.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static M: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        M.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(2), 2);
+        assert_eq!(bucket(3), 2);
+        assert_eq!(bucket(4), 3);
+        assert_eq!(bucket(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn add_and_snapshot_delta() {
+        let _g = lock();
+        enable();
+        let before = snapshot();
+        add(Metric::TunerTrials, 5);
+        observe(Hist::MorselRows, 1024);
+        let d = snapshot().delta(&before);
+        assert!(d.get(Metric::TunerTrials) >= 5);
+        assert!(d.hist(Hist::MorselRows)[bucket(1024)] >= 1);
+        let text = d.render();
+        assert!(text.contains("tuner.trials"));
+        assert!(text.contains("scheduler.morsel_rows"));
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = lock();
+        disable();
+        let before = snapshot();
+        add(Metric::ProbeKeys, 100);
+        observe(Hist::ProbeBatchHits, 7);
+        let d = snapshot().delta(&before);
+        assert_eq!(d.get(Metric::ProbeKeys), 0);
+        assert!(d.hist(Hist::ProbeBatchHits).iter().all(|&c| c == 0));
+        enable();
+    }
+
+    #[test]
+    fn metric_names_unique() {
+        let mut names: Vec<_> = Metric::ALL.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Metric::ALL.len());
+    }
+}

@@ -7,9 +7,11 @@
 //! integers"), row positions addressed through selection vectors.
 
 pub mod column;
+pub mod file;
 pub mod selection;
 pub mod table;
 
 pub use column::Column;
+pub use file::{load_column, save_column, ColumnFileError, ColumnFileIssue};
 pub use selection::SelVec;
 pub use table::Table;

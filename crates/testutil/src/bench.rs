@@ -10,6 +10,27 @@
 
 use std::time::{Duration, Instant};
 
+/// Read the CPU's cycle counter, if this ISA exposes one we support.
+///
+/// On x86_64 this is `RDTSC` (the TSC is invariant on every µarch we
+/// target, so deltas are proportional to wall time at the base clock; we
+/// report them as *reference cycles*). Elsewhere it returns `None` and
+/// callers fall back to the monotonic clock alone. Two reads bracket the
+/// measured region; no serialization (`CPUID`/`RDTSCP` fencing) is applied
+/// because the regions measured here are ≫ the ~20-cycle skid window.
+#[inline]
+pub fn read_cycles() -> Option<u64> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: RDTSC has no memory or register preconditions.
+        Some(unsafe { core::arch::x86_64::_rdtsc() })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        None
+    }
+}
+
 /// Robust summary of one benchmark's sample times.
 #[derive(Debug, Clone, Copy)]
 pub struct Stats {
@@ -23,6 +44,9 @@ pub struct Stats {
     pub mean: f64,
     /// Number of timed samples.
     pub samples: usize,
+    /// Median hardware cycles per iteration ([`read_cycles`]); `None` when
+    /// the ISA has no counter we support.
+    pub median_cycles: Option<f64>,
 }
 
 impl Stats {
@@ -69,12 +93,22 @@ impl Bench {
             }
         }
         let mut times = Vec::with_capacity(self.samples);
+        let mut cycles = Vec::with_capacity(self.samples);
         for _ in 0..self.samples.max(1) {
+            let c0 = read_cycles();
             let t = Instant::now();
             f();
             times.push(t.elapsed().as_secs_f64());
+            if let (Some(a), Some(b)) = (c0, read_cycles()) {
+                cycles.push(b.wrapping_sub(a) as f64);
+            }
         }
-        summarize(&mut times)
+        let mut stats = summarize(&mut times);
+        if cycles.len() == times.len() {
+            cycles.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            stats.median_cycles = Some(median_of_sorted(&cycles));
+        }
+        stats
     }
 }
 
@@ -100,6 +134,7 @@ pub fn summarize(times: &mut [f64]) -> Stats {
         min: times[0],
         mean: times.iter().sum::<f64>() / times.len() as f64,
         samples: times.len(),
+        median_cycles: None,
     }
 }
 
@@ -107,15 +142,28 @@ pub fn summarize(times: &mut [f64]) -> Stats {
 /// run. The minimum is the standard estimator for "how fast can this code
 /// go" under scheduling noise; `hef-core::optimizer::MeasuredCost` and the
 /// query-measurement path both use it.
-pub fn time_best_of(trials: usize, mut f: impl FnMut()) -> f64 {
+pub fn time_best_of(trials: usize, f: impl FnMut()) -> f64 {
+    time_best_of_cycles(trials, f).0
+}
+
+/// [`time_best_of`] that also reports the hardware-cycle count of the
+/// fastest run ([`read_cycles`]; `None` off x86_64). Lets `MeasuredCost`
+/// expose cycles alongside wall time without a second measurement pass.
+pub fn time_best_of_cycles(trials: usize, mut f: impl FnMut()) -> (f64, Option<u64>) {
     f(); // warm-up: page faults, cache state, branch predictors
     let mut best = f64::INFINITY;
+    let mut best_cycles = None;
     for _ in 0..trials.max(1) {
+        let c0 = read_cycles();
         let t = Instant::now();
         f();
-        best = best.min(t.elapsed().as_secs_f64());
+        let secs = t.elapsed().as_secs_f64();
+        if secs < best {
+            best = secs;
+            best_cycles = c0.zip(read_cycles()).map(|(a, b)| b.wrapping_sub(a));
+        }
     }
-    best
+    (best, best_cycles)
 }
 
 /// A named set of benchmark rows sharing a workload size, rendered as an
@@ -158,8 +206,10 @@ impl Group {
         stats
     }
 
-    /// Render the aligned report.
+    /// Render the aligned report. A `Mcycles` column appears when any row
+    /// carries hardware cycle counts (x86_64 RDTSC; see [`read_cycles`]).
     pub fn render(&self) -> String {
+        let have_cycles = self.rows.iter().any(|(_, s)| s.median_cycles.is_some());
         let mut header = vec![
             self.name.clone(),
             "median".to_string(),
@@ -168,6 +218,9 @@ impl Group {
         ];
         if self.throughput_elems.is_some() {
             header.push("Melem/s".to_string());
+        }
+        if have_cycles {
+            header.push("Mcycles".to_string());
         }
         let mut table: Vec<Vec<String>> = vec![header];
         for (label, s) in &self.rows {
@@ -179,6 +232,12 @@ impl Group {
             ];
             if let Some(e) = self.throughput_elems {
                 row.push(format!("{:.1}", s.elems_per_sec(e) / 1e6));
+            }
+            if have_cycles {
+                row.push(match s.median_cycles {
+                    Some(c) => format!("{:.2}", c / 1e6),
+                    None => "-".to_string(),
+                });
             }
             table.push(row);
         }
@@ -290,6 +349,28 @@ mod tests {
         let r = g.render();
         assert!(r.contains("demo") && r.contains("Melem/s") && r.contains("row_a"), "{r}");
         assert_eq!(r.lines().count(), 3, "{r}");
+    }
+
+    #[test]
+    fn cycles_follow_wall_time_where_supported() {
+        // On x86_64 every sample gets a cycle reading, so run() must attach
+        // a positive median; elsewhere the field stays None.
+        let b = Bench { warmup: Duration::from_millis(1), samples: 3 };
+        let s = b.run(|| {
+            std::hint::black_box((0..10_000u64).sum::<u64>());
+        });
+        match read_cycles() {
+            Some(_) => {
+                let c = s.median_cycles.expect("cycles on x86_64");
+                assert!(c > 0.0, "{c}");
+            }
+            None => assert!(s.median_cycles.is_none()),
+        }
+        let (secs, cyc) = time_best_of_cycles(2, || {
+            std::hint::black_box((0..10_000u64).sum::<u64>());
+        });
+        assert!(secs > 0.0);
+        assert_eq!(cyc.is_some(), read_cycles().is_some());
     }
 
     #[test]

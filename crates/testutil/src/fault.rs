@@ -25,10 +25,17 @@
 //! | `panic`    | `morsel=N` (req), `worker=N`, `times=N` (default 1), `after` | a parallel worker panics when claiming (or, with `after`, after finishing) morsel `N` |
 //! | `spike`    | `trial=N` (req), `factor=F` (default 8)| the `N`-th cost measurement is multiplied by `F` |
 //! | `registry` | `flips=N` (req), `seed=S` (default 1)  | `N` seeded byte flips applied to registry text at load |
+//! | `torn`     | `bytes=N` (req), `seed=S` (default 1), `file=SUBSTR` | the last `N` bytes of matching file reads are overwritten with seeded garbage (a torn write) |
+//! | `short`    | `bytes=N` (req), `file=SUBSTR`         | matching file reads are truncated by `N` bytes (a short read / truncated file) |
 //!
-//! Malformed clauses are reported once on stderr and ignored — the harness
-//! itself degrades gracefully rather than panicking inside the code it is
-//! supposed to be testing.
+//! The `torn`/`short` clauses act at the [`read_file`] hook, which storage
+//! and registry loading route through; `file=SUBSTR` restricts a clause to
+//! paths containing the substring.
+//!
+//! Malformed clauses are reported once through the [`hef_obs::diag`] sink
+//! and ignored — the harness itself degrades gracefully rather than
+//! panicking inside the code it is supposed to be testing. Every fired
+//! injection bumps `hef_obs::metrics::Metric::FaultsInjected`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
@@ -67,18 +74,45 @@ pub struct RegistryCorruption {
     pub seed: u64,
 }
 
+/// Overwrite the tail of a file read with seeded garbage — models a torn
+/// write: the length is right but the last page(s) never hit the platter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornFile {
+    /// Number of trailing bytes to garble.
+    pub bytes: usize,
+    /// PRNG seed for the replacement bytes.
+    pub seed: u64,
+    /// Only tear paths containing this substring (`None` = all reads).
+    pub file: Option<String>,
+}
+
+/// Truncate a file read — models a short read / a file cut off mid-write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShortRead {
+    /// Number of trailing bytes to drop.
+    pub bytes: usize,
+    /// Only truncate paths containing this substring (`None` = all reads).
+    pub file: Option<String>,
+}
+
 /// A complete fault schedule.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     pub worker_panics: Vec<WorkerPanic>,
     pub cost_spikes: Vec<CostSpike>,
     pub registry: Option<RegistryCorruption>,
+    pub torn: Vec<TornFile>,
+    pub short: Vec<ShortRead>,
 }
 
 impl FaultPlan {
     /// `true` when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.worker_panics.is_empty() && self.cost_spikes.is_empty() && self.registry.is_none()
+        self.worker_panics.is_empty()
+            && self.cost_spikes.is_empty()
+            && self.registry.is_none()
+            && self.torn.is_empty()
+            && self.short.is_empty()
     }
 
     /// Parse a `HEF_FAULT` spec. Malformed clauses are returned as warnings
@@ -172,6 +206,39 @@ fn parse_clause(clause: &str, plan: &mut FaultPlan) -> Result<(), String> {
             }
             plan.registry = Some(r);
         }
+        "torn" => {
+            let mut t = TornFile { bytes: 0, seed: 1, file: None };
+            for (k, v) in parse_kv(body)? {
+                match k {
+                    "bytes" => t.bytes = num(k, v)?,
+                    "seed" => t.seed = num(k, v)?,
+                    "file" => {
+                        t.file = Some(v.ok_or_else(|| "`file` needs a value".to_string())?.to_string());
+                    }
+                    other => return Err(format!("unknown key `{other}`")),
+                }
+            }
+            if t.bytes == 0 {
+                return Err("missing `bytes=N`".into());
+            }
+            plan.torn.push(t);
+        }
+        "short" => {
+            let mut s = ShortRead { bytes: 0, file: None };
+            for (k, v) in parse_kv(body)? {
+                match k {
+                    "bytes" => s.bytes = num(k, v)?,
+                    "file" => {
+                        s.file = Some(v.ok_or_else(|| "`file` needs a value".to_string())?.to_string());
+                    }
+                    other => return Err(format!("unknown key `{other}`")),
+                }
+            }
+            if s.bytes == 0 {
+                return Err("missing `bytes=N`".into());
+            }
+            plan.short.push(s);
+        }
         other => return Err(format!("unknown clause kind `{other}`")),
     }
     Ok(())
@@ -221,7 +288,7 @@ fn arm_from_env() {
         }
         let (plan, warnings) = FaultPlan::parse(&spec);
         for w in &warnings {
-            eprintln!("warning: {w} (ignored)");
+            hef_obs::diag::warn(format!("{w} (ignored)"));
         }
         if !plan.is_empty() {
             let mut s = lock_state();
@@ -296,6 +363,7 @@ pub fn maybe_panic_worker(worker: usize, morsel: usize, phase: Phase) {
         fire
     };
     if fire {
+        hef_obs::metrics::add(hef_obs::metrics::Metric::FaultsInjected, 1);
         panic!("hef-fault: injected panic (worker {worker}, morsel {morsel}, {phase:?})");
     }
 }
@@ -326,7 +394,53 @@ pub fn corrupt_registry(text: &str) -> Option<String> {
     }
     let s = lock_state();
     let c = s.as_ref()?.plan.registry?;
+    hef_obs::metrics::add(hef_obs::metrics::Metric::FaultsInjected, 1);
     Some(corrupt_bytes(text, c.seed, c.flips))
+}
+
+/// Injection hook for file reads: apply any matching `short`/`torn` clauses
+/// to `data` (read from `path`). Returns `true` when a fault fired; callers
+/// surface that as an observability event.
+///
+/// Order matters and mirrors the physical failure: truncation first (the
+/// file ends early), then tearing of whatever tail remains.
+pub fn mangle_read(path: &str, data: &mut Vec<u8>) -> bool {
+    if !active() {
+        return false;
+    }
+    let s = lock_state();
+    let Some(active) = s.as_ref() else { return false };
+    let matches = |file: &Option<String>| file.as_ref().is_none_or(|f| path.contains(f.as_str()));
+    let mut fired = false;
+    for sh in active.plan.short.iter().filter(|sh| matches(&sh.file)) {
+        let keep = data.len().saturating_sub(sh.bytes);
+        data.truncate(keep);
+        fired = true;
+    }
+    for t in active.plan.torn.iter().filter(|t| matches(&t.file)) {
+        let start = data.len().saturating_sub(t.bytes);
+        let mut rng = SplitMix64::new(t.seed);
+        for b in &mut data[start..] {
+            *b = (rng.next_u64() & 0xff) as u8;
+        }
+        if data.len() > start {
+            fired = true;
+        }
+    }
+    if fired {
+        hef_obs::metrics::add(hef_obs::metrics::Metric::FaultsInjected, 1);
+    }
+    fired
+}
+
+/// Read a file through the fault layer: the bytes `std::fs::read` returns,
+/// with any active `torn`/`short` clauses applied. The `bool` reports
+/// whether a fault fired. Storage and registry loading use this instead of
+/// raw `fs::read` so torn-file recovery is testable end-to-end.
+pub fn read_file(path: &std::path::Path) -> std::io::Result<(Vec<u8>, bool)> {
+    let mut data = std::fs::read(path)?;
+    let fired = mangle_read(&path.to_string_lossy(), &mut data);
+    Ok((data, fired))
 }
 
 /// Deterministically overwrite `flips` byte positions of `text` with seeded
@@ -419,6 +533,46 @@ mod tests {
             assert_eq!(next_cost_spike(), Some(4.0)); // trial 1
             assert_eq!(next_cost_spike(), None); // trial 2
         });
+    }
+
+    #[test]
+    fn torn_and_short_clauses_parse_and_fire() {
+        let (plan, warn) =
+            FaultPlan::parse("torn:bytes=8,seed=5,file=col;short:bytes=4");
+        assert!(warn.is_empty(), "{warn:?}");
+        assert_eq!(
+            plan.torn,
+            vec![TornFile { bytes: 8, seed: 5, file: Some("col".into()) }]
+        );
+        assert_eq!(plan.short, vec![ShortRead { bytes: 4, file: None }]);
+
+        with_plan(plan, || {
+            // Non-matching path: only the unfiltered `short` clause applies.
+            let mut a = vec![1u8; 16];
+            assert!(mangle_read("/tmp/registry.txt", &mut a));
+            assert_eq!(a.len(), 12);
+            // Matching path: truncated to 12, then last 8 torn.
+            let mut b = vec![1u8; 16];
+            assert!(mangle_read("/tmp/col_lo_qty.hefc", &mut b));
+            assert_eq!(b.len(), 12);
+            assert_eq!(&b[..4], &[1, 1, 1, 1]);
+            assert_ne!(&b[4..], &[1u8; 8][..], "tail must be garbled");
+            // Deterministic across calls.
+            let mut c = vec![1u8; 16];
+            mangle_read("/tmp/col_lo_qty.hefc", &mut c);
+            assert_eq!(b, c);
+        });
+        // No plan: reads pass through untouched.
+        let mut d = vec![9u8; 4];
+        assert!(!mangle_read("/tmp/col_lo_qty.hefc", &mut d));
+        assert_eq!(d, vec![9u8; 4]);
+    }
+
+    #[test]
+    fn malformed_torn_short_clauses_warn() {
+        let (plan, warn) = FaultPlan::parse("torn:seed=2;short:file=x");
+        assert_eq!(warn.len(), 2, "{warn:?}");
+        assert!(plan.is_empty());
     }
 
     #[test]

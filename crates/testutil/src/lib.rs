@@ -30,7 +30,7 @@ pub mod fault;
 pub mod prop;
 pub mod rng;
 
-pub use bench::{time_best_of, Bench, Group, Stats};
+pub use bench::{read_cycles, time_best_of, time_best_of_cycles, Bench, Group, Stats};
 pub use fault::FaultPlan;
 pub use prop::strategy;
 pub use rng::{Rng, SplitMix64};

@@ -40,4 +40,15 @@ HEF_THREADS=4 cargo test -q --offline --test parallel_differential --test end_to
 # equals serial on a real SSB query).
 cargo bench -p hef-bench --bench scaling --offline -- --smoke
 
+# Trace smoke: a traced single-query run must produce Chrome trace JSON that
+# the in-tree checker validates (repro report exits non-zero otherwise).
+mkdir -p target
+HEF_METRICS=1 cargo run --release --offline -q -p hef-bench --bin repro -- \
+    q21 --sf 0.002 --repeats 1 --trace target/trace-smoke.json
+cargo run --release --offline -q -p hef-bench --bin repro -- report target/trace-smoke.json
+
+# Zero-overhead guard: with tracing/metrics disabled, the instrumented hot
+# loop must stay within 2% of the uninstrumented baseline.
+cargo bench -p hef-bench --bench obs_overhead --offline -- --assert
+
 echo "verify: OK"

@@ -20,6 +20,8 @@
 //!   pruning optimizer (Alg. 2),
 //! * [`uarch`] — CPU models, out-of-order port simulator, cache and
 //!   frequency models,
+//! * [`obs`] — zero-dependency structured tracing (Chrome `trace_event`
+//!   output via `HEF_TRACE`) and a metrics registry (`HEF_METRICS`),
 //! * [`storage`] / [`engine`] / [`ssb`] — the evaluation substrate: column
 //!   store, star-query engine with Scalar/SIMD/Hybrid/Voila flavors, and
 //!   the Star Schema Benchmark.
@@ -40,6 +42,7 @@ pub use hef_core as core;
 pub use hef_engine as engine;
 pub use hef_hid as hid;
 pub use hef_kernels as kernels;
+pub use hef_obs as obs;
 pub use hef_ssb as ssb;
 pub use hef_storage as storage;
 pub use hef_uarch as uarch;

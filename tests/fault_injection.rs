@@ -250,6 +250,105 @@ fn stale_isa_registry_rederives_and_result_is_unchanged() {
     std::fs::remove_file(&path).ok();
 }
 
+// ---------------------------------------------------------------- storage faults
+
+#[test]
+fn torn_registry_file_degrades_gracefully_and_warns() {
+    let (fact, plan) = toy();
+    let baseline = serial_reference(&plan, &fact, &ExecConfig::scalar());
+    let path = temp_registry("torn", &good_registry_text());
+    let file_key = path.file_name().unwrap().to_str().unwrap().to_string();
+
+    let ((reg, report), warnings) = hef::obs::diag::capture(|| {
+        with_plan(spec(&format!("torn:bytes=48,seed=7,file={file_key}")), || {
+            Registry::load_degraded(&path)
+        })
+    });
+    // Garbled tail bytes → dropped lines and/or fallbacks, never a panic,
+    // and every served node still on the compiled grid.
+    assert!(!report.is_clean(), "torn read produced a clean report");
+    for family in Family::ALL {
+        let node = reg.get_or_default(family);
+        assert!(on_grid(node.v, node.s, node.p), "{} off grid", family.name());
+    }
+    let out = serial_reference(&plan, &fact, &hybrid_from(&reg));
+    assert_eq!(out.groups, baseline.groups, "torn registry changed the query result");
+    // The degradation is observable: the diag sink saw registry warnings.
+    assert!(
+        warnings.iter().any(|w| w.contains("registry")),
+        "no registry warning captured: {warnings:?}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn torn_and_short_column_files_salvage_and_emit_events() {
+    use hef::obs::metrics::{self, Metric};
+    use hef::storage::{load_column, save_column, ColumnFileIssue};
+
+    let col = Column::new("lo_revenue", (0..512u64).map(|i| i * 3 + 1).collect());
+    let dir = std::env::temp_dir();
+    let torn_path = dir.join(format!("hef_torn_col_{}.hefc", std::process::id()));
+    let short_path = dir.join(format!("hef_short_col_{}.hefc", std::process::id()));
+    save_column(&col, &torn_path).unwrap();
+    save_column(&col, &short_path).unwrap();
+
+    metrics::enable();
+    let before = metrics::snapshot();
+
+    // Torn write: the file keeps its length but the tail (data + checksum)
+    // is garbled → checksum mismatch reported, read still succeeds.
+    let torn_key = torn_path.file_name().unwrap().to_str().unwrap().to_string();
+    let ((torn_col, torn_issues), torn_warnings) = hef::obs::diag::capture(|| {
+        with_plan(spec(&format!("torn:bytes=24,seed=5,file={torn_key}")), || {
+            load_column(&torn_path).expect("torn column file must still load")
+        })
+    });
+    assert!(
+        torn_issues.iter().any(|i| matches!(
+            i,
+            ColumnFileIssue::ChecksumMismatch | ColumnFileIssue::Truncated { .. }
+        )),
+        "no issue for torn file: {torn_issues:?}"
+    );
+    assert_eq!(torn_col.name(), "lo_revenue");
+    assert!(
+        torn_warnings.iter().any(|w| w.contains("storage")),
+        "no storage warning captured: {torn_warnings:?}"
+    );
+
+    // Short read: the tail is missing entirely → complete rows salvaged.
+    let short_key = short_path.file_name().unwrap().to_str().unwrap().to_string();
+    let ((short_col, short_issues), short_warnings) = hef::obs::diag::capture(|| {
+        with_plan(spec(&format!("short:bytes=28,file={short_key}")), || {
+            load_column(&short_path).expect("short column file must still load")
+        })
+    });
+    let salvaged = short_issues
+        .iter()
+        .find_map(|i| match i {
+            ColumnFileIssue::Truncated { expected_rows, salvaged_rows } => {
+                Some((*expected_rows, *salvaged_rows))
+            }
+            _ => None,
+        })
+        .expect("short read must report truncation");
+    assert_eq!(salvaged.0, 512);
+    assert!(salvaged.1 < 512, "nothing was actually truncated");
+    assert_eq!(short_col.len() as u64, salvaged.1, "salvage count disagrees with data");
+    assert_eq!(short_col.values(), &col.values()[..short_col.len()], "salvaged rows differ");
+    assert!(short_warnings.iter().any(|w| w.contains("storage")), "{short_warnings:?}");
+
+    // Both degradations are visible in the metrics registry.
+    let delta = metrics::snapshot().delta(&before);
+    assert!(delta.get(Metric::StorageIssues) >= 2, "storage issues not counted");
+    assert!(delta.get(Metric::ColumnFilesLoaded) >= 2);
+    assert!(delta.get(Metric::FaultsInjected) >= 2);
+
+    std::fs::remove_file(&torn_path).ok();
+    std::fs::remove_file(&short_path).ok();
+}
+
 // ---------------------------------------------------------------- cost spikes
 
 fn axis_index(x: usize, axis: &[usize]) -> usize {
