@@ -1,0 +1,13 @@
+#[test]
+fn huge_row_count_does_not_panic() {
+    // Header with rows = u64::MAX (corrupted row count), no data.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"HEFC");
+    bytes.extend_from_slice(&1u32.to_le_bytes());
+    bytes.extend_from_slice(&1u32.to_le_bytes());
+    bytes.push(b'x');
+    bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+    bytes.extend_from_slice(&[0u8; 24]); // some data + "checksum"
+    let r = hef_storage::file::decode_column(&bytes);
+    println!("result: {:?}", r.map(|(c, i)| (c.len(), i)));
+}
