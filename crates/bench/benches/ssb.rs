@@ -4,26 +4,45 @@
 //! A small scale factor keeps repeated sampling tractable; the `repro`
 //! binary runs the full paper-scale sweeps. One query is taken per
 //! join-count family (Q2.x three joins over part/supplier/date, Q3.3 the
-//! high-selectivity case, Q4.2 four joins).
+//! high-selectivity case, Q4.2 four joins). The run is persisted to
+//! `results/bench_ssb.json`; `--smoke` shrinks the scale factor and
+//! sample count for CI.
 
-use hef_bench::config::exec_config;
+use hef_bench::{config::exec_config, BenchSnapshot};
 use hef_engine::{execute_star, Flavor};
 use hef_ssb::{build_plan, generate, QueryId};
 use hef_testutil::bench::Group;
 
 fn main() {
-    let data = generate(0.02, 4242);
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    hef_obs::metrics::enable();
+    let sf = if smoke { 0.005 } else { 0.02 };
+    let samples = if smoke { 3 } else { 10 };
+
+    let data = generate(sf, 4242);
+    let mut snap = BenchSnapshot::new(if smoke { "ssb_smoke" } else { "ssb" });
+    snap.config("sf", sf)
+        .config("smoke", smoke)
+        .config("samples", samples)
+        .config("lineorder_rows", data.lineorder.len());
+
     for q in [QueryId::Q2_1, QueryId::Q3_3, QueryId::Q4_2] {
         let plan = build_plan(&data, q);
-        let mut g = Group::new(format!("fig8_{}", q.name().replace('.', "_")))
+        let group = format!("fig8_{}", q.name().replace('.', "_"));
+        let mut g = Group::new(group.clone())
             .throughput_elems(data.lineorder.len() as u64)
-            .samples(10);
+            .samples(samples);
         for flavor in Flavor::ALL {
             let cfg = exec_config(flavor);
-            g.bench(flavor.name(), || {
+            let s = g.bench(flavor.name(), || {
                 execute_star(&plan, &data.lineorder, &cfg);
             });
+            snap.row(&group, flavor.name(), s, Some(data.lineorder.len() as u64));
         }
         g.finish();
+    }
+    match snap.write_default() {
+        Ok(path) => println!("snapshot: {}", path.display()),
+        Err(e) => eprintln!("snapshot write failed: {e}"),
     }
 }

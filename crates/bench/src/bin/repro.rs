@@ -425,6 +425,13 @@ fn tune(opts: &Opts) {
         println!("  {}", t.describe());
         reg.insert_tuned(&t);
     }
+    // The probe family gets a second, four-dimensional pass: `(v, s, p)`
+    // plus the prefetch depth `f`, against a DRAM-resident build side so
+    // the depth axis has misses to hide. Writing it through
+    // `insert_tuned_probe` upgrades the saved registry to the v2 format.
+    let tp = hef_core::tune_probe_measured(1 << 21, n.min(1 << 18));
+    println!("  {}", tp.describe());
+    reg.insert_tuned_probe(&tp);
     std::fs::create_dir_all("results").ok();
     let path = std::path::Path::new("results/tuned.txt");
     match reg.save(path) {

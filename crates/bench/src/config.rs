@@ -11,15 +11,21 @@ use hef_engine::{ExecConfig, Flavor};
 use hef_kernels::Family;
 
 /// Hybrid config with per-family nodes from the warmed registry (falling
-/// back to the paper's SSB optimum `(1, 1, 3)` for untuned families).
+/// back to the paper's SSB optimum `(1, 1, 3)` for untuned families). A
+/// registry carrying a tuned probe prefetch depth (`f`, the v2 column)
+/// flows into [`ExecConfig::with_probe_prefetch`].
 pub fn tuned_hybrid() -> ExecConfig {
     let reg = Registry::warm();
-    ExecConfig::hybrid_tuned(
+    let cfg = ExecConfig::hybrid_tuned(
         reg.get_or_default(Family::Filter),
         reg.get_or_default(Family::Probe),
         reg.get_or_default(Family::AggSum),
         reg.get_or_default(Family::Gather),
-    )
+    );
+    match reg.get_prefetch(Family::Probe) {
+        Some(f) => cfg.with_probe_prefetch(f),
+        None => cfg,
+    }
 }
 
 /// The config benches run for a flavor: registry-tuned nodes for Hybrid,
@@ -44,6 +50,7 @@ mod tests {
         assert_eq!(cfg.probe, reg.get_or_default(Family::Probe));
         assert_eq!(cfg.agg, reg.get_or_default(Family::AggSum));
         assert_eq!(cfg.gather, reg.get_or_default(Family::Gather));
+        assert_eq!(cfg.probe_prefetch, reg.get_prefetch(Family::Probe).unwrap_or(0));
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Machine-readable benchmark snapshots.
+//!
+//! Every bench binary can persist its rows as `results/bench_<name>.json`
+//! so runs are diffable across commits and the EXPERIMENTS.md tables have a
+//! checked-in provenance trail. The writer is hand-rolled (the workspace is
+//! dependency-free); the document round-trips through the in-tree parser
+//! (`hef_obs::check::parse_json`) and that round-trip is under test.
+//!
+//! Document shape:
+//!
+//! ```json
+//! {
+//!   "bench": "probe",
+//!   "config": { "nkeys": "262144", ... },
+//!   "rows": [ { "group": "...", "label": "...", "median_s": 1e-3,
+//!               "mad_s": 1e-5, "min_s": 9e-4, "samples": 10,
+//!               "melem_per_s": 250.0, "mcycles": 3.2 }, ... ],
+//!   "derived": { "dram_speedup": 1.42, ... },
+//!   "counters": { "kernel.probe_prefetched_keys": 123, ... }
+//! }
+//! ```
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use hef_testutil::Stats;
+
+/// One recorded bench row: a [`Stats`] plus its group/label coordinates.
+#[derive(Debug, Clone)]
+struct SnapRow {
+    group: String,
+    label: String,
+    stats: Stats,
+    /// Elements per iteration, when the group reports throughput.
+    elems: Option<u64>,
+}
+
+/// Accumulates rows and derived scalars, then serializes to
+/// `results/bench_<name>.json`.
+#[derive(Debug)]
+pub struct BenchSnapshot {
+    name: String,
+    config: Vec<(String, String)>,
+    rows: Vec<SnapRow>,
+    derived: Vec<(String, f64)>,
+}
+
+/// Escape a string for a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON number: finite floats only (NaN/inf have no JSON spelling).
+fn num(x: f64) -> String {
+    if x.is_finite() { format!("{x}") } else { "null".to_string() }
+}
+
+impl BenchSnapshot {
+    pub fn new(name: impl Into<String>) -> BenchSnapshot {
+        BenchSnapshot { name: name.into(), config: Vec::new(), rows: Vec::new(), derived: Vec::new() }
+    }
+
+    /// Record a config key (workload size, mode flags, axis values…).
+    pub fn config(&mut self, key: &str, value: impl ToString) -> &mut Self {
+        self.config.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Record one measured row.
+    pub fn row(&mut self, group: &str, label: &str, stats: Stats, elems: Option<u64>) -> &mut Self {
+        self.rows.push(SnapRow {
+            group: group.to_string(),
+            label: label.to_string(),
+            stats,
+            elems,
+        });
+        self
+    }
+
+    /// Record a derived scalar (a speedup, a crossover point…).
+    pub fn derived(&mut self, key: &str, value: f64) -> &mut Self {
+        self.derived.push((key.to_string(), value));
+        self
+    }
+
+    /// Serialize the snapshot, folding in every non-zero metric counter
+    /// from the process-wide registry ([`hef_obs::metrics::snapshot`]).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"bench\": \"{}\",\n", esc(&self.name)));
+        s.push_str("  \"config\": {");
+        for (i, (k, v)) in self.config.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    \"{}\": \"{}\"", esc(k), esc(v)));
+        }
+        s.push_str("\n  },\n  \"rows\": [");
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"group\": \"{}\", \"label\": \"{}\", \"median_s\": {}, \
+                 \"mad_s\": {}, \"min_s\": {}, \"samples\": {}",
+                esc(&r.group),
+                esc(&r.label),
+                num(r.stats.median),
+                num(r.stats.mad),
+                num(r.stats.min),
+                r.stats.samples,
+            ));
+            if let Some(e) = r.elems {
+                s.push_str(&format!(", \"melem_per_s\": {}", num(r.stats.elems_per_sec(e) / 1e6)));
+            }
+            if let Some(c) = r.stats.median_cycles {
+                s.push_str(&format!(", \"mcycles\": {}", num(c / 1e6)));
+            }
+            s.push('}');
+        }
+        s.push_str("\n  ],\n  \"derived\": {");
+        for (i, (k, v)) in self.derived.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    \"{}\": {}", esc(k), num(*v)));
+        }
+        s.push_str("\n  },\n  \"counters\": {");
+        let snap = hef_obs::metrics::snapshot();
+        let mut first = true;
+        for m in hef_obs::metrics::Metric::ALL {
+            let v = snap.get(m);
+            if v != 0 {
+                if !first {
+                    s.push(',');
+                }
+                first = false;
+                s.push_str(&format!("\n    \"{}\": {}", esc(m.name()), v));
+            }
+        }
+        s.push_str("\n  }\n}\n");
+        s
+    }
+
+    /// Write `results/bench_<name>.json` under `dir` (creating `results/`)
+    /// and return the path.
+    pub fn write_under(&self, dir: &std::path::Path) -> std::io::Result<PathBuf> {
+        let results = dir.join("results");
+        std::fs::create_dir_all(&results)?;
+        let path = results.join(format!("bench_{}.json", self.name));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.to_json().as_bytes())?;
+        Ok(path)
+    }
+
+    /// Write under the workspace root, so snapshots land in
+    /// `<repo>/results/` next to `repro`'s outputs regardless of the
+    /// caller's working directory (cargo runs benches with the *package*
+    /// directory as cwd, binaries with the invocation directory). The root
+    /// is the nearest ancestor holding `Cargo.lock`; if none is found the
+    /// current directory is used.
+    pub fn write_default(&self) -> std::io::Result<PathBuf> {
+        let cwd = std::env::current_dir()?;
+        let root = cwd
+            .ancestors()
+            .find(|d| d.join("Cargo.lock").is_file())
+            .unwrap_or(&cwd);
+        self.write_under(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hef_testutil::bench::summarize;
+
+    fn stats() -> Stats {
+        summarize(&mut [1e-3, 2e-3, 3e-3])
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_the_json_checker() {
+        let mut snap = BenchSnapshot::new("unit");
+        snap.config("nkeys", 42).config("mode", "smoke \"quoted\"");
+        snap.row("g1", "scalar", stats(), Some(1_000_000));
+        snap.row("g1", "hybrid_f16", stats(), None);
+        snap.derived("speedup", 1.5);
+        snap.derived("nan_becomes_null", f64::NAN);
+        let doc = hef_obs::check::parse_json(&snap.to_json()).expect("valid json");
+        assert_eq!(doc.get("bench").and_then(|j| j.as_str()), Some("unit"));
+        let rows = doc.get("rows").and_then(|j| j.as_arr()).expect("rows array");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("label").and_then(|j| j.as_str()), Some("scalar"));
+        assert_eq!(rows[0].get("median_s").and_then(|j| j.as_f64()), Some(2e-3));
+        assert!(rows[0].get("melem_per_s").is_some());
+        assert!(rows[1].get("melem_per_s").is_none());
+        let derived = doc.get("derived").expect("derived object");
+        assert_eq!(derived.get("speedup").and_then(|j| j.as_f64()), Some(1.5));
+        assert_eq!(derived.get("nan_becomes_null"), Some(&hef_obs::check::Json::Null));
+        assert!(doc.get("counters").is_some());
+    }
+
+    #[test]
+    fn snapshot_writes_a_file() {
+        let dir = std::env::temp_dir().join(format!("hef_snap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut snap = BenchSnapshot::new("writer_unit");
+        snap.row("g", "r", stats(), None);
+        let path = snap.write_under(&dir).expect("write ok");
+        let text = std::fs::read_to_string(&path).expect("readable");
+        assert!(hef_obs::check::parse_json(&text).is_ok());
+        assert!(path.ends_with("results/bench_writer_unit.json"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,7 +1,10 @@
 //! Star-query plans and the VIP-style pipelined executor.
 
 use hef_hid::Backend;
-use hef_kernels::{run_on, Family, HybridConfig, KernelIo, ProbeTable};
+use hef_kernels::{
+    plan_partition_bits, run_on, Family, HybridConfig, KernelIo, PartitionScratch,
+    PartitionedProbeTable, ProbeTable,
+};
 use hef_storage::Table;
 
 use crate::ops::{compact_hits, gather_keys, grouped_accumulate};
@@ -49,6 +52,13 @@ pub struct ExecConfig {
     /// at execution time: `HEF_THREADS` if set, else
     /// `std::thread::available_parallelism()`.
     pub threads: usize,
+    /// Software-prefetch depth `f` for the probe kernel (the tuned fourth
+    /// dimension; `0` = flat loop). Overridable per run via `HEF_PREFETCH`.
+    pub probe_prefetch: usize,
+    /// Allow the radix-partitioned probe path when a dimension carries
+    /// cache-sized sub-tables (see [`build_dimension`]) and the batch has
+    /// enough keys per partition. Overridable per run via `HEF_PARTITION`.
+    pub partition: bool,
 }
 
 impl ExecConfig {
@@ -64,6 +74,8 @@ impl ExecConfig {
             backend: Backend::native(),
             batch: 1024,
             threads: 0,
+            probe_prefetch: 0,
+            partition: true,
         }
     }
 
@@ -79,6 +91,8 @@ impl ExecConfig {
             backend: Backend::native(),
             batch: 1024,
             threads: 0,
+            probe_prefetch: 0,
+            partition: true,
         }
     }
 
@@ -96,6 +110,8 @@ impl ExecConfig {
             backend: Backend::native(),
             batch: 1024,
             threads: 0,
+            probe_prefetch: 0,
+            partition: true,
         }
     }
 
@@ -111,6 +127,8 @@ impl ExecConfig {
             backend: Backend::native(),
             batch: 1024,
             threads: 0,
+            probe_prefetch: 0,
+            partition: true,
         }
     }
 
@@ -127,6 +145,8 @@ impl ExecConfig {
             backend: Backend::native(),
             batch: 1024,
             threads: 0,
+            probe_prefetch: 0,
+            partition: true,
         }
     }
 
@@ -157,6 +177,32 @@ impl ExecConfig {
         self.threads = threads;
         self
     }
+
+    /// Builder-style probe-prefetch-depth override.
+    pub fn with_probe_prefetch(mut self, f: usize) -> ExecConfig {
+        self.probe_prefetch = f;
+        self
+    }
+
+    /// Apply the `HEF_PREFETCH` (depth, `usize`) and `HEF_PARTITION`
+    /// (`0/off/false` or `1/on/true`) environment overrides. Read per
+    /// execution — not cached — so tests and repeated runs in one process
+    /// can change them between queries.
+    pub fn resolved_from_env(mut self) -> ExecConfig {
+        if let Ok(v) = std::env::var("HEF_PREFETCH") {
+            if let Ok(f) = v.trim().parse::<usize>() {
+                self.probe_prefetch = f;
+            }
+        }
+        if let Ok(v) = std::env::var("HEF_PARTITION") {
+            match v.trim() {
+                "0" | "off" | "false" => self.partition = false,
+                "1" | "on" | "true" => self.partition = true,
+                _ => {}
+            }
+        }
+        self
+    }
 }
 
 /// A range predicate on a fact-table column (signed semantics).
@@ -177,6 +223,10 @@ pub struct DimJoin {
     pub table: ProbeTable,
     /// Bloom filter over the same keys (for semi-join pre-filtering).
     pub bloom: hef_kernels::BloomFilter,
+    /// Radix-partitioned copy of the same table, built only when the flat
+    /// table spills the host's L2 (see [`build_dimension`]); each sub-table
+    /// is cache-sized so sub-probes stay resident. `None` for small tables.
+    pub parts: Option<PartitionedProbeTable>,
     /// Number of distinct group codes this dimension contributes
     /// (1 = pure filter, payload 0).
     pub groups: usize,
@@ -271,6 +321,7 @@ pub fn build_dimension(
     let selected: Vec<usize> = (0..dim.len()).filter(|&r| predicate(r)).collect();
     let mut table = ProbeTable::with_capacity(selected.len());
     let mut bloom = hef_kernels::BloomFilter::with_capacity(selected.len());
+    let mut pairs: Vec<(u64, u64)> = Vec::with_capacity(selected.len());
     for r in selected {
         let code = payload(r);
         debug_assert!(
@@ -279,11 +330,19 @@ pub fn build_dimension(
         );
         table.insert(keys[r], code);
         bloom.insert(keys[r]);
+        pairs.push((keys[r], code));
     }
+    // Planner rule: partition only when the flat table spills the host's
+    // L2 (target = half of L2, leaving room for the probe stream); then
+    // each of the 2^b sub-tables is L2-resident and sub-probes hit cache.
+    let target = hef_uarch::CpuModel::host().l2.bytes / 2;
+    let bits = plan_partition_bits(table.working_set_bytes(), target);
+    let parts = (bits > 0).then(|| PartitionedProbeTable::from_pairs(&pairs, bits));
     DimJoin {
         fk_col: fk_col.to_string(),
         table,
         bloom,
+        parts,
         groups: groups.max(1),
         name: dim.name().to_string(),
     }
@@ -315,6 +374,7 @@ pub fn try_execute_star(
     fact: &Table,
     cfg: &ExecConfig,
 ) -> Result<(QueryOutput, crate::parallel::ExecReport), crate::parallel::ExecError> {
+    let cfg = &cfg.resolved_from_env();
     let threads = crate::parallel::resolve_threads(cfg.threads);
     let _qspan = if hef_obs::trace::enabled() {
         hef_obs::trace::span_begin_labeled(
@@ -370,6 +430,7 @@ pub(crate) struct PipelineWorker<'a> {
     probe_out: Vec<u64>,
     gids: Vec<u64>,
     vals: Vec<u64>,
+    part_scratch: PartitionScratch,
 }
 
 impl<'a> PipelineWorker<'a> {
@@ -393,6 +454,7 @@ impl<'a> PipelineWorker<'a> {
             probe_out: Vec::with_capacity(buf_cap),
             gids: Vec::with_capacity(buf_cap),
             vals: Vec::with_capacity(buf_cap),
+            part_scratch: PartitionScratch::default(),
         }
     }
 
@@ -473,6 +535,7 @@ impl<'a> PipelineWorker<'a> {
                     keys: &self.keys,
                     filter: &dim.bloom,
                     out: &mut self.probe_out,
+                    prefetch: cfg.probe_prefetch,
                 };
                 assert!(run_on(Family::BloomCheck, cfg.probe, cfg.backend, &mut io));
                 let mut k = 0usize;
@@ -504,16 +567,51 @@ impl<'a> PipelineWorker<'a> {
             self.probe_out.clear();
             self.probe_out.resize(self.keys.len(), 0);
             self.stats.probes[di] += self.keys.len() as u64;
-            let mut io = KernelIo::Probe {
-                keys: &self.keys,
-                table: &dim.table,
-                out: &mut self.probe_out,
-            };
-            assert!(
-                run_on(Family::Probe, cfg.probe, cfg.backend, &mut io),
-                "probe node {} not compiled",
-                cfg.probe
-            );
+            // Partitioned path: only when the planner built sub-tables AND
+            // the batch carries enough keys per partition for the bucketing
+            // pass to pay for itself (≥ 64 keys per sub-table on average —
+            // pipeline batches are small, so this mostly serves large-batch
+            // callers like the probe bench and morsel-sized scans).
+            let partitioned = cfg.partition
+                && dim
+                    .parts
+                    .as_ref()
+                    .is_some_and(|p| self.keys.len() >= (1usize << p.bits()) * 64);
+            let mut sub_probes = 0u64;
+            if partitioned {
+                let parts = dim.parts.as_ref().expect("checked above");
+                parts.probe_with(
+                    &self.keys,
+                    &mut self.probe_out,
+                    &mut self.part_scratch,
+                    |table, keys, out| {
+                        sub_probes += 1;
+                        let mut io = KernelIo::Probe {
+                            keys,
+                            table,
+                            out,
+                            prefetch: cfg.probe_prefetch,
+                        };
+                        assert!(
+                            run_on(Family::Probe, cfg.probe, cfg.backend, &mut io),
+                            "probe node {} not compiled",
+                            cfg.probe
+                        );
+                    },
+                );
+            } else {
+                let mut io = KernelIo::Probe {
+                    keys: &self.keys,
+                    table: &dim.table,
+                    out: &mut self.probe_out,
+                    prefetch: cfg.probe_prefetch,
+                };
+                assert!(
+                    run_on(Family::Probe, cfg.probe, cfg.backend, &mut io),
+                    "probe node {} not compiled",
+                    cfg.probe
+                );
+            }
             let k = compact_hits(&mut self.sel, &mut pays, &mut self.probe_out);
             self.stats.hits[di] += k as u64;
             if hef_obs::metrics::enabled() {
@@ -521,6 +619,13 @@ impl<'a> PipelineWorker<'a> {
                 add(Metric::ProbeKeys, self.keys.len() as u64);
                 add(Metric::ProbeHits, k as u64);
                 observe(Hist::ProbeBatchHits, k as u64);
+                if cfg.probe_prefetch > 0 {
+                    add(Metric::ProbePrefetchedKeys, self.keys.len() as u64);
+                }
+                if partitioned {
+                    add(Metric::ProbePartitionedKeys, self.keys.len() as u64);
+                    add(Metric::ProbeSubProbes, sub_probes);
+                }
             }
         }
 
@@ -596,7 +701,10 @@ fn take(col: &[u64], sel: &[u64], out: &mut Vec<u64>, cfg: &ExecConfig) {
     }
     out.clear();
     out.resize(sel.len(), 0);
-    let mut io = KernelIo::Gather { src: col, idx: sel, out };
+    // The index stream is a fresh in-cache selection vector and the gather
+    // sources are streamed fact columns — hardware prefetch covers both, so
+    // the software-prefetch depth stays probe-only here.
+    let mut io = KernelIo::Gather { src: col, idx: sel, out, prefetch: 0 };
     if !run_on(Family::Gather, cfg.gather, cfg.backend, &mut io) {
         gather_keys(col, sel, out);
     }
@@ -758,6 +866,88 @@ mod tests {
             assert!(out.stats.probes[0] >= no_bloom.stats.hits[0]);
             assert_eq!(out.stats.hits, no_bloom.stats.hits);
         }
+    }
+
+    #[test]
+    fn prefetched_execution_is_bit_identical() {
+        let (fact, plan) = toy();
+        let expect = reference(&fact, &plan);
+        for flavor in [Flavor::Scalar, Flavor::Simd, Flavor::Hybrid] {
+            for f in [1usize, 8, 33] {
+                let cfg = ExecConfig::for_flavor(flavor).with_probe_prefetch(f);
+                let out = execute_star(&plan, &fact, &cfg);
+                assert_eq!(out.groups, expect, "{} f={f}", flavor.name());
+            }
+        }
+    }
+
+    #[test]
+    fn small_dimensions_never_partition() {
+        let (_, plan) = toy();
+        // The toy dims are a few KiB — far under the L2 threshold.
+        for d in &plan.dims {
+            assert!(d.parts.is_none(), "{} unexpectedly partitioned", d.name);
+        }
+    }
+
+    #[test]
+    fn partitioned_execution_is_bit_identical() {
+        // A dimension big enough to clear the L2 planner threshold, probed
+        // with batches large enough to pass the keys-per-partition gate.
+        let n_dim = 200_000u64;
+        let mut dim = Table::new("bigdim");
+        dim.add_column(Column::new("key", (0..n_dim).collect()));
+        dim.add_column(Column::new("grp", (0..n_dim).map(|k| k % 8).collect()));
+        let d = build_dimension(&dim, "key", |_| true, |r| dim.col("grp")[r], 8, "fk");
+        assert!(d.parts.is_some(), "{} B must trigger partitioning", d.table.working_set_bytes());
+
+        let n = 300_000u64;
+        let mut fact = Table::new("fact");
+        // Every third key misses (beyond the dimension's key domain).
+        fact.add_column(Column::new("fk", (0..n).map(|i| (i * 7919) % (n_dim * 3 / 2)).collect()));
+        fact.add_column(Column::new("rev", (0..n).map(|i| i % 13 + 1).collect()));
+        let plan = StarPlan {
+            name: "bigjoin".into(),
+            filters: vec![],
+            dims: vec![d],
+            measure: Measure::Sum("rev".into()),
+        };
+        let expect = reference(&fact, &plan);
+        for flavor in [Flavor::Scalar, Flavor::Simd, Flavor::Hybrid] {
+            // Batch >= 2^bits * 64 keys so the partitioned path engages.
+            let bits = plan.dims[0].parts.as_ref().unwrap().bits();
+            let mut on = ExecConfig::for_flavor(flavor);
+            on.batch = (1usize << bits) * 64;
+            let mut off = on;
+            off.partition = false;
+            let got_on = execute_star(&plan, &fact, &on);
+            let got_off = execute_star(&plan, &fact, &off);
+            assert_eq!(got_on.groups, expect, "partitioned {}", flavor.name());
+            assert_eq!(got_off.groups, expect, "flat {}", flavor.name());
+            assert_eq!(got_on.stats, got_off.stats, "{}", flavor.name());
+        }
+    }
+
+    #[test]
+    fn env_overrides_apply_per_execution() {
+        let (fact, plan) = toy();
+        let expect = reference(&fact, &plan);
+        // Env mutation: keep this test single-threaded over the vars.
+        std::env::set_var("HEF_PREFETCH", "16");
+        std::env::set_var("HEF_PARTITION", "off");
+        let out = execute_star(&plan, &fact, &ExecConfig::hybrid_default());
+        std::env::remove_var("HEF_PREFETCH");
+        std::env::remove_var("HEF_PARTITION");
+        assert_eq!(out.groups, expect);
+        // Resolution itself is visible on the config level too.
+        std::env::set_var("HEF_PREFETCH", "8");
+        let cfg = ExecConfig::hybrid_default().resolved_from_env();
+        std::env::remove_var("HEF_PREFETCH");
+        assert_eq!(cfg.probe_prefetch, 8);
+        std::env::set_var("HEF_PARTITION", "0");
+        let cfg = ExecConfig::hybrid_default().resolved_from_env();
+        std::env::remove_var("HEF_PARTITION");
+        assert!(!cfg.partition);
     }
 
     #[test]

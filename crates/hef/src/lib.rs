@@ -46,18 +46,20 @@ pub mod templates;
 pub mod translate;
 pub mod tuner;
 
-pub use candidate::initial_candidate;
+pub use candidate::{initial_candidate, seed_prefetch};
 pub use error::{on_grid, HefError};
 pub use ir::{Operand, OperatorTemplate, Stmt};
 pub use optimizer::{
-    optimize, try_neighbors, CostEvaluator, MeasuredCost, SearchOutcome, SimulatedCost,
-    SpikedCost,
+    optimize, optimize_probe, try_neighbors, try_probe_neighbors, CostEvaluator,
+    MeasuredCost, MeasuredProbeCost, ProbeCostEvaluator, ProbeNode, ProbeSearchOutcome,
+    SearchOutcome, SimulatedCost, SimulatedProbeCost, SpikedCost,
 };
 pub use parse::{parse_file, parse_template, render_template};
 pub use registry::{Registry, RegistryIssue, WarmReport};
 pub use translate::{translate, to_loop_body, try_to_loop_body, try_translate, TargetCode};
 pub use tuner::{
-    try_tune_source, try_tune_template, tune_measured, tune_simulated, TunedOperator,
+    try_tune_source, try_tune_template, tune_measured, tune_probe_measured,
+    tune_probe_simulated, tune_simulated, TunedOperator, TunedProbe,
 };
 
 pub use hef_kernels::{Family, HybridConfig};

@@ -14,6 +14,14 @@
 //! crc64 = 8 0 1
 //! ```
 //!
+//! The **v2** format adds an optional fourth column to the `probe` entry —
+//! the tuned software-prefetch depth `f` (`probe = 2 4 3 16`). The v2
+//! header is only emitted when a depth is actually recorded, so files
+//! written without one remain byte-identical v1 and old readers are never
+//! broken; this reader accepts both versions, and pre-`f` probe entries
+//! are back-filled by the degradation ladder with the candidate
+//! generator's analytic seed ([`crate::candidate::seed_prefetch`]).
+//!
 //! Because a production deployment's hot path keys off this file, loading
 //! is defensive at two levels:
 //!
@@ -31,15 +39,17 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::Path;
 
-use hef_kernels::{Family, HybridConfig};
+use hef_kernels::{Family, HybridConfig, F_AXIS};
 
 use crate::error::on_grid;
-use crate::tuner::TunedOperator;
+use crate::tuner::{TunedOperator, TunedProbe};
 
 /// A set of tuned nodes, keyed by operator family.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Registry {
     entries: BTreeMap<&'static str, HybridConfig>,
+    /// Tuned prefetch depths (v2 column 4) — today only `probe` carries one.
+    prefetch: BTreeMap<&'static str, usize>,
     /// Free-form provenance line (CPU name, date, …).
     pub cpu: String,
     /// ISA provenance (`avx512`, `avx2`, `emu`): the backend the nodes were
@@ -64,6 +74,9 @@ pub enum ParseError {
     DuplicateFamily { line: usize, name: String },
     /// The version header names a format this build does not understand.
     UnsupportedVersion { line: usize, version: String },
+    /// A fourth (prefetch-depth) column this build cannot honour: present
+    /// on a family other than `probe`, or off the tuner's `f` axis.
+    BadPrefetch { line: usize, name: String, f: usize },
 }
 
 impl std::fmt::Display for ParseError {
@@ -87,7 +100,13 @@ impl std::fmt::Display for ParseError {
             ParseError::UnsupportedVersion { line, version } => {
                 write!(
                     f,
-                    "line {line}: unsupported registry version `{version}` (this build reads v1)"
+                    "line {line}: unsupported registry version `{version}` (this build reads v1/v2)"
+                )
+            }
+            ParseError::BadPrefetch { line, name, f: depth } => {
+                write!(
+                    f,
+                    "line {line}: `{name}` prefetch depth {depth} rejected (probe-only; f ∈ {F_AXIS:?})"
                 )
             }
         }
@@ -105,7 +124,7 @@ enum Line {
     Skip,
     Cpu(String),
     Isa(String),
-    Entry(Family, HybridConfig),
+    Entry(Family, HybridConfig, Option<usize>),
 }
 
 /// Parse one (already `trim`med) line. Shared by the strict and lenient
@@ -113,7 +132,7 @@ enum Line {
 fn parse_line(line: &str, line_no: usize) -> Result<Line, ParseError> {
     if let Some(rest) = line.strip_prefix("# hef tuned-operator registry") {
         let version = rest.trim();
-        if version.is_empty() || version == "v1" {
+        if version.is_empty() || version == "v1" || version == "v2" {
             return Ok(Line::Skip);
         }
         return Err(ParseError::UnsupportedVersion {
@@ -141,8 +160,10 @@ fn parse_line(line: &str, line_no: usize) -> Result<Line, ParseError> {
         .map(str::parse)
         .collect::<Result<_, _>>()
         .map_err(|_| ParseError::Malformed { line: line_no, text: line.to_string() })?;
-    let [v, s, p] = nums[..] else {
-        return Err(ParseError::Malformed { line: line_no, text: line.to_string() });
+    let (v, s, p, pf) = match nums[..] {
+        [v, s, p] => (v, s, p, None),
+        [v, s, p, f] => (v, s, p, Some(f)),
+        _ => return Err(ParseError::Malformed { line: line_no, text: line.to_string() }),
     };
     if v + s == 0 || p == 0 {
         return Err(ParseError::InvalidNode { line: line_no, v, s, p });
@@ -156,13 +177,20 @@ fn parse_line(line: &str, line_no: usize) -> Result<Line, ParseError> {
             p,
         });
     }
-    Ok(Line::Entry(family, HybridConfig { v, s, p }))
+    if let Some(f) = pf {
+        // The depth column is probe-only and must sit on the search axis,
+        // mirroring the off-grid rule for (v, s, p).
+        if family != Family::Probe || !F_AXIS.contains(&f) {
+            return Err(ParseError::BadPrefetch { line: line_no, name: name.to_string(), f });
+        }
+    }
+    Ok(Line::Entry(family, HybridConfig { v, s, p }, pf))
 }
 
 impl Registry {
     /// Empty registry with a provenance note.
     pub fn new(cpu: impl Into<String>) -> Registry {
-        Registry { entries: BTreeMap::new(), cpu: cpu.into(), isa: String::new() }
+        Registry { cpu: cpu.into(), ..Registry::default() }
     }
 
     /// Empty registry stamped with this machine's provenance: `cpu` note
@@ -170,9 +198,9 @@ impl Registry {
     /// on different hardware detects the staleness.
     pub fn with_host_provenance(cpu: impl Into<String>) -> Registry {
         Registry {
-            entries: BTreeMap::new(),
             cpu: cpu.into(),
             isa: hef_hid::Backend::native().name().to_string(),
+            ..Registry::default()
         }
     }
 
@@ -184,6 +212,22 @@ impl Registry {
     /// Record a tuning result.
     pub fn insert_tuned(&mut self, tuned: &TunedOperator) {
         self.insert(tuned.family, tuned.cfg);
+    }
+
+    /// Record a tuned prefetch depth (v2 column 4; probe-only today).
+    pub fn insert_prefetch(&mut self, family: Family, f: usize) {
+        self.prefetch.insert(family.name(), f);
+    }
+
+    /// Record a probe tuning result: the hybrid shape plus its depth.
+    pub fn insert_tuned_probe(&mut self, tuned: &TunedProbe) {
+        self.insert(Family::Probe, tuned.node.cfg);
+        self.insert_prefetch(Family::Probe, tuned.node.f);
+    }
+
+    /// Tuned prefetch depth for a family, if recorded.
+    pub fn get_prefetch(&self, family: Family) -> Option<usize> {
+        self.prefetch.get(family.name()).copied()
     }
 
     /// Tuned node for a family, if recorded.
@@ -207,9 +251,12 @@ impl Registry {
         self.entries.is_empty()
     }
 
-    /// Serialize to the registry text format.
+    /// Serialize to the registry text format. The v2 header (and fourth
+    /// column) appear only when a prefetch depth is recorded, so files
+    /// without one stay byte-identical v1 for old readers.
     pub fn to_text(&self) -> String {
-        let mut out = String::from("# hef tuned-operator registry v1\n");
+        let version = if self.prefetch.is_empty() { "v1" } else { "v2" };
+        let mut out = format!("# hef tuned-operator registry {version}\n");
         if !self.cpu.is_empty() {
             let _ = writeln!(out, "# cpu: {}", self.cpu);
         }
@@ -217,7 +264,14 @@ impl Registry {
             let _ = writeln!(out, "# isa: {}", self.isa);
         }
         for (name, cfg) in &self.entries {
-            let _ = writeln!(out, "{name} = {} {} {}", cfg.v, cfg.s, cfg.p);
+            match self.prefetch.get(name) {
+                Some(f) => {
+                    let _ = writeln!(out, "{name} = {} {} {} {f}", cfg.v, cfg.s, cfg.p);
+                }
+                None => {
+                    let _ = writeln!(out, "{name} = {} {} {}", cfg.v, cfg.s, cfg.p);
+                }
+            }
         }
         out
     }
@@ -234,7 +288,7 @@ impl Registry {
                 Line::Skip => {}
                 Line::Cpu(cpu) => reg.cpu = cpu,
                 Line::Isa(isa) => reg.isa = isa,
-                Line::Entry(family, cfg) => {
+                Line::Entry(family, cfg, pf) => {
                     if reg.entries.contains_key(family.name()) {
                         return Err(ParseError::DuplicateFamily {
                             line: line_no,
@@ -242,6 +296,9 @@ impl Registry {
                         });
                     }
                     reg.insert(family, cfg);
+                    if let Some(f) = pf {
+                        reg.insert_prefetch(family, f);
+                    }
                 }
             }
         }
@@ -261,7 +318,7 @@ impl Registry {
                 Ok(Line::Skip) => {}
                 Ok(Line::Cpu(cpu)) => reg.cpu = cpu,
                 Ok(Line::Isa(isa)) => reg.isa = isa,
-                Ok(Line::Entry(family, cfg)) => {
+                Ok(Line::Entry(family, cfg, pf)) => {
                     if reg.entries.contains_key(family.name()) {
                         issues.push(RegistryIssue::BadLine {
                             error: ParseError::DuplicateFamily {
@@ -271,6 +328,9 @@ impl Registry {
                         });
                     } else {
                         reg.insert(family, cfg);
+                        if let Some(f) = pf {
+                            reg.insert_prefetch(family, f);
+                        }
                     }
                 }
                 Err(e @ ParseError::UnsupportedVersion { .. }) => {
@@ -383,7 +443,9 @@ impl Registry {
             })
             .collect();
 
-        // Stale ISA: the whole file was tuned for a different backend.
+        // Stale ISA: the whole file was tuned for a different backend. The
+        // recorded prefetch depth is dropped too — it was balanced against
+        // another machine's miss latency — and re-seeded below.
         let current_isa = hef_hid::Backend::native().name();
         if !reg.isa.is_empty() && reg.isa != current_isa {
             report.issues.push(RegistryIssue::StaleIsa {
@@ -393,6 +455,7 @@ impl Registry {
             fallback_families
                 .extend(Family::ALL.into_iter().filter(|f| reg.get(*f).is_some()));
             reg.isa = current_isa.to_string();
+            reg.prefetch.clear();
         }
 
         fallback_families.sort_by_key(|f| f.name());
@@ -404,10 +467,29 @@ impl Registry {
             report.issues.push(RegistryIssue::Fallback { family: family.name(), node });
             reg.insert(family, node);
         }
+
+        // Pre-`f` (v1) probe entries: the shape is trusted but no prefetch
+        // depth was ever tuned. Seed one analytically at a canonical
+        // DRAM-resident working set so memory-bound probes are not left at
+        // the serialized `f = 0` this field was introduced to escape.
+        if reg.get(Family::Probe).is_some() && reg.get_prefetch(Family::Probe).is_none() {
+            let f = crate::candidate::seed_prefetch(
+                &model,
+                &crate::templates::probe(),
+                SEED_PREFETCH_WORKING_SET,
+            );
+            reg.insert_prefetch(Family::Probe, f);
+            report.issues.push(RegistryIssue::SeededPrefetch { f });
+        }
         report.emit_diagnostics();
         (reg, report)
     }
 }
+
+/// Canonical working set used when the ladder seeds a prefetch depth for a
+/// pre-`f` registry: 64 MiB — comfortably past any LLC we model, i.e. the
+/// regime where the depth matters.
+const SEED_PREFETCH_WORKING_SET: u64 = 64 << 20;
 
 /// One structured warning from the degradation ladder.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -420,6 +502,8 @@ pub enum RegistryIssue {
     StaleIsa { recorded: String, current: String },
     /// A family was re-pointed at the candidate generator's analytical pick.
     Fallback { family: &'static str, node: HybridConfig },
+    /// A pre-`f` probe entry had its prefetch depth seeded analytically.
+    SeededPrefetch { f: usize },
 }
 
 impl std::fmt::Display for RegistryIssue {
@@ -436,6 +520,9 @@ impl std::fmt::Display for RegistryIssue {
             RegistryIssue::Fallback { family, node } => {
                 write!(f, "{family}: falling back to analytical candidate {node}")
             }
+            RegistryIssue::SeededPrefetch { f: depth } => {
+                write!(f, "probe: pre-f registry entry; seeded prefetch depth {depth}")
+            }
         }
     }
 }
@@ -451,8 +538,16 @@ pub struct WarmReport {
 
 impl WarmReport {
     /// `true` when the registry loaded cleanly (or no file was requested).
+    ///
+    /// [`RegistryIssue::SeededPrefetch`] does not count against cleanliness:
+    /// a v1 file with no `f` column is a valid registry from before the
+    /// prefetch dimension existed, and backfilling an analytic depth is a
+    /// benign upgrade, not a degradation. It still appears in `issues` so
+    /// diagnostics and counters surface it.
     pub fn is_clean(&self) -> bool {
-        self.issues.is_empty()
+        self.issues
+            .iter()
+            .all(|i| matches!(i, RegistryIssue::SeededPrefetch { .. }))
     }
 
     /// Route every ladder decision through the `hef_obs` sink: a `diag`
@@ -465,7 +560,9 @@ impl WarmReport {
             hef_obs::trace::instant_labeled("registry_issue", &issue.to_string(), &[]);
             match issue {
                 RegistryIssue::BadLine { .. } => add(Metric::RegistryLinesDropped, 1),
-                RegistryIssue::Fallback { .. } => add(Metric::RegistryFallbacks, 1),
+                RegistryIssue::Fallback { .. } | RegistryIssue::SeededPrefetch { .. } => {
+                    add(Metric::RegistryFallbacks, 1)
+                }
                 RegistryIssue::StaleIsa { .. } => add(Metric::RegistryStaleIsa, 1),
                 RegistryIssue::Unreadable { .. } => {}
             }
@@ -587,15 +684,104 @@ mod tests {
 
     #[test]
     fn future_version_header_is_a_clear_error() {
-        let e = Registry::parse("# hef tuned-operator registry v2\nmurmur = 1 3 2").unwrap_err();
+        let e = Registry::parse("# hef tuned-operator registry v3\nmurmur = 1 3 2").unwrap_err();
         assert!(
-            matches!(e, ParseError::UnsupportedVersion { line: 1, ref version } if version == "v2"),
+            matches!(e, ParseError::UnsupportedVersion { line: 1, ref version } if version == "v3"),
             "{e}"
         );
         assert!(e.to_string().contains("this build reads v1"));
-        // v1 and the bare legacy header both parse.
+        // v1, v2, and the bare legacy header all parse.
         assert!(Registry::parse("# hef tuned-operator registry v1").is_ok());
+        assert!(Registry::parse("# hef tuned-operator registry v2").is_ok());
         assert!(Registry::parse("# hef tuned-operator registry").is_ok());
+    }
+
+    #[test]
+    fn v2_roundtrip_preserves_prefetch_depth() {
+        let mut r = sample();
+        r.insert(Family::Probe, HybridConfig::new(2, 4, 3));
+        r.insert_prefetch(Family::Probe, 16);
+        let text = r.to_text();
+        assert!(text.starts_with("# hef tuned-operator registry v2\n"), "{text}");
+        assert!(text.contains("probe = 2 4 3 16"), "{text}");
+        let parsed = Registry::parse(&text).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.get_prefetch(Family::Probe), Some(16));
+        // Families without a depth stay three-column.
+        assert!(text.contains("murmur = 1 3 2\n"), "{text}");
+        assert_eq!(parsed.get_prefetch(Family::Murmur), None);
+    }
+
+    #[test]
+    fn registries_without_prefetch_stay_v1_on_disk() {
+        // Old readers never see a v2 header unless a depth was tuned.
+        let text = sample().to_text();
+        assert!(text.starts_with("# hef tuned-operator registry v1\n"), "{text}");
+        assert!(!text.contains(" v2"));
+    }
+
+    #[test]
+    fn bad_prefetch_column_is_a_typed_error() {
+        // The depth column is probe-only…
+        let e = Registry::parse("murmur = 1 3 2 16").unwrap_err();
+        assert!(
+            matches!(e, ParseError::BadPrefetch { line: 1, f: 16, .. }),
+            "{e}"
+        );
+        assert!(e.to_string().contains("probe-only"), "{e}");
+        // …and must sit on the search axis (7 is not).
+        let e = Registry::parse("probe = 1 1 3 7").unwrap_err();
+        assert!(matches!(e, ParseError::BadPrefetch { f: 7, .. }), "{e}");
+        // Five columns are plain malformed.
+        assert!(matches!(
+            Registry::parse("probe = 1 1 3 16 2"),
+            Err(ParseError::Malformed { .. })
+        ));
+        // The lenient parser salvages the rest of the file around one.
+        let (reg, issues) = Registry::parse_lenient("murmur = 1 3 2 16\ncrc64 = 8 0 1\n");
+        assert_eq!(reg.get(Family::Crc64), Some(HybridConfig::new(8, 0, 1)));
+        assert_eq!(reg.get(Family::Murmur), None);
+        assert_eq!(issues.len(), 1);
+    }
+
+    #[test]
+    fn pre_prefetch_probe_entry_gets_seeded_by_the_ladder() {
+        let dir = std::env::temp_dir().join("hef-registry-seedf-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v1-probe.txt");
+        std::fs::write(
+            &path,
+            "# hef tuned-operator registry v1\nprobe = 2 4 3\nmurmur = 1 3 2\n",
+        )
+        .unwrap();
+        let (reg, report) = Registry::load_degraded(&path);
+        std::fs::remove_file(&path).ok();
+        // The recorded shape is trusted as-is…
+        assert_eq!(reg.get(Family::Probe), Some(HybridConfig::new(2, 4, 3)));
+        // …but a depth was seeded, on the axis, and the decision logged.
+        let f = reg.get_prefetch(Family::Probe).expect("ladder seeds a depth");
+        assert!(F_AXIS.contains(&f), "seeded {f}");
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, RegistryIssue::SeededPrefetch { .. })));
+        // Non-probe families are untouched by the seeding rule.
+        assert_eq!(reg.get_prefetch(Family::Murmur), None);
+    }
+
+    #[test]
+    fn tuned_v2_registry_loads_cleanly_through_the_ladder() {
+        let dir = std::env::temp_dir().join("hef-registry-v2clean-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v2.txt");
+        let mut r = Registry::new("test rig");
+        r.insert(Family::Probe, HybridConfig::new(2, 4, 3));
+        r.insert_prefetch(Family::Probe, 32);
+        r.save(&path).unwrap();
+        let (reg, report) = Registry::load_degraded(&path);
+        std::fs::remove_file(&path).ok();
+        assert!(report.is_clean(), "{:?}", report.issues);
+        assert_eq!(reg.get_prefetch(Family::Probe), Some(32));
     }
 
     #[test]

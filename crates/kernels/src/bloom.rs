@@ -137,6 +137,79 @@ pub unsafe fn body<B: Simd64, const V: usize, const S: usize, const P: usize>(
     }
 }
 
+/// Hash-ahead prefetch: hint the filter words of `keys[from..to]` (clamped
+/// to the input) so the bit-test `f` elements later hits cache. The two
+/// scalar rehashes are cheap next to a DRAM-resident word gather.
+#[inline(always)]
+fn prefetch_ahead(filter: &BloomFilter, keys: &[u64], from: usize, to: usize) {
+    for &k in &keys[from.min(keys.len())..to.min(keys.len())] {
+        let h1 = murmur64(k);
+        let h2 = murmur64_seeded(k, SALT2);
+        crate::prefetch::prefetch_index(&filter.words, ((h1 >> 6) & filter.word_mask) as usize);
+        crate::prefetch::prefetch_index(&filter.words, ((h2 >> 6) & filter.word_mask) as usize);
+    }
+}
+
+/// [`body`] with a hash-ahead software prefetch at distance `f` elements:
+/// while block `b` is tested, the words of block `b + ceil(f/step)` are
+/// already being fetched. Results are bit-identical to [`body`].
+///
+/// # Safety
+/// Backend ISA must be available.
+#[inline(always)]
+pub unsafe fn body_prefetched<B: Simd64, const V: usize, const S: usize, const P: usize>(
+    keys: &[u64],
+    filter: &BloomFilter,
+    out: &mut [u64],
+    f: usize,
+) {
+    assert_eq!(keys.len(), out.len(), "bloom: length mismatch");
+    const L: usize = hef_hid::LANES;
+    let step = P * (V * L + S);
+    let main = if step == 0 { 0 } else { keys.len() - keys.len() % step };
+    let inp = keys.as_ptr();
+    let outp = out.as_mut_ptr();
+    let words = filter.words.as_ptr();
+    let dist = f.div_ceil(step.max(1)).max(1) * step;
+
+    let m_v = B::splat(crate::murmur::M);
+    let hseed1 = B::splat(crate::murmur::SEED ^ crate::murmur::M);
+    let hseed2 = B::splat(SALT2 ^ crate::murmur::M);
+    let wmask_v = B::splat(filter.word_mask);
+    let c63 = B::splat(63);
+    let one = B::splat(1);
+
+    prefetch_ahead(filter, keys, 0, dist.min(main));
+    let mut i = 0usize;
+    while i < main {
+        prefetch_ahead(filter, keys, i + dist, i + dist + step);
+        for pi in 0..P {
+            let base = i + pi * (V * L + S);
+            for vi in 0..V {
+                let k = B::loadu(inp.add(base + vi * L));
+                let h1 = murmur64_v::<B>(k, m_v, hseed1);
+                let h2 = murmur64_v::<B>(k, m_v, hseed2);
+                let w1 = B::gather(words, B::and(B::srli::<6>(h1), wmask_v));
+                let w2 = B::gather(words, B::and(B::srli::<6>(h2), wmask_v));
+                let bit1 = B::sllv(one, B::and(h1, c63));
+                let bit2 = B::sllv(one, B::and(h2, c63));
+                let hit1 = B::cmp(hef_hid::CmpOp::Ne, B::and(w1, bit1), B::splat(0));
+                let hit2 = B::cmp(hef_hid::CmpOp::Ne, B::and(w2, bit2), B::splat(0));
+                let res = B::blend(hit1 & hit2, B::splat(0), B::splat(1));
+                B::storeu(outp.add(base + vi * L), res);
+            }
+            for si in 0..S {
+                let k = hef_hid::opaque64(*inp.add(base + V * L + si));
+                *outp.add(base + V * L + si) = u64::from(filter.check_scalar(k));
+            }
+        }
+        i += step;
+    }
+    for j in main..keys.len() {
+        out[j] = u64::from(filter.check_scalar(keys[j]));
+    }
+}
+
 /// Type-erasure adapter used by the generated dispatch shims.
 ///
 /// # Safety
@@ -146,7 +219,10 @@ pub unsafe fn run<B: Simd64, const V: usize, const S: usize, const P: usize>(
     io: &mut KernelIo<'_>,
 ) {
     match io {
-        KernelIo::Bloom { keys, filter, out } => body::<B, V, S, P>(keys, filter, out),
+        KernelIo::Bloom { keys, filter, out, prefetch: 0 } => body::<B, V, S, P>(keys, filter, out),
+        KernelIo::Bloom { keys, filter, out, prefetch } => {
+            body_prefetched::<B, V, S, P>(keys, filter, out, *prefetch)
+        }
         _ => panic!("bloom kernel requires KernelIo::Bloom"),
     }
 }
@@ -195,6 +271,24 @@ mod tests {
             out.fill(9);
             super::body::<Emu, 2, 0, 1>(&keys, &f, &mut out);
             assert_eq!(out, expect, "simd");
+        }
+    }
+
+    #[test]
+    fn prefetched_body_matches_flat_for_every_depth() {
+        let f = filter_with(500);
+        let keys: Vec<u64> = (0..1357).collect();
+        let expect: Vec<u64> = keys.iter().map(|&k| u64::from(f.check_scalar(k))).collect();
+        let mut out = vec![0u64; keys.len()];
+        for depth in [1usize, 8, 16, 40, 9999] {
+            unsafe {
+                super::body_prefetched::<Emu, 1, 2, 2>(&keys, &f, &mut out, depth);
+                assert_eq!(out, expect, "(1,2,2) f={depth}");
+                out.fill(9);
+                super::body_prefetched::<Emu, 0, 1, 1>(&keys, &f, &mut out, depth);
+                assert_eq!(out, expect, "scalar f={depth}");
+                out.fill(9);
+            }
         }
     }
 

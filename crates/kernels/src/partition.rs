@@ -1,0 +1,253 @@
+//! Radix-partitioned probe tables.
+//!
+//! When the linear-probe table spills the last-level cache, every probe is
+//! a DRAM round trip and neither the SIMD nor the scalar pipe is busy. The
+//! classic radix-join answer is to split the build side into `2^b`
+//! cache-sized sub-tables and bucket the probe keys the same way, so each
+//! sub-probe runs against an L1/L2-resident table. The partition selector
+//! uses the *high* bits of the same `murmur64` the probe slots use — slots
+//! address with the low bits, so both stay uniformly distributed and no key
+//! is rehashed differently between build and probe.
+
+use crate::murmur::murmur64;
+use crate::probe::ProbeTable;
+
+/// Upper bound on the radix width `b` (2^10 = 1024 sub-tables).
+pub const MAX_PARTITION_BITS: u32 = 10;
+
+/// Pick the radix width for a build side of `working_set` bytes so that
+/// each sub-table fits in `target_bytes` (e.g. half the L2 from the uarch
+/// cache model). Returns `0` — don't partition — when the table already
+/// fits.
+pub fn plan_partition_bits(working_set: usize, target_bytes: usize) -> u32 {
+    if target_bytes == 0 || working_set <= target_bytes {
+        return 0;
+    }
+    let ratio = working_set.div_ceil(target_bytes);
+    (usize::BITS - (ratio - 1).leading_zeros()).clamp(1, MAX_PARTITION_BITS)
+}
+
+/// A probe table split into `2^bits` cache-sized sub-tables.
+#[derive(Debug, Clone)]
+pub struct PartitionedProbeTable {
+    parts: Vec<ProbeTable>,
+    bits: u32,
+}
+
+impl PartitionedProbeTable {
+    /// Partition `pairs` into `2^bits` sub-tables (`bits` clamped to
+    /// `1..=MAX_PARTITION_BITS`). Same insert contract as
+    /// [`ProbeTable::insert`].
+    pub fn from_pairs(pairs: &[(u64, u64)], bits: u32) -> Self {
+        let bits = bits.clamp(1, MAX_PARTITION_BITS);
+        let nparts = 1usize << bits;
+        let mut bins: Vec<Vec<(u64, u64)>> = vec![Vec::new(); nparts];
+        for &(k, v) in pairs {
+            bins[Self::part_index(k, bits)].push((k, v));
+        }
+        let parts = bins
+            .into_iter()
+            .map(|bin| {
+                let mut t = ProbeTable::with_capacity(bin.len());
+                for (k, v) in bin {
+                    t.insert(k, v);
+                }
+                t
+            })
+            .collect();
+        PartitionedProbeTable { parts, bits }
+    }
+
+    /// Which sub-table `key` lives in: the high `bits` of its murmur hash.
+    #[inline(always)]
+    pub fn part_index(key: u64, bits: u32) -> usize {
+        (murmur64(key) >> (64 - bits)) as usize
+    }
+
+    /// Radix width `b`.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The sub-tables, in partition order.
+    pub fn parts(&self) -> &[ProbeTable] {
+        &self.parts
+    }
+
+    /// Total inserted entries across all sub-tables.
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(ProbeTable::len).sum()
+    }
+
+    /// `true` when no entry has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total key/payload bytes across all sub-tables.
+    pub fn working_set_bytes(&self) -> usize {
+        self.parts.iter().map(ProbeTable::working_set_bytes).sum()
+    }
+
+    /// Key/payload bytes of the largest sub-table (what must fit in cache).
+    pub fn max_part_bytes(&self) -> usize {
+        self.parts
+            .iter()
+            .map(ProbeTable::working_set_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Scalar reference probe (routes through the owning sub-table).
+    #[inline(always)]
+    pub fn probe_scalar(&self, key: u64) -> u64 {
+        self.parts[Self::part_index(key, self.bits)].probe_scalar(key)
+    }
+
+    /// Partitioned probe of a key batch: buckets `keys` by partition,
+    /// invokes `probe_one(sub_table, bucket_keys, bucket_out)` once per
+    /// non-empty partition (so any compiled kernel flavor can serve as the
+    /// sub-probe), and scatters payloads back into input order. Bit-identical
+    /// to probing each key through [`Self::probe_scalar`].
+    pub fn probe_with<F>(
+        &self,
+        keys: &[u64],
+        out: &mut [u64],
+        scratch: &mut PartitionScratch,
+        mut probe_one: F,
+    ) where
+        F: FnMut(&ProbeTable, &[u64], &mut [u64]),
+    {
+        assert_eq!(keys.len(), out.len(), "partitioned probe: length mismatch");
+        assert!(keys.len() <= u32::MAX as usize, "batch exceeds u32 positions");
+        let n = keys.len();
+        let nparts = self.parts.len();
+        scratch.keys.clear();
+        scratch.keys.resize(n, 0);
+        scratch.pos.clear();
+        scratch.pos.resize(n, 0);
+        scratch.out.clear();
+        scratch.out.resize(n, 0);
+        scratch.offsets.clear();
+        scratch.offsets.resize(nparts + 1, 0);
+        scratch.cursors.clear();
+        scratch.cursors.resize(nparts, 0);
+
+        // Counting sort by partition index: count, prefix-sum, scatter.
+        for &k in keys {
+            scratch.offsets[Self::part_index(k, self.bits) + 1] += 1;
+        }
+        for p in 0..nparts {
+            scratch.offsets[p + 1] += scratch.offsets[p];
+            scratch.cursors[p] = scratch.offsets[p];
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            let p = Self::part_index(k, self.bits);
+            let at = scratch.cursors[p];
+            scratch.keys[at] = k;
+            scratch.pos[at] = i as u32;
+            scratch.cursors[p] += 1;
+        }
+        // One kernel invocation per non-empty bucket, against a sub-table
+        // that fits in cache by construction.
+        for p in 0..nparts {
+            let (a, b) = (scratch.offsets[p], scratch.offsets[p + 1]);
+            if a == b {
+                continue;
+            }
+            probe_one(
+                &self.parts[p],
+                &scratch.keys[a..b],
+                &mut scratch.out[a..b],
+            );
+        }
+        for j in 0..n {
+            out[scratch.pos[j] as usize] = scratch.out[j];
+        }
+    }
+}
+
+/// Reusable buffers for [`PartitionedProbeTable::probe_with`] so the
+/// per-batch bucketing allocates nothing in steady state.
+#[derive(Debug, Default, Clone)]
+pub struct PartitionScratch {
+    keys: Vec<u64>,
+    pos: Vec<u32>,
+    out: Vec<u64>,
+    offsets: Vec<usize>,
+    cursors: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::MISS;
+
+    fn pairs(n: u64) -> Vec<(u64, u64)> {
+        (0..n).map(|k| (k * 7 + 1, k + 100)).collect()
+    }
+
+    #[test]
+    fn planner_picks_zero_for_resident_tables() {
+        assert_eq!(plan_partition_bits(0, 1 << 20), 0);
+        assert_eq!(plan_partition_bits(1 << 19, 1 << 20), 0);
+        assert_eq!(plan_partition_bits(1 << 20, 1 << 20), 0);
+    }
+
+    #[test]
+    fn planner_scales_bits_with_spill_ratio() {
+        let target = 1 << 20;
+        assert_eq!(plan_partition_bits(target + 1, target), 1);
+        assert_eq!(plan_partition_bits(4 * target, target), 2);
+        assert_eq!(plan_partition_bits(64 * target, target), 6);
+        // Clamped at the maximum radix width.
+        assert_eq!(plan_partition_bits(usize::MAX / 2, target), MAX_PARTITION_BITS);
+    }
+
+    #[test]
+    fn partitioned_probe_matches_flat_scalar() {
+        let ps = pairs(5_000);
+        let flat = {
+            let mut t = ProbeTable::with_capacity(ps.len());
+            for &(k, v) in &ps {
+                t.insert(k, v);
+            }
+            t
+        };
+        for bits in [1u32, 3, 5] {
+            let part = PartitionedProbeTable::from_pairs(&ps, bits);
+            assert_eq!(part.len(), ps.len());
+            assert_eq!(part.parts().len(), 1 << bits);
+            let keys: Vec<u64> = (0..12_000u64).collect(); // hits and misses
+            let expect: Vec<u64> = keys.iter().map(|&k| flat.probe_scalar(k)).collect();
+            let mut out = vec![0u64; keys.len()];
+            let mut scratch = PartitionScratch::default();
+            part.probe_with(&keys, &mut out, &mut scratch, |t, ks, os| {
+                for (o, &k) in os.iter_mut().zip(ks) {
+                    *o = t.probe_scalar(k);
+                }
+            });
+            assert_eq!(out, expect, "bits={bits}");
+            assert!(expect.contains(&MISS) && expect.iter().any(|&v| v != MISS));
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_batches() {
+        let part = PartitionedProbeTable::from_pairs(&pairs(100), 2);
+        let mut scratch = PartitionScratch::default();
+        for batch in [3usize, 1000, 0, 17] {
+            let keys: Vec<u64> = (0..batch as u64).map(|k| k * 7 + 1).collect();
+            let mut out = vec![0u64; batch];
+            part.probe_with(&keys, &mut out, &mut scratch, |t, ks, os| {
+                for (o, &k) in os.iter_mut().zip(ks) {
+                    *o = t.probe_scalar(k);
+                }
+            });
+            for (i, &o) in out.iter().enumerate() {
+                let expect = if i < 100 { i as u64 + 100 } else { MISS };
+                assert_eq!(o, expect);
+            }
+        }
+    }
+}

@@ -27,6 +27,12 @@ pub enum Metric {
     AggRows,
     GatherRows,
     RowsMaterialized,
+    /// Probe keys run through the software-prefetched (f > 0) pipeline.
+    ProbePrefetchedKeys,
+    /// Probe keys routed through a radix-partitioned table.
+    ProbePartitionedKeys,
+    /// Sub-table kernel invocations issued by partitioned probes.
+    ProbeSubProbes,
     // Tuner (hef-core::optimizer)
     TunerSearches,
     TunerTrials,
@@ -50,7 +56,7 @@ pub enum Metric {
 }
 
 impl Metric {
-    pub const ALL: [Metric; 29] = [
+    pub const ALL: [Metric; 32] = [
         Metric::QueriesExecuted,
         Metric::MorselsClaimed,
         Metric::MorselsRetried,
@@ -65,6 +71,9 @@ impl Metric {
         Metric::AggRows,
         Metric::GatherRows,
         Metric::RowsMaterialized,
+        Metric::ProbePrefetchedKeys,
+        Metric::ProbePartitionedKeys,
+        Metric::ProbeSubProbes,
         Metric::TunerSearches,
         Metric::TunerTrials,
         Metric::TunerRemeasurements,
@@ -98,6 +107,9 @@ impl Metric {
             Metric::AggRows => "kernel.agg_rows",
             Metric::GatherRows => "kernel.gather_rows",
             Metric::RowsMaterialized => "kernel.rows_materialized",
+            Metric::ProbePrefetchedKeys => "kernel.probe_prefetched_keys",
+            Metric::ProbePartitionedKeys => "kernel.probe_partitioned_keys",
+            Metric::ProbeSubProbes => "kernel.probe_sub_probes",
             Metric::TunerSearches => "tuner.searches",
             Metric::TunerTrials => "tuner.trials",
             Metric::TunerRemeasurements => "tuner.remeasurements",

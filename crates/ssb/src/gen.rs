@@ -7,7 +7,7 @@
 //! workloads stay proportionate), and the fixed 7-year date dimension.
 
 use hef_storage::{Column, Table};
-use hef_testutil::Rng;
+use hef_testutil::{Rng, SplitMix64};
 
 use crate::encode::*;
 
@@ -181,17 +181,61 @@ fn gen_lineorder(
     t
 }
 
+/// Per-table seed streams, derived from the master seed in a fixed order
+/// (customer, supplier, part, lineorder) through SplitMix64.
+///
+/// Each table owns an *independent* xoshiro stream, so tables can be
+/// generated on separate threads — or serially, in any order — and produce
+/// bit-identical columns. The original single-stream design threaded one
+/// RNG through the tables in sequence, which serialized generation; the
+/// split was an intentional, documented stream change (see
+/// `tests/golden_gen.rs`).
+fn table_seeds(seed: u64) -> [u64; 4] {
+    let mut sm = SplitMix64::new(seed);
+    [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()]
+}
+
 /// Generate the SSB database at `sf`, deterministically from `seed`.
+///
+/// Tables are generated in parallel, one thread per table; the output is
+/// bit-identical to [`generate_serial`] because every table draws from its
+/// own seed stream ([`table_seeds`]). The date dimension is built first on
+/// the calling thread — lineorder samples its datekeys.
 pub fn generate(sf: f64, seed: u64) -> SsbData {
     assert!(sf > 0.0, "scale factor must be positive");
     let (nl, nc, ns, np) = cardinalities(sf);
-    let mut rng = Rng::seed_from_u64(seed);
+    let [sc, ss, sp, sl] = table_seeds(seed);
     let date = gen_date();
-    let customer = gen_customer(nc, &mut rng);
-    let supplier = gen_supplier(ns, &mut rng);
-    let part = gen_part(np, &mut rng);
+    let datekeys = date.col("d_datekey");
+    let (customer, supplier, part, lineorder) = std::thread::scope(|scope| {
+        let hc = scope.spawn(move || gen_customer(nc, &mut Rng::seed_from_u64(sc)));
+        let hs = scope.spawn(move || gen_supplier(ns, &mut Rng::seed_from_u64(ss)));
+        let hp = scope.spawn(move || gen_part(np, &mut Rng::seed_from_u64(sp)));
+        let hl = scope.spawn(move || {
+            gen_lineorder(nl, nc, ns, np, datekeys, &mut Rng::seed_from_u64(sl))
+        });
+        (
+            hc.join().expect("customer generator panicked"),
+            hs.join().expect("supplier generator panicked"),
+            hp.join().expect("part generator panicked"),
+            hl.join().expect("lineorder generator panicked"),
+        )
+    });
+    SsbData { lineorder, customer, supplier, part, date, sf }
+}
+
+/// Single-threaded reference path: same per-table seed streams, same
+/// output, no threads. The golden test pins `generate` ≡ `generate_serial`.
+pub fn generate_serial(sf: f64, seed: u64) -> SsbData {
+    assert!(sf > 0.0, "scale factor must be positive");
+    let (nl, nc, ns, np) = cardinalities(sf);
+    let [sc, ss, sp, sl] = table_seeds(seed);
+    let date = gen_date();
+    let customer = gen_customer(nc, &mut Rng::seed_from_u64(sc));
+    let supplier = gen_supplier(ns, &mut Rng::seed_from_u64(ss));
+    let part = gen_part(np, &mut Rng::seed_from_u64(sp));
     let lineorder =
-        gen_lineorder(nl, nc, ns, np, date.col("d_datekey"), &mut rng);
+        gen_lineorder(nl, nc, ns, np, date.col("d_datekey"), &mut Rng::seed_from_u64(sl));
     SsbData { lineorder, customer, supplier, part, date, sf }
 }
 

@@ -17,5 +17,5 @@ pub mod encode;
 pub mod gen;
 pub mod queries;
 
-pub use gen::{generate, SsbData};
+pub use gen::{generate, generate_serial, SsbData};
 pub use queries::{build_plan, decode_gid, QueryId};

@@ -1,20 +1,28 @@
 //! Regression golden for the SSB generator: cardinalities and a sample of
 //! column domains, pinned bit-for-bit.
 //!
-//! Provenance: the workspace originally generated data with `rand`'s
-//! `SmallRng`. That dependency could not even be *resolved* offline (no
-//! lockfile, no registry), so the pre-migration stream was unobservable in
-//! this environment and the switch to the in-tree xoshiro256** PRNG is an
-//! **intentional, documented stream change**. The values below were
-//! captured from the first post-migration run and re-pinned; they guard
-//! every future change (new PRNG, reordered draws, changed rejection
-//! sampling) from silently shifting the benchmark workload.
+//! Provenance — this file has absorbed **two** intentional, documented
+//! stream changes:
+//!
+//! 1. `rand`'s `SmallRng` → the in-tree xoshiro256** PRNG. The dependency
+//!    could not even be *resolved* offline (no lockfile, no registry), so
+//!    the pre-migration stream was unobservable in this environment.
+//! 2. One sequential RNG threaded through all tables → **per-table seed
+//!    streams** (SplitMix64 over the master seed, fixed draw order), so
+//!    tables generate in parallel with bit-identical output. The serial
+//!    path (`generate_serial`) shares the streams; the equivalence test
+//!    below proves parallel ≡ serial byte-for-byte.
+//!
+//! The values below were captured from the first post-split run and
+//! re-pinned; they guard every future change (new PRNG, reordered draws,
+//! changed rejection sampling) from silently shifting the benchmark
+//! workload.
 //!
 //! Cardinalities are pure functions of the scale factor and are unchanged
 //! from the pre-migration generator.
 
 use hef_ssb::gen::cardinalities;
-use hef_ssb::generate;
+use hef_ssb::{generate, generate_serial};
 
 fn wrapping_sum(xs: &[u64]) -> u64 {
     xs.iter().fold(0u64, |a, &x| a.wrapping_add(x))
@@ -38,31 +46,51 @@ fn ssb_stream_is_pinned() {
     );
 
     // Head values of the RNG-driven columns.
-    assert_eq!(&d.lineorder.col("lo_custkey")[..6], [443, 461, 161, 129, 225, 205]);
+    assert_eq!(&d.lineorder.col("lo_custkey")[..6], [435, 234, 82, 239, 259, 423]);
     assert_eq!(
         &d.lineorder.col("lo_orderdate")[..6],
-        [19_960_829, 19_931_102, 19_940_111, 19_920_408, 19_920_402, 19_980_318]
+        [19_981_202, 19_940_325, 19_930_227, 19_950_505, 19_980_108, 19_940_430]
     );
-    assert_eq!(&d.lineorder.col("lo_quantity")[..6], [45, 45, 3, 29, 21, 42]);
+    assert_eq!(&d.lineorder.col("lo_quantity")[..6], [38, 47, 10, 41, 26, 47]);
     assert_eq!(
         &d.lineorder.col("lo_revenue")[..6],
-        [100_744, 99_176, 86_545, 98_901, 94_575, 94_564]
+        [93_558, 90_344, 91_278, 87_688, 93_184, 99_666]
     );
-    assert_eq!(&d.customer.col("c_city")[..6], [20, 94, 170, 231, 247, 192]);
-    assert_eq!(&d.customer.col("c_nation")[..6], [2, 9, 17, 23, 24, 19]);
-    assert_eq!(&d.customer.col("c_region")[..6], [0, 1, 3, 4, 4, 3]);
-    assert_eq!(&d.part.col("p_brand1")[..6], [292, 798, 512, 614, 194, 141]);
-    assert_eq!(&d.part.col("p_category")[..6], [7, 19, 12, 15, 4, 3]);
+    assert_eq!(&d.customer.col("c_city")[..6], [25, 92, 191, 130, 155, 239]);
+    assert_eq!(&d.customer.col("c_nation")[..6], [2, 9, 19, 13, 15, 23]);
+    assert_eq!(&d.customer.col("c_region")[..6], [0, 1, 3, 2, 3, 4]);
+    assert_eq!(&d.part.col("p_brand1")[..6], [660, 171, 10, 76, 723, 963]);
+    assert_eq!(&d.part.col("p_category")[..6], [16, 4, 0, 1, 18, 24]);
 
     // Whole-column checksums: any draw anywhere in the stream moving
     // trips one of these.
-    assert_eq!(wrapping_sum(d.lineorder.col("lo_custkey")), 0x0016_DF95);
-    assert_eq!(wrapping_sum(d.lineorder.col("lo_orderdate")), 0x1B_DEF9_709E);
-    assert_eq!(wrapping_sum(d.lineorder.col("lo_quantity")), 0x0002_579E);
-    assert_eq!(wrapping_sum(d.lineorder.col("lo_revenue")), 0x211E_6A95);
-    assert_eq!(wrapping_sum(d.customer.col("c_city")), 0xF834);
-    assert_eq!(wrapping_sum(d.customer.col("c_nation")), 0x17F8);
-    assert_eq!(wrapping_sum(d.customer.col("c_region")), 0x03FC);
-    assert_eq!(wrapping_sum(d.part.col("p_brand1")), 0x0003_B45C);
-    assert_eq!(wrapping_sum(d.part.col("p_category")), 0x16B9);
+    assert_eq!(wrapping_sum(d.lineorder.col("lo_custkey")), 0x0016_D1DD);
+    assert_eq!(wrapping_sum(d.lineorder.col("lo_orderdate")), 0x1B_DEDC_41D2);
+    assert_eq!(wrapping_sum(d.lineorder.col("lo_quantity")), 0x0002_56E4);
+    assert_eq!(wrapping_sum(d.lineorder.col("lo_revenue")), 0x211D_E58E);
+    assert_eq!(wrapping_sum(d.customer.col("c_city")), 0xFB45);
+    assert_eq!(wrapping_sum(d.customer.col("c_nation")), 0x1843);
+    assert_eq!(wrapping_sum(d.customer.col("c_region")), 0x0417);
+    assert_eq!(wrapping_sum(d.part.col("p_brand1")), 0x0003_BDB9);
+    assert_eq!(wrapping_sum(d.part.col("p_category")), 0x16F9);
+}
+
+#[test]
+fn parallel_generation_matches_serial_byte_for_byte() {
+    // SF 0.1 is big enough (600k lineorder rows) that a scheduling or
+    // seed-derivation bug in the threaded path would scramble something.
+    let par = generate(0.1, 42);
+    let ser = generate_serial(0.1, 42);
+    for (p, s) in [
+        (&par.lineorder, &ser.lineorder),
+        (&par.customer, &ser.customer),
+        (&par.supplier, &ser.supplier),
+        (&par.part, &ser.part),
+        (&par.date, &ser.date),
+    ] {
+        assert_eq!(p.len(), s.len(), "{}", p.name());
+        for c in p.columns() {
+            assert_eq!(c.values(), s.col(c.name()), "{}.{}", p.name(), c.name());
+        }
+    }
 }

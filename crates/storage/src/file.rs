@@ -175,7 +175,13 @@ pub fn decode_column(bytes: &[u8]) -> Result<(Column, Vec<ColumnFileIssue>), Col
     let mut issues = Vec::new();
     let data_start = r.pos;
     let avail = bytes.len() - data_start;
-    let want = rows as usize * 8;
+    // A corrupted row count can be astronomically large; `rows * 8` must
+    // not overflow (debug: panic, release: wrap — either way wrong). Any
+    // honest row count fits: the file itself could never hold more than
+    // `usize::MAX / 8` rows of 8 bytes.
+    let want = (rows as usize)
+        .checked_mul(8)
+        .ok_or_else(|| ColumnFileError::BadHeader(format!("row count {rows} overflows")))?;
     let (data_len, truncated) = if avail >= want {
         (want, false)
     } else {

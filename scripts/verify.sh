@@ -32,9 +32,22 @@ HEF_FAULT="panic:morsel=2,times=3;registry:flips=6,seed=11" \
 
 # Exercise both executor paths: serial (HEF_THREADS=1) and the morsel-driven
 # parallel scheduler (HEF_THREADS=4), which auto-resolved thread counts route
-# through whenever more than one worker is requested.
-HEF_THREADS=1 cargo test -q --offline --test parallel_differential --test end_to_end
-HEF_THREADS=4 cargo test -q --offline --test parallel_differential --test end_to_end
+# through whenever more than one worker is requested. probe_memory proves
+# the prefetched/partitioned probe strategies bit-identical under both.
+HEF_THREADS=1 cargo test -q --offline --test parallel_differential --test end_to_end --test probe_memory
+HEF_THREADS=4 cargo test -q --offline --test parallel_differential --test end_to_end --test probe_memory
+
+# Prefetch-intrinsic hygiene: _mm_prefetch stays confined to the one
+# kernels module that wraps it; everything else goes through that wrapper.
+if grep -rn '_mm_prefetch' crates --include='*.rs' | grep -v 'crates/kernels/src/prefetch.rs'; then
+    echo "verify: FAIL — _mm_prefetch outside crates/kernels/src/prefetch.rs" >&2
+    exit 1
+fi
+
+# Probe-crossover bench smoke: flat vs prefetched vs partitioned rows run
+# end to end and a results/bench_probe_smoke.json snapshot is written (the
+# committed bench_probe.json archive only changes on full runs).
+cargo bench -p hef-bench --bench probe --offline -- --smoke
 
 # Cheap end-to-end run of the thread-scaling bench (asserts parallel output
 # equals serial on a real SSB query).
