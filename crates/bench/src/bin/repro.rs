@@ -18,6 +18,9 @@
 //!   qNN (e.g. q21, Q2.1)     one traced SSB query end to end (offline tune,
 //!                            registry warm, parallel execution)
 //!   report <trace.json>      validate + summarize a trace written earlier
+//!   plan <file.plan | qNN>   parse → optimize → lower → execute a logical
+//!                            plan (text file or canned SSB query), checking
+//!                            the optimized lowering bit-identical to naive
 //!   all                      everything above
 //!
 //! options:
@@ -552,9 +555,92 @@ fn trace_report(path: &str) {
     }
 }
 
+// ---------------------------------------------------------------- plan files
+
+/// Parse, optimize, lower, and execute a logical plan over SSB data — from
+/// a `.plan` text file or a canned query spec (e.g. `q41`). Prints the plan
+/// before and after optimization plus the optimizer's report, then runs the
+/// optimized lowering in all four flavors and checks each against the
+/// naive (declared-order, unoptimized) lowering for bit-identical groups.
+fn plan_cmd(spec: &str, opts: &Opts) {
+    use hef_engine::{lower, optimize, parse_plan, render_plan, try_execute_star, ExecConfig};
+
+    let logical = match parse_query(spec) {
+        Some(q) => hef_ssb::logical_plan(q),
+        None => {
+            let text = std::fs::read_to_string(spec).unwrap_or_else(|e| {
+                eprintln!("plan: cannot read `{spec}`: {e}");
+                std::process::exit(1);
+            });
+            parse_plan(&text).unwrap_or_else(|e| {
+                eprintln!("plan: {spec}: {e}");
+                std::process::exit(1);
+            })
+        }
+    };
+    let sf = opts.sf.unwrap_or(0.01);
+    let data = gen_data(sf);
+    let cat = hef_ssb::catalog(&data);
+
+    println!("=== logical plan ===");
+    print!("{}", render_plan(&logical));
+    let (optimized, report) = optimize(&logical, &cat).unwrap_or_else(|e| {
+        eprintln!("plan: optimizer: {e}");
+        std::process::exit(1);
+    });
+    println!("\n=== optimizer ===\n{report}");
+    println!("\n=== optimized plan ===");
+    print!("{}", render_plan(&optimized));
+
+    let fail = |stage: &str, e: &dyn std::fmt::Display| -> ! {
+        eprintln!("plan: {stage}: {e}");
+        std::process::exit(1);
+    };
+    let naive = lower(&logical, &cat).unwrap_or_else(|e| fail("naive lowering", &e));
+    let tuned = lower(&optimized, &cat).unwrap_or_else(|e| fail("optimized lowering", &e));
+    let reference = match try_execute_star(&naive, &data.lineorder, &ExecConfig::scalar()) {
+        Ok((out, _)) => out,
+        Err(e) => fail("naive execution", &e),
+    };
+
+    println!("\n=== execution (sf {sf}) ===");
+    let mut t = TableWriter::new(vec!["flavor", "ms", "rows agg", "groups>0", "vs naive"]);
+    for flavor in Flavor::ALL {
+        let cfg = exec_config(flavor);
+        let start = std::time::Instant::now();
+        let out = match try_execute_star(&tuned, &data.lineorder, &cfg) {
+            Ok((out, _)) => out,
+            Err(e) => fail(flavor.name(), &e),
+        };
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            out.groups, reference.groups,
+            "{} diverged from the naive scalar lowering",
+            flavor.name()
+        );
+        t.row(vec![
+            flavor.name().to_string(),
+            f2(ms),
+            out.stats.rows_aggregated.to_string(),
+            out.groups.iter().filter(|&&g| g != 0).count().to_string(),
+            "identical".to_string(),
+        ]);
+    }
+    t.print();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
+    if cmd == "plan" {
+        let spec = args.get(1).map(String::as_str).unwrap_or_else(|| {
+            eprintln!("usage: repro plan <file.plan | qNN> [--sf f]");
+            std::process::exit(2);
+        });
+        let opts = parse_opts(&args[2.min(args.len())..]);
+        plan_cmd(spec, &opts);
+        return;
+    }
     if cmd == "report" {
         trace_report(args.get(1).map(String::as_str).unwrap_or_else(|| {
             eprintln!("usage: repro report <trace.json>");
@@ -615,6 +701,7 @@ fn main() {
                 println!("experiments: fig8 fig9 fig10 table3..table9 fig11..fig14");
                 println!("             ablation-search ablation-pack ablation-bloom ablation-dynamic tune all");
                 println!("             qNN (traced single query, e.g. q21)   report <trace.json>");
+                println!("             plan <file.plan | qNN> (logical plan: optimize, lower, execute)");
             }
         },
     }

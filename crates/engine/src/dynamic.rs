@@ -14,7 +14,8 @@ use std::time::Instant;
 
 use hef_storage::Table;
 
-use crate::star::{execute_star, ExecConfig, Flavor, QueryOutput, StarPlan};
+use crate::parallel::ExecError;
+use crate::star::{try_execute_star, ExecConfig, Flavor, QueryOutput, StarPlan};
 
 /// The outcome of a sampled selection.
 #[derive(Debug, Clone)]
@@ -27,44 +28,72 @@ pub struct Selection {
     pub sample_rows: usize,
 }
 
+/// NaN-safe ranking of sample timings. `f64::total_cmp` orders every NaN
+/// above all finite times, so a flavor with a poisoned sample can never win;
+/// `min_by` keeps the *first* of equal entries, so an all-NaN (or empty)
+/// ranking deterministically falls back to the first flavor in
+/// [`Flavor::ALL`] order.
+fn fastest(timings: &[(Flavor, f64)]) -> Flavor {
+    timings
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .map_or(Flavor::Scalar, |&(f, _)| f)
+}
+
 /// Time each flavor on the first `sample_rows` rows and return the ranking.
-pub fn choose_flavor(plan: &StarPlan, fact: &Table, sample_rows: usize) -> Selection {
+/// A plan the executor rejects comes back as a typed [`ExecError`].
+pub fn try_choose_flavor(
+    plan: &StarPlan,
+    fact: &Table,
+    sample_rows: usize,
+) -> Result<Selection, ExecError> {
     let sample = fact.head(sample_rows.max(1));
     let mut timings = Vec::with_capacity(Flavor::ALL.len());
     for flavor in Flavor::ALL {
         let cfg = ExecConfig::for_flavor(flavor);
-        execute_star(plan, &sample, &cfg); // warm-up
+        try_execute_star(plan, &sample, &cfg)?; // warm-up
         let t = Instant::now();
-        execute_star(plan, &sample, &cfg);
+        try_execute_star(plan, &sample, &cfg)?;
         timings.push((flavor, t.elapsed().as_secs_f64()));
     }
-    let flavor = timings
-        .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        .map(|&(f, _)| f)
-        .expect("at least one flavor");
-    Selection { flavor, sample_secs: timings, sample_rows: sample.len() }
+    Ok(Selection { flavor: fastest(&timings), sample_secs: timings, sample_rows: sample.len() })
 }
 
-/// Execute `plan` with the flavor a sampled pre-run selects.
+/// Panicking convenience over [`try_choose_flavor`].
+pub fn choose_flavor(plan: &StarPlan, fact: &Table, sample_rows: usize) -> Selection {
+    try_choose_flavor(plan, fact, sample_rows).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Execute `plan` with the flavor a sampled pre-run selects, returning a
+/// typed [`ExecError`] instead of panicking on a bad plan or an exhausted
+/// degradation ladder.
 ///
 /// `sample_fraction` of the fact table (clamped to `1024..=1_000_000` rows)
 /// is used for selection.
+pub fn try_execute_star_dynamic(
+    plan: &StarPlan,
+    fact: &Table,
+    sample_fraction: f64,
+) -> Result<(QueryOutput, Selection), ExecError> {
+    let rows = ((fact.len() as f64 * sample_fraction) as usize).clamp(1024, 1_000_000);
+    let sel = try_choose_flavor(plan, fact, rows)?;
+    let (out, _) = try_execute_star(plan, fact, &ExecConfig::for_flavor(sel.flavor))?;
+    Ok((out, sel))
+}
+
+/// Panicking convenience over [`try_execute_star_dynamic`].
 pub fn execute_star_dynamic(
     plan: &StarPlan,
     fact: &Table,
     sample_fraction: f64,
 ) -> (QueryOutput, Selection) {
-    let rows = ((fact.len() as f64 * sample_fraction) as usize).clamp(1024, 1_000_000);
-    let sel = choose_flavor(plan, fact, rows);
-    let out = execute_star(plan, fact, &ExecConfig::for_flavor(sel.flavor));
-    (out, sel)
+    try_execute_star_dynamic(plan, fact, sample_fraction).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::star::{build_dimension, Measure};
+    use crate::star::{build_dimension, execute_star, Measure};
     use hef_storage::Column;
 
     fn toy() -> (Table, StarPlan) {
@@ -80,6 +109,7 @@ mod tests {
             filters: vec![],
             dims: vec![d],
             measure: Measure::Sum("rev".into()),
+            strides: vec![],
         };
         (fact, plan)
     }
@@ -100,6 +130,41 @@ mod tests {
         let reference = execute_star(&plan, &fact, &ExecConfig::scalar());
         assert_eq!(out.groups, reference.groups);
         assert!(Flavor::ALL.contains(&sel.flavor));
+    }
+
+    #[test]
+    fn nan_sample_time_never_wins() {
+        // Regression for the NaN-unsafe `partial_cmp(..).unwrap()`: a NaN
+        // cost must neither panic nor be selected.
+        let timings = vec![
+            (Flavor::Scalar, 2.0),
+            (Flavor::Simd, f64::NAN),
+            (Flavor::Voila, 1.0),
+            (Flavor::Hybrid, f64::NAN),
+        ];
+        assert_eq!(fastest(&timings), Flavor::Voila);
+    }
+
+    #[test]
+    fn all_nan_ranking_falls_back_to_first_flavor() {
+        let timings: Vec<(Flavor, f64)> =
+            Flavor::ALL.iter().map(|&f| (f, f64::NAN)).collect();
+        assert_eq!(fastest(&timings), Flavor::ALL[0]);
+        assert_eq!(fastest(&[]), Flavor::Scalar);
+    }
+
+    #[test]
+    fn bad_plan_is_a_typed_error_from_selection() {
+        let (fact, mut plan) = toy();
+        plan.measure = Measure::Sum("ghost".into());
+        assert!(matches!(
+            try_choose_flavor(&plan, &fact, 1024),
+            Err(ExecError::BadPlan { .. })
+        ));
+        assert!(matches!(
+            try_execute_star_dynamic(&plan, &fact, 0.1),
+            Err(ExecError::BadPlan { .. })
+        ));
     }
 
     #[test]

@@ -24,17 +24,24 @@
 pub mod dynamic;
 pub mod ops;
 pub mod parallel;
+pub mod plan;
 pub mod star;
 pub mod voila;
 
-pub use dynamic::{choose_flavor, execute_star_dynamic, Selection};
+pub use dynamic::{
+    choose_flavor, execute_star_dynamic, try_choose_flavor, try_execute_star_dynamic, Selection,
+};
 pub use ops::{gather_keys, grouped_accumulate};
 pub use parallel::{
     execute_star_parallel, resolve_threads, try_execute_star_parallel, ExecError, ExecReport,
 };
+pub use plan::{
+    lower, optimize, parse_plan, render_plan, Catalog, GroupBy, JoinBuilder, JoinSpec, KeyExpr,
+    LogicalPlan, Node, OptReport, PlanBuilder, PlanError, Pred,
+};
 pub use star::{
-    build_dimension, execute_star, try_execute_star, DimJoin, ExecConfig, ExecStats, Flavor,
-    Measure, QueryOutput, RangeFilter, StarPlan,
+    build_dimension, execute_star, try_execute_star, validate_star_plan, DimJoin, ExecConfig,
+    ExecStats, Flavor, Measure, QueryOutput, RangeFilter, StarPlan,
 };
 
 pub use hef_kernels::{HybridConfig, ProbeTable, MISS};

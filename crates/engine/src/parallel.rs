@@ -153,6 +153,10 @@ impl ExecReport {
 pub enum ExecError {
     /// The serial fallback itself panicked.
     Failed { query: String, message: String },
+    /// The plan references columns the fact table does not have, or its
+    /// group-id strides are inconsistent; rejected up front, before any
+    /// worker could hit the inconsistency as a panic.
+    BadPlan { query: String, message: String },
 }
 
 impl std::fmt::Display for ExecError {
@@ -160,6 +164,9 @@ impl std::fmt::Display for ExecError {
         match self {
             ExecError::Failed { query, message } => {
                 write!(f, "query `{query}` failed after exhausting degradation ladder: {message}")
+            }
+            ExecError::BadPlan { query, message } => {
+                write!(f, "query `{query}` rejected: {message}")
             }
         }
     }
@@ -313,6 +320,7 @@ pub fn try_execute_star_parallel(
     cfg: &ExecConfig,
     threads: usize,
 ) -> Result<(QueryOutput, ExecReport), ExecError> {
+    crate::star::validate_star_plan(plan, fact)?;
     let threads = threads.max(1);
     let sched = Scheduler {
         n: fact.len(),
@@ -453,6 +461,7 @@ mod tests {
             filters: vec![],
             dims: vec![d],
             measure: Measure::Sum("rev".into()),
+            strides: vec![],
         };
         (fact, plan)
     }

@@ -1,0 +1,476 @@
+//! The logical plan IR: predicate/key expressions, node tree, and the
+//! builder API.
+//!
+//! A star query is a chain — `Agg(Join*(Filter*(Project?(Scan))))` with
+//! filters, joins, and projections interleaved freely below the single
+//! root aggregation. [`LogicalPlan::validate`] enforces that shape plus
+//! projection closure (a `Project` may not drop a column the nodes above
+//! it consume); everything name-dependent (tables, columns, group-code
+//! ranges) is checked later against a [`Catalog`](super::Catalog) by
+//! [`optimize`](super::optimize) / [`lower`](super::lower).
+
+use std::collections::BTreeSet;
+
+use crate::star::Measure;
+
+use super::PlanError;
+
+/// A predicate over one column. Ranges use the same signed semantics as the
+/// executor's [`RangeFilter`](crate::star::RangeFilter).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pred {
+    /// `col = value`
+    Eq { col: String, value: u64 },
+    /// `lo <= col <= hi` (signed compare, like the filter kernel)
+    Range { col: String, lo: u64, hi: u64 },
+    /// `col IN (values)`
+    In { col: String, values: Vec<u64> },
+}
+
+impl Pred {
+    /// `col = value`.
+    pub fn eq(col: impl Into<String>, value: u64) -> Pred {
+        Pred::Eq { col: col.into(), value }
+    }
+
+    /// `lo <= col <= hi`.
+    pub fn between(col: impl Into<String>, lo: u64, hi: u64) -> Pred {
+        Pred::Range { col: col.into(), lo, hi }
+    }
+
+    /// `col IN (values)`.
+    pub fn in_set(col: impl Into<String>, values: impl Into<Vec<u64>>) -> Pred {
+        Pred::In { col: col.into(), values: values.into() }
+    }
+
+    /// The predicated column.
+    pub fn col(&self) -> &str {
+        match self {
+            Pred::Eq { col, .. } | Pred::Range { col, .. } | Pred::In { col, .. } => col,
+        }
+    }
+
+    /// Row-level evaluation (used on dimension build sides and in
+    /// reference executors).
+    pub fn matches(&self, x: u64) -> bool {
+        match self {
+            Pred::Eq { value, .. } => x == *value,
+            Pred::Range { lo, hi, .. } => *lo as i64 <= x as i64 && x as i64 <= *hi as i64,
+            Pred::In { values, .. } => values.contains(&x),
+        }
+    }
+}
+
+/// A group-key expression over one dimension column, producing dense codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyExpr {
+    /// `(col - offset) % modulus`; `modulus == 0` means no reduction.
+    Affine { col: String, offset: u64, modulus: u64 },
+    /// `(col == value) as u64` — a two-group indicator.
+    Indicator { col: String, value: u64 },
+}
+
+impl KeyExpr {
+    /// The column itself (codes must already be dense).
+    pub fn col(col: impl Into<String>) -> KeyExpr {
+        KeyExpr::Affine { col: col.into(), offset: 0, modulus: 0 }
+    }
+
+    /// `col - offset` (e.g. `d_year - 1992`).
+    pub fn shifted(col: impl Into<String>, offset: u64) -> KeyExpr {
+        KeyExpr::Affine { col: col.into(), offset, modulus: 0 }
+    }
+
+    /// `col % modulus` (e.g. `c_nation % 5`).
+    pub fn modulo(col: impl Into<String>, modulus: u64) -> KeyExpr {
+        KeyExpr::Affine { col: col.into(), offset: 0, modulus }
+    }
+
+    /// `(col == value) as u64`.
+    pub fn indicator(col: impl Into<String>, value: u64) -> KeyExpr {
+        KeyExpr::Indicator { col: col.into(), value }
+    }
+
+    /// The referenced column.
+    pub fn column(&self) -> &str {
+        match self {
+            KeyExpr::Affine { col, .. } | KeyExpr::Indicator { col, .. } => col,
+        }
+    }
+
+    /// Compute the group code of one column value.
+    pub fn eval(&self, x: u64) -> u64 {
+        match self {
+            KeyExpr::Affine { offset, modulus, .. } => {
+                let v = x.wrapping_sub(*offset);
+                if *modulus > 0 {
+                    v % *modulus
+                } else {
+                    v
+                }
+            }
+            KeyExpr::Indicator { value, .. } => u64::from(x == *value),
+        }
+    }
+}
+
+/// Grouping contributed by one join: a key expression plus the number of
+/// dense codes it produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupBy {
+    pub key: KeyExpr,
+    pub groups: usize,
+}
+
+/// One dimension join of the star.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinSpec {
+    /// Dimension table name (resolved against the catalog at lowering).
+    pub dim_table: String,
+    /// Fact-table foreign-key column.
+    pub fk_col: String,
+    /// Dimension key column.
+    pub key_col: String,
+    /// Build-side predicates on the dimension.
+    pub filters: Vec<Pred>,
+    /// Grouping, or `None` for a pure (semi-join) filter.
+    pub group: Option<GroupBy>,
+    /// Position in the *declared* join order. Group-id encoding follows
+    /// this order — never the (optimizer-chosen) probe order — so join
+    /// reordering cannot change results.
+    pub declared: usize,
+}
+
+impl JoinSpec {
+    /// Dense group codes this join contributes (1 for a pure filter).
+    pub fn groups(&self) -> usize {
+        self.group.as_ref().map_or(1, |g| g.groups.max(1))
+    }
+}
+
+/// A logical plan node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Leaf: scan the fact table. `columns` limits what the scan emits
+    /// (`None` = all); `pushed` holds predicates the optimizer sank into
+    /// the scan, applied in order during the scan itself.
+    Scan { table: String, columns: Option<Vec<String>>, pushed: Vec<Pred> },
+    /// A fact-table predicate not (yet) pushed into the scan.
+    Filter { input: Box<Node>, pred: Pred },
+    /// A dimension join.
+    Join { input: Box<Node>, spec: JoinSpec },
+    /// Restrict the fact columns flowing upward.
+    Project { input: Box<Node>, columns: Vec<String> },
+    /// Root: the aggregation.
+    Agg { input: Box<Node>, measure: Measure },
+}
+
+/// A named logical star query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicalPlan {
+    pub name: String,
+    pub root: Node,
+}
+
+/// One step of the decomposed chain, bottom-up (execution) order.
+pub(crate) enum Step<'a> {
+    Filter(&'a Pred),
+    Join(&'a JoinSpec),
+    Project(&'a [String]),
+}
+
+/// A [`LogicalPlan`] flattened into scan + ordered steps + measure.
+pub(crate) struct Chain<'a> {
+    pub scan_table: &'a str,
+    pub scan_columns: Option<&'a Vec<String>>,
+    pub pushed: &'a [Pred],
+    /// Filters/joins/projects from the scan upward.
+    pub steps: Vec<Step<'a>>,
+    pub measure: &'a Measure,
+}
+
+impl<'a> Chain<'a> {
+    /// The joins in step (probe) order.
+    pub fn joins(&self) -> Vec<&'a JoinSpec> {
+        self.steps
+            .iter()
+            .filter_map(|s| match s {
+                Step::Join(j) => Some(*j),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl LogicalPlan {
+    /// Flatten the tree into a [`Chain`], rejecting non-star shapes.
+    pub(crate) fn chain(&self) -> Result<Chain<'_>, PlanError> {
+        let Node::Agg { input, measure } = &self.root else {
+            return Err(PlanError::Shape("root must be an Agg node".into()));
+        };
+        let mut steps: Vec<Step<'_>> = Vec::new();
+        let mut node: &Node = input;
+        loop {
+            match node {
+                Node::Scan { table, columns, pushed } => {
+                    steps.reverse(); // collected top-down; execution is bottom-up
+                    return Ok(Chain {
+                        scan_table: table,
+                        scan_columns: columns.as_ref(),
+                        pushed,
+                        steps,
+                        measure,
+                    });
+                }
+                Node::Filter { input, pred } => {
+                    steps.push(Step::Filter(pred));
+                    node = input;
+                }
+                Node::Join { input, spec } => {
+                    steps.push(Step::Join(spec));
+                    node = input;
+                }
+                Node::Project { input, columns } => {
+                    steps.push(Step::Project(columns));
+                    node = input;
+                }
+                Node::Agg { .. } => {
+                    return Err(PlanError::Shape(
+                        "Agg may only appear at the root".into(),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Validate shape, declared-order consistency, and projection closure.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        let chain = self.chain()?;
+        // Declared probe positions must be distinct (their relative order
+        // defines the group-id encoding).
+        let joins = chain.joins();
+        let declared: BTreeSet<usize> = joins.iter().map(|j| j.declared).collect();
+        if declared.len() != joins.len() {
+            return Err(PlanError::Shape(
+                "joins carry duplicate `declared` positions".into(),
+            ));
+        }
+        for j in &joins {
+            if j.groups() == 0 {
+                return Err(PlanError::Shape(format!(
+                    "join `{}` declares zero groups",
+                    j.dim_table
+                )));
+            }
+        }
+        // Projection closure: walking top-down, every fact column consumed
+        // above a Project (or the Scan's column list) must survive it.
+        let mut consumed: BTreeSet<&str> = measure_cols(chain.measure).into_iter().collect();
+        for step in chain.steps.iter().rev() {
+            match step {
+                Step::Project(cols) => {
+                    for c in consumed.iter() {
+                        if !cols.iter().any(|p| p == c) {
+                            return Err(PlanError::Projection { column: (*c).to_string() });
+                        }
+                    }
+                }
+                Step::Filter(p) => {
+                    consumed.insert(p.col());
+                }
+                Step::Join(j) => {
+                    consumed.insert(&j.fk_col);
+                }
+            }
+        }
+        if let Some(cols) = chain.scan_columns {
+            for p in chain.pushed {
+                consumed.insert(p.col());
+            }
+            for c in consumed {
+                if !cols.iter().any(|p| p == c) {
+                    return Err(PlanError::Projection { column: c.to_string() });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The fact columns a measure reads.
+pub(crate) fn measure_cols(m: &Measure) -> Vec<&str> {
+    match m {
+        Measure::Sum(a) => vec![a.as_str()],
+        Measure::SumProduct(a, b) | Measure::SumDiff(a, b) => vec![a.as_str(), b.as_str()],
+    }
+}
+
+/// Fluent builder for one dimension join.
+#[derive(Debug, Clone)]
+pub struct JoinBuilder {
+    dim_table: String,
+    fk_col: String,
+    key_col: String,
+    filters: Vec<Pred>,
+    group: Option<GroupBy>,
+}
+
+impl JoinBuilder {
+    /// `join <dim> on <fk_col> = <key_col>`.
+    pub fn new(
+        dim_table: impl Into<String>,
+        fk_col: impl Into<String>,
+        key_col: impl Into<String>,
+    ) -> JoinBuilder {
+        JoinBuilder {
+            dim_table: dim_table.into(),
+            fk_col: fk_col.into(),
+            key_col: key_col.into(),
+            filters: Vec::new(),
+            group: None,
+        }
+    }
+
+    /// Add a build-side predicate.
+    pub fn filter(mut self, p: Pred) -> JoinBuilder {
+        self.filters.push(p);
+        self
+    }
+
+    /// Group by `key`, producing `groups` dense codes.
+    pub fn group(mut self, key: KeyExpr, groups: usize) -> JoinBuilder {
+        self.group = Some(GroupBy { key, groups });
+        self
+    }
+}
+
+enum BuildStep {
+    Filter(Pred),
+    Join(JoinBuilder),
+    Project(Vec<String>),
+}
+
+/// Fluent builder for a whole plan; `declared` join positions are assigned
+/// in call order.
+pub struct PlanBuilder {
+    name: String,
+    table: String,
+    steps: Vec<BuildStep>,
+}
+
+impl PlanBuilder {
+    /// Start a plan scanning `table`.
+    pub fn scan(name: impl Into<String>, table: impl Into<String>) -> PlanBuilder {
+        PlanBuilder { name: name.into(), table: table.into(), steps: Vec::new() }
+    }
+
+    /// Add a fact-table filter.
+    pub fn filter(mut self, p: Pred) -> PlanBuilder {
+        self.steps.push(BuildStep::Filter(p));
+        self
+    }
+
+    /// Add a dimension join.
+    pub fn join(mut self, j: JoinBuilder) -> PlanBuilder {
+        self.steps.push(BuildStep::Join(j));
+        self
+    }
+
+    /// Add a projection.
+    pub fn project(mut self, columns: &[&str]) -> PlanBuilder {
+        self.steps
+            .push(BuildStep::Project(columns.iter().map(|c| c.to_string()).collect()));
+        self
+    }
+
+    /// Finish with the aggregation, producing the plan.
+    pub fn agg(self, measure: Measure) -> LogicalPlan {
+        let mut node = Node::Scan { table: self.table, columns: None, pushed: Vec::new() };
+        let mut declared = 0usize;
+        for step in self.steps {
+            node = match step {
+                BuildStep::Filter(pred) => Node::Filter { input: Box::new(node), pred },
+                BuildStep::Join(j) => {
+                    let spec = JoinSpec {
+                        dim_table: j.dim_table,
+                        fk_col: j.fk_col,
+                        key_col: j.key_col,
+                        filters: j.filters,
+                        group: j.group,
+                        declared,
+                    };
+                    declared += 1;
+                    Node::Join { input: Box::new(node), spec }
+                }
+                BuildStep::Project(columns) => Node::Project { input: Box::new(node), columns },
+            };
+        }
+        LogicalPlan { name: self.name, root: Node::Agg { input: Box::new(node), measure } }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LogicalPlan {
+        PlanBuilder::scan("t", "fact")
+            .filter(Pred::between("f", 1, 3))
+            .join(JoinBuilder::new("dim", "fk", "key").group(KeyExpr::col("g"), 4))
+            .agg(Measure::Sum("rev".into()))
+    }
+
+    #[test]
+    fn builder_assigns_declared_in_call_order() {
+        let plan = PlanBuilder::scan("t", "fact")
+            .join(JoinBuilder::new("a", "fka", "ka"))
+            .join(JoinBuilder::new("b", "fkb", "kb"))
+            .agg(Measure::Sum("m".into()));
+        let chain = plan.chain().unwrap();
+        let joins = chain.joins();
+        assert_eq!(joins[0].dim_table, "a");
+        assert_eq!(joins[0].declared, 0);
+        assert_eq!(joins[1].declared, 1);
+    }
+
+    #[test]
+    fn validate_accepts_star_shapes() {
+        sample().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_nested_agg() {
+        let inner = sample().root;
+        let plan = LogicalPlan {
+            name: "bad".into(),
+            root: Node::Agg {
+                input: Box::new(Node::Filter {
+                    input: Box::new(inner),
+                    pred: Pred::eq("x", 1),
+                }),
+                measure: Measure::Sum("rev".into()),
+            },
+        };
+        assert!(matches!(plan.validate(), Err(PlanError::Shape(_))));
+    }
+
+    #[test]
+    fn validate_rejects_projection_dropping_consumed_column() {
+        let plan = PlanBuilder::scan("t", "fact")
+            .project(&["rev"]) // drops `fk`, consumed by the join above
+            .join(JoinBuilder::new("dim", "fk", "key"))
+            .agg(Measure::Sum("rev".into()));
+        assert!(matches!(plan.validate(), Err(PlanError::Projection { .. })));
+    }
+
+    #[test]
+    fn pred_and_key_eval() {
+        assert!(Pred::between("c", 2, 5).matches(3));
+        assert!(!Pred::between("c", 2, 5).matches(6));
+        assert!(Pred::in_set("c", [1, 9]).matches(9));
+        assert_eq!(KeyExpr::shifted("y", 1992).eval(1997), 5);
+        assert_eq!(KeyExpr::modulo("n", 5).eval(13), 3);
+        assert_eq!(KeyExpr::indicator("c", 7).eval(7), 1);
+        assert_eq!(KeyExpr::indicator("c", 7).eval(8), 0);
+    }
+}

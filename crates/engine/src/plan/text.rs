@@ -1,0 +1,480 @@
+//! The textual plan language: a line-oriented form of the IR, parseable
+//! and renderable ( `parse_plan(render_plan(p)) == p` ).
+//!
+//! ```text
+//! // comments start with `//`
+//! plan profit_by_region {
+//!     scan lineorder
+//!     filter lo_quantity between 10 40
+//!     join supplier on lo_suppkey = s_suppkey declared 0 {
+//!         group s_region groups 5
+//!     }
+//!     join date on lo_orderdate = d_datekey declared 1 {
+//!         filter d_year between 1994 1996
+//!         group d_year - 1992 groups 7
+//!     }
+//!     agg sum_diff lo_revenue lo_supplycost
+//! }
+//! ```
+//!
+//! Line forms inside `plan … { }` (order = execution order, scan first,
+//! agg last):
+//!
+//! * `scan <table> [columns <c>…]` — the fact scan; `columns` is the
+//!   optimizer's pruned column set;
+//! * `filter [pushed] <atom>` — a fact predicate; `pushed` marks it sunk
+//!   into the scan;
+//! * `project <c>…` — a projection node;
+//! * `join <dim> on <fk> = <key> [declared <i>] { … }` — a dimension join
+//!   whose block holds `filter <atom>` and `group <keyexpr> groups <n>`
+//!   lines; `declared` defaults to the join's appearance index;
+//! * `agg sum <col>` | `agg sum_product <a> <b>` | `agg sum_diff <a> <b>`.
+//!
+//! Atoms: `col = v`, `col between lo hi`, `col in v…`. Group keys:
+//! `col [- offset] [% modulus]` or the indicator `col == v`.
+
+use std::fmt::Write as _;
+
+use crate::star::Measure;
+
+use super::ir::{GroupBy, JoinSpec, KeyExpr, LogicalPlan, Node, Pred, Step};
+use super::PlanError;
+
+// ---------------------------------------------------------------- rendering
+
+pub(crate) fn render_pred(p: &Pred) -> String {
+    match p {
+        Pred::Eq { col, value } => format!("{col} = {value}"),
+        Pred::Range { col, lo, hi } => format!("{col} between {lo} {hi}"),
+        Pred::In { col, values } => {
+            let vs: Vec<String> = values.iter().map(u64::to_string).collect();
+            format!("{col} in {}", vs.join(" "))
+        }
+    }
+}
+
+fn render_key(k: &KeyExpr) -> String {
+    match k {
+        KeyExpr::Affine { col, offset, modulus } => {
+            let mut s = col.clone();
+            if *offset != 0 {
+                let _ = write!(s, " - {offset}");
+            }
+            if *modulus != 0 {
+                let _ = write!(s, " % {modulus}");
+            }
+            s
+        }
+        KeyExpr::Indicator { col, value } => format!("{col} == {value}"),
+    }
+}
+
+/// Render a plan into the textual language (inverse of [`parse_plan`]).
+/// Invalid shapes render as a `// not a star query` comment plus the error.
+pub fn render_plan(plan: &LogicalPlan) -> String {
+    let mut out = String::new();
+    let chain = match plan.chain() {
+        Ok(c) => c,
+        Err(e) => {
+            let _ = writeln!(out, "// not a star query: {e}");
+            return out;
+        }
+    };
+    let _ = writeln!(out, "plan {} {{", plan.name);
+    let _ = write!(out, "    scan {}", chain.scan_table);
+    if let Some(cols) = chain.scan_columns {
+        let _ = write!(out, " columns {}", cols.join(" "));
+    }
+    let _ = writeln!(out);
+    for p in chain.pushed {
+        let _ = writeln!(out, "    filter pushed {}", render_pred(p));
+    }
+    for step in &chain.steps {
+        match step {
+            Step::Filter(p) => {
+                let _ = writeln!(out, "    filter {}", render_pred(p));
+            }
+            Step::Project(cols) => {
+                let _ = writeln!(out, "    project {}", cols.join(" "));
+            }
+            Step::Join(j) => {
+                let _ = writeln!(
+                    out,
+                    "    join {} on {} = {} declared {} {{",
+                    j.dim_table, j.fk_col, j.key_col, j.declared
+                );
+                for p in &j.filters {
+                    let _ = writeln!(out, "        filter {}", render_pred(p));
+                }
+                if let Some(g) = &j.group {
+                    let _ = writeln!(
+                        out,
+                        "        group {} groups {}",
+                        render_key(&g.key),
+                        g.groups
+                    );
+                }
+                let _ = writeln!(out, "    }}");
+            }
+        }
+    }
+    let measure = match chain.measure {
+        Measure::Sum(a) => format!("sum {a}"),
+        Measure::SumProduct(a, b) => format!("sum_product {a} {b}"),
+        Measure::SumDiff(a, b) => format!("sum_diff {a} {b}"),
+    };
+    let _ = writeln!(out, "    agg {measure}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, PlanError> {
+    Err(PlanError::Parse { line, message: message.into() })
+}
+
+fn parse_u64(tok: &str, line: usize) -> Result<u64, PlanError> {
+    match tok.parse::<u64>() {
+        Ok(v) => Ok(v),
+        Err(_) => err(line, format!("expected a number, got `{tok}`")),
+    }
+}
+
+fn ident(tok: &str, line: usize, what: &str) -> Result<String, PlanError> {
+    let ok = !tok.is_empty()
+        && tok
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.');
+    if ok {
+        Ok(tok.to_string())
+    } else {
+        err(line, format!("bad {what} `{tok}`"))
+    }
+}
+
+/// `col = v` | `col between lo hi` | `col in v…`.
+fn parse_pred(toks: &[&str], line: usize) -> Result<Pred, PlanError> {
+    match toks {
+        [col, "=", v] => Ok(Pred::Eq { col: ident(col, line, "column")?, value: parse_u64(v, line)? }),
+        [col, "between", lo, hi] => Ok(Pred::Range {
+            col: ident(col, line, "column")?,
+            lo: parse_u64(lo, line)?,
+            hi: parse_u64(hi, line)?,
+        }),
+        [col, "in", rest @ ..] if !rest.is_empty() => Ok(Pred::In {
+            col: ident(col, line, "column")?,
+            values: rest
+                .iter()
+                .map(|v| parse_u64(v, line))
+                .collect::<Result<Vec<u64>, PlanError>>()?,
+        }),
+        _ => err(line, "expected `col = v`, `col between lo hi`, or `col in v…`"),
+    }
+}
+
+/// `col [- offset] [% modulus]` | `col == v`.
+fn parse_key(toks: &[&str], line: usize) -> Result<KeyExpr, PlanError> {
+    match toks {
+        [col, "==", v] => Ok(KeyExpr::Indicator {
+            col: ident(col, line, "column")?,
+            value: parse_u64(v, line)?,
+        }),
+        [col] => Ok(KeyExpr::Affine { col: ident(col, line, "column")?, offset: 0, modulus: 0 }),
+        [col, "-", off] => Ok(KeyExpr::Affine {
+            col: ident(col, line, "column")?,
+            offset: parse_u64(off, line)?,
+            modulus: 0,
+        }),
+        [col, "%", m] => Ok(KeyExpr::Affine {
+            col: ident(col, line, "column")?,
+            offset: 0,
+            modulus: parse_u64(m, line)?,
+        }),
+        [col, "-", off, "%", m] => Ok(KeyExpr::Affine {
+            col: ident(col, line, "column")?,
+            offset: parse_u64(off, line)?,
+            modulus: parse_u64(m, line)?,
+        }),
+        _ => err(line, "expected `col [- offset] [% modulus]` or `col == v`"),
+    }
+}
+
+fn parse_measure(toks: &[&str], line: usize) -> Result<Measure, PlanError> {
+    match toks {
+        ["sum", a] => Ok(Measure::Sum(ident(a, line, "column")?)),
+        ["sum_product", a, b] => {
+            Ok(Measure::SumProduct(ident(a, line, "column")?, ident(b, line, "column")?))
+        }
+        ["sum_diff", a, b] => {
+            Ok(Measure::SumDiff(ident(a, line, "column")?, ident(b, line, "column")?))
+        }
+        _ => err(line, "expected `sum c`, `sum_product a b`, or `sum_diff a b`"),
+    }
+}
+
+enum ParsedStep {
+    Filter(Pred),
+    Join(JoinSpec),
+    Project(Vec<String>),
+}
+
+/// Parse the textual plan language into a [`LogicalPlan`].
+pub fn parse_plan(text: &str) -> Result<LogicalPlan, PlanError> {
+    // (1-based line number, comment-stripped tokens)
+    let lines: Vec<(usize, Vec<&str>)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            let l = l.split("//").next().unwrap_or("");
+            (i + 1, l.split_whitespace().collect::<Vec<&str>>())
+        })
+        .filter(|(_, toks)| !toks.is_empty())
+        .collect();
+    let mut it = lines.iter().peekable();
+
+    // Header: `plan <name> {`.
+    let Some((ln, toks)) = it.next() else {
+        return err(1, "empty input: expected `plan <name> {`");
+    };
+    let (name, mut last_line) = match toks.as_slice() {
+        ["plan", name, "{"] => (ident(name, *ln, "plan name")?, *ln),
+        _ => return err(*ln, "expected `plan <name> {`"),
+    };
+
+    let mut scan: Option<(String, Option<Vec<String>>)> = None;
+    let mut pushed: Vec<Pred> = Vec::new();
+    let mut steps: Vec<ParsedStep> = Vec::new();
+    let mut measure: Option<Measure> = None;
+    let mut closed = false;
+    let mut next_declared = 0usize;
+
+    while let Some((ln, toks)) = it.next() {
+        let ln = *ln;
+        last_line = ln;
+        match toks.as_slice() {
+            ["}"] => {
+                closed = true;
+                break;
+            }
+            ["scan", table, rest @ ..] => {
+                if scan.is_some() {
+                    return err(ln, "duplicate `scan` line");
+                }
+                if !steps.is_empty() || !pushed.is_empty() {
+                    return err(ln, "`scan` must be the first line of the plan body");
+                }
+                let columns = match rest {
+                    [] => None,
+                    ["columns", cols @ ..] if !cols.is_empty() => Some(
+                        cols.iter()
+                            .map(|c| ident(c, ln, "column"))
+                            .collect::<Result<Vec<String>, PlanError>>()?,
+                    ),
+                    _ => return err(ln, "expected `scan <table> [columns <c>…]`"),
+                };
+                scan = Some((ident(table, ln, "table")?, columns));
+            }
+            ["filter", "pushed", rest @ ..] => pushed.push(parse_pred(rest, ln)?),
+            ["filter", rest @ ..] => steps.push(ParsedStep::Filter(parse_pred(rest, ln)?)),
+            ["project", cols @ ..] if !cols.is_empty() => steps.push(ParsedStep::Project(
+                cols.iter()
+                    .map(|c| ident(c, ln, "column"))
+                    .collect::<Result<Vec<String>, PlanError>>()?,
+            )),
+            ["agg", rest @ ..] => {
+                if measure.is_some() {
+                    return err(ln, "duplicate `agg` line");
+                }
+                measure = Some(parse_measure(rest, ln)?);
+            }
+            ["join", dim, "on", fk, "=", key, rest @ ..] => {
+                let (declared, open) = match rest {
+                    ["{"] => {
+                        let d = next_declared;
+                        (d, true)
+                    }
+                    ["declared", i, "{"] => (parse_u64(i, ln)? as usize, true),
+                    _ => return err(ln, "expected `join <dim> on <fk> = <key> [declared i] {`"),
+                };
+                if !open {
+                    return err(ln, "join block must open with `{`");
+                }
+                next_declared = next_declared.max(declared) + 1;
+                let mut spec = JoinSpec {
+                    dim_table: ident(dim, ln, "table")?,
+                    fk_col: ident(fk, ln, "column")?,
+                    key_col: ident(key, ln, "column")?,
+                    filters: Vec::new(),
+                    group: None,
+                    declared,
+                };
+                let mut join_closed = false;
+                for (jln, jtoks) in it.by_ref() {
+                    let jln = *jln;
+                    last_line = jln;
+                    match jtoks.as_slice() {
+                        ["}"] => {
+                            join_closed = true;
+                            break;
+                        }
+                        ["filter", rest @ ..] => spec.filters.push(parse_pred(rest, jln)?),
+                        ["group", rest @ ..] => {
+                            if spec.group.is_some() {
+                                return err(jln, "duplicate `group` line in join");
+                            }
+                            let Some(gpos) = rest.iter().position(|&t| t == "groups") else {
+                                return err(jln, "expected `group <keyexpr> groups <n>`");
+                            };
+                            let key = parse_key(&rest[..gpos], jln)?;
+                            let [n] = rest[gpos + 1..] else {
+                                return err(jln, "expected `groups <n>`");
+                            };
+                            let groups = parse_u64(n, jln)? as usize;
+                            if groups == 0 {
+                                return err(jln, "`groups` must be at least 1");
+                            }
+                            spec.group = Some(GroupBy { key, groups });
+                        }
+                        _ => return err(jln, "expected `filter …`, `group …`, or `}` in join"),
+                    }
+                }
+                if !join_closed {
+                    return err(last_line, "unclosed join block (missing `}`)");
+                }
+                steps.push(ParsedStep::Join(spec));
+            }
+            _ => return err(ln, format!("unrecognized line `{}`", toks.join(" "))),
+        }
+    }
+    if !closed {
+        return err(last_line, "unclosed plan (missing `}`)");
+    }
+    if it.next().is_some() {
+        return err(last_line + 1, "trailing content after closing `}`");
+    }
+    let Some((table, columns)) = scan else {
+        return err(last_line, "plan has no `scan` line");
+    };
+    let Some(measure) = measure else {
+        return err(last_line, "plan has no `agg` line");
+    };
+
+    let mut node = Node::Scan { table, columns, pushed };
+    for step in steps {
+        node = match step {
+            ParsedStep::Filter(pred) => Node::Filter { input: Box::new(node), pred },
+            ParsedStep::Join(spec) => Node::Join { input: Box::new(node), spec },
+            ParsedStep::Project(columns) => Node::Project { input: Box::new(node), columns },
+        };
+    }
+    let plan = LogicalPlan { name, root: Node::Agg { input: Box::new(node), measure } };
+    plan.validate()?;
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::ir::{JoinBuilder, PlanBuilder};
+    use super::*;
+
+    fn sample() -> LogicalPlan {
+        PlanBuilder::scan("q", "fact")
+            .filter(Pred::between("a", 1, 3))
+            .filter(Pred::in_set("b", [4, 9, 12]))
+            .project(&["fk1", "fk2", "m1", "m2"])
+            .join(
+                JoinBuilder::new("d1", "fk1", "k1")
+                    .filter(Pred::eq("attr", 5))
+                    .group(KeyExpr::shifted("g", 10), 7),
+            )
+            .join(JoinBuilder::new("d2", "fk2", "k2").group(KeyExpr::indicator("c", 2), 2))
+            .agg(Measure::SumDiff("m1".into(), "m2".into()))
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let plan = sample();
+        let text = render_plan(&plan);
+        let back = parse_plan(&text).unwrap();
+        assert_eq!(back, plan, "round-trip changed the plan:\n{text}");
+    }
+
+    #[test]
+    fn round_trips_scan_columns_and_pushed() {
+        // Simulate an optimizer output: pushed preds + pruned scan columns.
+        let mut plan = PlanBuilder::scan("q", "fact")
+            .join(JoinBuilder::new("d1", "fk1", "k1").group(KeyExpr::modulo("g", 5), 5))
+            .agg(Measure::Sum("m1".into()));
+        if let Node::Agg { input, .. } = &mut plan.root {
+            let mut n: &mut Node = input;
+            loop {
+                match n {
+                    Node::Scan { columns, pushed, .. } => {
+                        *columns = Some(vec!["fk1".into(), "m1".into()]);
+                        pushed.push(Pred::between("m1", 0, 9));
+                        break;
+                    }
+                    Node::Join { input, .. }
+                    | Node::Filter { input, .. }
+                    | Node::Project { input, .. } => n = input,
+                    Node::Agg { .. } => unreachable!(),
+                }
+            }
+        }
+        let text = render_plan(&plan);
+        assert!(text.contains("scan fact columns fk1 m1"), "{text}");
+        assert!(text.contains("filter pushed m1 between 0 9"), "{text}");
+        assert_eq!(parse_plan(&text).unwrap(), plan);
+    }
+
+    #[test]
+    fn parse_defaults_declared_to_appearance_order() {
+        let text = "
+            plan p {
+                scan fact
+                join d1 on fk1 = k1 {
+                    group g groups 3
+                }
+                join d2 on fk2 = k2 {
+                }
+                agg sum m
+            }";
+        let plan = parse_plan(text).unwrap();
+        let chain = plan.chain().unwrap();
+        let joins = chain.joins();
+        assert_eq!((joins[0].declared, joins[1].declared), (0, 1));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let cases: &[(&str, usize)] = &[
+            ("nonsense", 1),
+            ("plan p {\n    scan fact\n    filter a beyond 1 2\n}", 3),
+            ("plan p {\n    scan fact\n    agg median x\n}", 3),
+            ("plan p {\n    filter a = 1\n    scan fact\n}", 3),
+            ("plan p {\n    scan fact\n    join d on f = k {\n        group g\n    }\n}", 4),
+        ];
+        for (text, line) in cases {
+            match parse_plan(text) {
+                Err(PlanError::Parse { line: got, .. }) => {
+                    assert_eq!(got, *line, "wrong line for:\n{text}")
+                }
+                other => panic!("expected parse error for:\n{text}\ngot {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "
+            // header comment
+            plan p { // trailing
+                scan fact
+
+                filter a = 1 // inline
+                agg sum m
+            }";
+        assert!(parse_plan(text).is_ok());
+    }
+}

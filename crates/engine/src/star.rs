@@ -235,7 +235,7 @@ pub struct DimJoin {
 }
 
 /// The aggregate of the query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Measure {
     /// `sum(col)`
     Sum(String),
@@ -253,12 +253,34 @@ pub struct StarPlan {
     /// Probe order — most selective dimension first, as the SSB plans do.
     pub dims: Vec<DimJoin>,
     pub measure: Measure,
+    /// Group-id stride per dimension, aligned with `dims` (probe order).
+    /// A row's group id is `Σ pay_i * strides[i]`. Empty = the legacy
+    /// mixed-radix encoding over the probe order itself (`stride_i =
+    /// Π groups_j for j > i`). The planner sets strides from the *declared*
+    /// join order so optimizer join reordering never changes group ids.
+    pub strides: Vec<u64>,
 }
 
 impl StarPlan {
     /// Total number of group cells (product of per-dimension group counts).
     pub fn group_cells(&self) -> usize {
         self.dims.iter().map(|d| d.groups.max(1)).product::<usize>().max(1)
+    }
+
+    /// Effective per-dimension group-id strides (see [`StarPlan::strides`]):
+    /// the explicit strides when set, else the legacy probe-order
+    /// mixed-radix strides.
+    pub fn gid_strides(&self) -> Vec<u64> {
+        if !self.strides.is_empty() {
+            return self.strides.clone();
+        }
+        let mut strides = vec![1u64; self.dims.len()];
+        let mut acc = 1u64;
+        for (i, d) in self.dims.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc = acc.wrapping_mul(d.groups.max(1) as u64);
+        }
+        strides
     }
 }
 
@@ -348,6 +370,67 @@ pub fn build_dimension(
     }
 }
 
+/// Check a physical plan against the fact table before execution: every
+/// referenced column must exist and explicit group-id strides must be
+/// consistent with the group-cell count. Returns a typed
+/// [`ExecError::BadPlan`](crate::parallel::ExecError) instead of letting a
+/// worker thread hit the inconsistency as a panic mid-query.
+pub fn validate_star_plan(
+    plan: &StarPlan,
+    fact: &Table,
+) -> Result<(), crate::parallel::ExecError> {
+    let bad = |message: String| crate::parallel::ExecError::BadPlan {
+        query: plan.name.clone(),
+        message,
+    };
+    let need = |what: &str, col: &str| -> Result<(), crate::parallel::ExecError> {
+        if fact.column(col).is_none() {
+            return Err(bad(format!(
+                "{what} references column `{col}`, absent from fact table `{}`",
+                fact.name()
+            )));
+        }
+        Ok(())
+    };
+    for f in &plan.filters {
+        need("filter", &f.col)?;
+    }
+    for d in &plan.dims {
+        need(&format!("join `{}`", d.name), &d.fk_col)?;
+    }
+    for col in match &plan.measure {
+        Measure::Sum(a) => vec![a],
+        Measure::SumProduct(a, b) | Measure::SumDiff(a, b) => vec![a, b],
+    } {
+        need("measure", col)?;
+    }
+    if !plan.strides.is_empty() {
+        if plan.strides.len() != plan.dims.len() {
+            return Err(bad(format!(
+                "{} strides for {} dimensions",
+                plan.strides.len(),
+                plan.dims.len()
+            )));
+        }
+        let cells = plan.group_cells() as u64;
+        let mut max_gid = 0u64;
+        for (d, &s) in plan.dims.iter().zip(&plan.strides) {
+            max_gid = (d.groups.max(1) as u64 - 1)
+                .checked_mul(s)
+                .and_then(|v| max_gid.checked_add(v))
+                .filter(|&v| v < cells)
+                .ok_or_else(|| {
+                    bad(format!(
+                        "group-id strides {:?} address cells beyond the {} \
+                         accumulator slots",
+                        plan.strides, cells
+                    ))
+                })?;
+        }
+    }
+    Ok(())
+}
+
 /// Execute `plan` against `fact` using `cfg`.
 ///
 /// Resolves the worker-thread count (see [`ExecConfig::threads`]) and routes
@@ -374,6 +457,7 @@ pub fn try_execute_star(
     fact: &Table,
     cfg: &ExecConfig,
 ) -> Result<(QueryOutput, crate::parallel::ExecReport), crate::parallel::ExecError> {
+    validate_star_plan(plan, fact)?;
     let cfg = &cfg.resolved_from_env();
     let threads = crate::parallel::resolve_threads(cfg.threads);
     let _qspan = if hef_obs::trace::enabled() {
@@ -424,6 +508,8 @@ pub(crate) struct PipelineWorker<'a> {
     cfg: &'a ExecConfig,
     acc: Vec<u64>,
     stats: ExecStats,
+    /// Per-dimension group-id strides (see [`StarPlan::gid_strides`]).
+    strides: Vec<u64>,
     // Reusable batch buffers (workhorse allocations).
     sel: Vec<u64>,
     keys: Vec<u64>,
@@ -449,6 +535,7 @@ impl<'a> PipelineWorker<'a> {
             cfg,
             acc: vec![0u64; plan.group_cells()],
             stats,
+            strides: plan.gid_strides(),
             sel: Vec::with_capacity(buf_cap),
             keys: Vec::with_capacity(buf_cap),
             probe_out: Vec::with_capacity(buf_cap),
@@ -572,14 +659,16 @@ impl<'a> PipelineWorker<'a> {
             // pass to pay for itself (≥ 64 keys per sub-table on average —
             // pipeline batches are small, so this mostly serves large-batch
             // callers like the probe bench and morsel-sized scans).
-            let partitioned = cfg.partition
-                && dim
-                    .parts
+            let parts = if cfg.partition {
+                dim.parts
                     .as_ref()
-                    .is_some_and(|p| self.keys.len() >= (1usize << p.bits()) * 64);
+                    .filter(|p| self.keys.len() >= (1usize << p.bits()) * 64)
+            } else {
+                None
+            };
+            let partitioned = parts.is_some();
             let mut sub_probes = 0u64;
-            if partitioned {
-                let parts = dim.parts.as_ref().expect("checked above");
+            if let Some(parts) = parts {
                 parts.probe_with(
                     &self.keys,
                     &mut self.probe_out,
@@ -637,10 +726,10 @@ impl<'a> PipelineWorker<'a> {
             }
             self.gids.clear();
             self.gids.resize(self.sel.len(), 0);
-            for (di, dim) in plan.dims.iter().enumerate() {
-                let g = dim.groups as u64;
+            for (di, _) in plan.dims.iter().enumerate() {
+                let stride = self.strides[di];
                 for (j, gid) in self.gids.iter_mut().enumerate() {
-                    *gid = *gid * g + pays[di][j];
+                    *gid = gid.wrapping_add(pays[di][j].wrapping_mul(stride));
                 }
             }
             materialize_measure(&plan.measure, fact, &self.sel, &mut self.vals, &mut self.keys, cfg);
@@ -755,6 +844,7 @@ mod tests {
             filters: vec![],
             dims: vec![d1, d2],
             measure: Measure::Sum("rev".into()),
+            strides: vec![],
         };
         (fact, plan)
     }
@@ -911,6 +1001,7 @@ mod tests {
             filters: vec![],
             dims: vec![d],
             measure: Measure::Sum("rev".into()),
+            strides: vec![],
         };
         let expect = reference(&fact, &plan);
         for flavor in [Flavor::Scalar, Flavor::Simd, Flavor::Hybrid] {
@@ -948,6 +1039,80 @@ mod tests {
         let cfg = ExecConfig::hybrid_default().resolved_from_env();
         std::env::remove_var("HEF_PARTITION");
         assert!(!cfg.partition);
+    }
+
+    #[test]
+    fn declared_strides_make_probe_order_irrelevant() {
+        // Same query, two probe orders. With strides pinned to the declared
+        // order (d1 outer, d2 inner), group ids — and therefore results —
+        // must be bit-identical regardless of probe order.
+        let (fact, plan) = toy();
+        let d1 = plan.dims[0].clone(); // 4 groups, declared first
+        let d2 = plan.dims[1].clone(); // pure filter
+        let declared = StarPlan {
+            name: "declared".into(),
+            filters: vec![],
+            dims: vec![d1.clone(), d2.clone()],
+            measure: plan.measure.clone(),
+            strides: vec![1, 1], // d1 stride 1 (innermost of 4×1), d2 collapsed
+        };
+        let swapped = StarPlan {
+            name: "swapped".into(),
+            filters: vec![],
+            dims: vec![d2, d1],
+            measure: plan.measure.clone(),
+            strides: vec![1, 1],
+        };
+        for flavor in Flavor::ALL {
+            let cfg = ExecConfig::for_flavor(flavor);
+            let a = execute_star(&declared, &fact, &cfg);
+            let b = execute_star(&swapped, &fact, &cfg);
+            assert_eq!(a.groups, b.groups, "{}", flavor.name());
+            // And the legacy encoding (empty strides) agrees on this plan
+            // because d2 contributes a single group.
+            let legacy = execute_star(&plan, &fact, &cfg);
+            assert_eq!(a.groups, legacy.groups, "legacy {}", flavor.name());
+        }
+    }
+
+    #[test]
+    fn bad_plans_are_typed_errors_not_panics() {
+        use crate::parallel::ExecError;
+        let (fact, mut plan) = toy();
+        plan.measure = Measure::Sum("ghost".into());
+        let err = try_execute_star(&plan, &fact, &ExecConfig::scalar()).unwrap_err();
+        assert!(
+            matches!(&err, ExecError::BadPlan { query, message }
+                if query == "toy" && message.contains("ghost")),
+            "{err}"
+        );
+
+        let (fact, mut plan) = toy();
+        plan.strides = vec![1]; // 1 stride, 2 dims
+        assert!(matches!(
+            try_execute_star(&plan, &fact, &ExecConfig::scalar()),
+            Err(ExecError::BadPlan { .. })
+        ));
+
+        let (fact, mut plan) = toy();
+        plan.strides = vec![4, 4]; // max gid 3*4 + 0*4 = 12 >= 4 cells
+        assert!(matches!(
+            try_execute_star(&plan, &fact, &ExecConfig::scalar()),
+            Err(ExecError::BadPlan { .. })
+        ));
+
+        // The parallel entry point rejects up front too — no worker spawns.
+        let (fact, mut plan) = toy();
+        plan.filters.push(RangeFilter { col: "nope".into(), lo: 0, hi: 1 });
+        assert!(matches!(
+            crate::parallel::try_execute_star_parallel(
+                &plan,
+                &fact,
+                &ExecConfig::scalar(),
+                4
+            ),
+            Err(ExecError::BadPlan { .. })
+        ));
     }
 
     #[test]

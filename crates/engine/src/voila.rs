@@ -54,6 +54,8 @@ pub(crate) struct VoilaWorker<'a> {
     ncols: usize,
     acc: Vec<u64>,
     stats: ExecStats,
+    /// Per-dimension group-id strides (see [`StarPlan::gid_strides`]).
+    strides: Vec<u64>,
     // Reusable dense buffers: index 0..ndims = fk columns, then measures.
     bufs: Vec<Vec<u64>>,
     gid: Vec<u64>,
@@ -86,6 +88,7 @@ impl<'a> VoilaWorker<'a> {
             ncols,
             acc: vec![0u64; plan.group_cells()],
             stats,
+            strides: plan.gid_strides(),
             bufs: vec![Vec::with_capacity(buf_cap); ncols],
             gid: Vec::with_capacity(buf_cap),
             slots: Vec::with_capacity(buf_cap),
@@ -146,7 +149,7 @@ impl<'a> VoilaWorker<'a> {
                     self.bufs[ndims + mi].push(fact.col(mc)[r]);
                 }
                 debug_assert!(pay0 < g0);
-                self.gid.push(pay0);
+                self.gid.push(pay0.wrapping_mul(self.strides[0]));
             }
             self.stats.hits[0] += self.gid.len() as u64;
             self.stats.materialized += (self.gid.len() * ncols) as u64;
@@ -197,7 +200,7 @@ impl<'a> VoilaWorker<'a> {
             }
 
             // Compaction pass: rebuild every live buffer densely.
-            let g = dim.groups as u64;
+            let stride = self.strides[di];
             let mut k = 0usize;
             for j in 0..live {
                 if self.pay[j] == MISS {
@@ -211,7 +214,7 @@ impl<'a> VoilaWorker<'a> {
                         b[k] = b[j];
                     }
                 }
-                self.gid[k] = self.gid[j] * g + self.pay[j];
+                self.gid[k] = self.gid[j].wrapping_add(self.pay[j].wrapping_mul(stride));
                 k += 1;
             }
             for b in self.bufs.iter_mut() {
@@ -280,6 +283,7 @@ mod tests {
             filters: vec![],
             dims: vec![d],
             measure: Measure::Sum("rev".into()),
+            strides: vec![],
         };
         (fact, plan)
     }

@@ -18,4 +18,4 @@ pub mod gen;
 pub mod queries;
 
 pub use gen::{generate, generate_serial, SsbData};
-pub use queries::{build_plan, decode_gid, QueryId};
+pub use queries::{build_plan, build_plan_naive, catalog, decode_gid, logical_plan, QueryId};

@@ -20,6 +20,26 @@ for f in parse translate registry; do
     fi
 done
 
+# Same contract across the whole engine (ISSUE 6): the executor and the
+# plan pipeline report bad plans as typed errors, never as panics.
+for f in crates/engine/src/*.rs crates/engine/src/plan/*.rs; do
+    if sed '/#\[cfg(test)\]/,$d' "$f" | grep -n '\.unwrap()\|\.expect('; then
+        echo "verify: FAIL — unwrap()/expect() outside tests in $f" >&2
+        exit 1
+    fi
+done
+
+# Planner differential gate: the optimizer (pushdown, join reordering,
+# projection pruning) must be answer-preserving — naive and optimized
+# lowerings bit-identical on all 13 SSB queries, on an ad-hoc plan-text
+# query, and on randomly generated star trees vs a reference interpreter.
+cargo test -q --offline --test planner_differential
+
+# Plan-file smoke: parse → optimize → lower → execute a non-canned star
+# query; the subcommand asserts all four flavors match the naive lowering.
+cargo run --release --offline -q -p hef-bench --bin repro -- \
+    plan examples/plans/profit_by_region.plan --sf 0.002
+
 # Fault-injection suite: injected worker panics, registry corruption, and
 # cost spikes must never change results or abort the process.
 cargo test -q --offline --test fault_injection

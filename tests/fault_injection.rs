@@ -42,6 +42,7 @@ fn toy() -> (Table, StarPlan) {
         filters: vec![],
         dims: vec![d],
         measure: Measure::Sum("rev".into()),
+        strides: vec![],
     };
     (fact, plan)
 }

@@ -40,6 +40,7 @@ fn toy(rows: u64) -> (Table, StarPlan) {
         filters: vec![],
         dims: vec![d],
         measure: Measure::Sum("rev".into()),
+        strides: vec![],
     };
     (fact, plan)
 }

@@ -252,6 +252,7 @@ fn parallel_execution_is_schedule_invariant() {
                 filters: vec![],
                 dims: vec![d],
                 measure: Measure::Sum("rev".into()),
+                strides: vec![],
             };
             let mut cfg = ExecConfig::hybrid_default().with_threads(1);
             cfg.batch = *batch;
