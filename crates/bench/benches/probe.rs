@@ -17,7 +17,8 @@
 //! ties), DRAM-resident tables gain >1.3× from either memory-parallel
 //! strategy. The run is persisted to `results/bench_probe.json`
 //! (see `hef_bench::BenchSnapshot`); `--smoke` shrinks sizes and samples
-//! for CI.
+//! for CI; `--compare` prints a trend table against the previously archived
+//! snapshot (advisory only — never fails the run) before overwriting it.
 
 use hef_bench::BenchSnapshot;
 use hef_kernels::{
@@ -37,6 +38,7 @@ fn table_with(entries: usize) -> ProbeTable {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let compare = std::env::args().any(|a| a == "--compare");
     hef_obs::metrics::enable();
 
     let nkeys = if smoke { 1 << 14 } else { 1 << 18 };
@@ -145,6 +147,13 @@ fn main() {
     if let Some(&(ws, flat, mem)) = crossover.last() {
         snap.derived("dram_working_set_bytes", ws as f64);
         snap.derived("dram_speedup", flat / mem);
+    }
+    // Trend against the archived run, before write_default replaces it.
+    if compare {
+        match snap.compare_default() {
+            Some(report) => print!("{}", report.render()),
+            None => println!("compare: no archived baseline for `{}` yet", snap.name()),
+        }
     }
     match snap.write_default() {
         Ok(path) => println!("snapshot: {}", path.display()),

@@ -15,9 +15,15 @@
 //!   ablation-dynamic         per-query best flavor (paper §VII)
 //!   ablation-bloom           Bloom semi-join pre-filtering vs plain probes
 //!   tune                     run the measured HEF tuner on this machine
+//!   tune-pipeline            joint (v,s,p,f) whole-pipeline tuning on the
+//!                            modeled Xeons; writes registry v3 pipeline
+//!                            rows to results/tuned.txt and a measured
+//!                            per-op-vs-joint snapshot (--query qNN for one
+//!                            query, --model silver-4110|gold-6240r)
 //!   qNN (e.g. q21, Q2.1)     one traced SSB query end to end (offline tune,
 //!                            registry warm, parallel execution)
 //!   report <trace.json>      validate + summarize a trace written earlier
+//!                            (per span name: count, total, and self time)
 //!   plan <file.plan | qNN>   parse → optimize → lower → execute a logical
 //!                            plan (text file or canned SSB query), checking
 //!                            the optimized lowering bit-identical to naive
@@ -50,15 +56,26 @@ struct Opts {
     n: usize,
     repeats: usize,
     trace: Option<String>,
+    query: Option<String>,
+    model: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
-    let mut o = Opts { sf: None, n: 20_000_000, repeats: 2, trace: None };
+    let mut o =
+        Opts { sf: None, n: 20_000_000, repeats: 2, trace: None, query: None, model: None };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--sf" => {
                 o.sf = Some(args[i + 1].parse().expect("--sf <float>"));
+                i += 2;
+            }
+            "--query" => {
+                o.query = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--model" => {
+                o.model = Some(args[i + 1].clone());
                 i += 2;
             }
             "--n" => {
@@ -456,6 +473,187 @@ fn tune(opts: &Opts) {
     }
 }
 
+// ------------------------------------------------------------ pipeline tuning
+
+/// `silver-4110` / `gold-6240r` (or any string containing the family or
+/// model number) → the modeled Xeon.
+fn model_by_name(name: &str) -> CpuModel {
+    let n = name.to_ascii_lowercase();
+    if n.contains("silver") || n.contains("4110") {
+        CpuModel::silver_4110()
+    } else if n.contains("gold") || n.contains("6240") {
+        CpuModel::gold_6240r()
+    } else {
+        panic!("unknown --model {name} (try silver-4110 or gold-6240r)")
+    }
+}
+
+/// Whole-pipeline joint `(v, s, p, f)` tuning (the co-residency model in
+/// `hef_core::pipeline`): per query, lower the star plan into a
+/// [`hef_core::PipelineSpec`] via one cheap stats run, tune each kernel
+/// family per-op on the simulator as the baseline composition, then run the
+/// joint search seeded from it. Results are persisted as registry v3
+/// pipeline rows in `results/tuned.txt` (keyed by plan fingerprint, for the
+/// first `--model`, default silver-4110), and the per-op vs joint configs
+/// are wall-clock measured into `results/bench_pipeline.json` with a trend
+/// diff against the previous archive.
+fn tune_pipeline(opts: &Opts) {
+    use hef_bench::pipeline::{joint_exec_config, per_op_exec_config, pipeline_spec};
+    use hef_bench::BenchSnapshot;
+    use hef_engine::{execute_star, ExecConfig};
+    use hef_testutil::bench::Group;
+
+    let (sf, note) = scale_for("small", opts);
+    let queries: Vec<QueryId> = match &opts.query {
+        Some(s) => {
+            vec![parse_query(s).unwrap_or_else(|| panic!("--query {s}: not an SSB query"))]
+        }
+        None => QueryId::ALL.to_vec(),
+    };
+    let models: Vec<CpuModel> = match &opts.model {
+        Some(m) => vec![model_by_name(m)],
+        None => vec![CpuModel::silver_4110(), CpuModel::gold_6240r()],
+    };
+    println!(
+        "\n=== whole-pipeline joint (v,s,p,f) tuning ({note}; {} queries × {} models) ===\n",
+        queries.len(),
+        models.len()
+    );
+    let data = gen_data(sf);
+
+    // Per-op simulated baselines, one registry per model: each family the
+    // SSB pipelines use, tuned in isolation — the composition the paper's
+    // per-op tuner would deploy, and the joint search's seed.
+    let spec_families =
+        [Family::Filter, Family::Probe, Family::Gather, Family::AggSum, Family::AggDot];
+    let seed_regs: Vec<Registry> = models
+        .iter()
+        .map(|model| {
+            let mut reg = Registry::default();
+            for family in spec_families {
+                reg.insert_tuned(&tune_simulated(family, model));
+            }
+            reg
+        })
+        .collect();
+
+    let mut t = TableWriter::new(vec![
+        "query", "model", "per-op ns/row", "joint ns/row", "gain %", "tested", "joint plan",
+    ]);
+    let mut strict = 0usize;
+    let mut dominated = 0usize;
+    let mut cases = 0usize;
+    // (query, plan, per-model entries) for persistence + measurement.
+    let mut tuned: Vec<(QueryId, hef_engine::StarPlan, hef_core::PipelineEntry)> = Vec::new();
+
+    for &q in &queries {
+        let plan = build_plan(&data, q);
+        // One stats run (scalar, single-threaded) yields the reach fractions
+        // and probe working sets the co-residency model weighs.
+        let out = execute_star(&plan, &data.lineorder, &ExecConfig::scalar().with_threads(1));
+        let spec = pipeline_spec(&plan, &out.stats);
+        let max_ws = spec.stages.iter().map(|s| s.working_set).max().unwrap_or(0);
+
+        for (model, seed) in models.iter().zip(&seed_regs) {
+            // The per-op baseline also gets its prefetch depth tuned in
+            // isolation, against this query's largest probe table.
+            let mut reg = seed.clone();
+            if max_ws > 0 {
+                reg.insert_tuned_probe(&hef_core::tune_probe_simulated(model, max_ws));
+            }
+            let per_op = hef_core::compose_per_op(model, &spec, &reg);
+            let per_op_cost = hef_core::pipeline_cost(model, &spec, &per_op);
+            let joint = hef_core::tune_pipeline_simulated(model, &spec, &reg);
+            let joint_cost = joint.outcome.best_cost;
+
+            cases += 1;
+            if joint_cost <= per_op_cost {
+                dominated += 1;
+            }
+            if joint_cost < per_op_cost * (1.0 - 1e-6) {
+                strict += 1;
+            }
+            t.row(vec![
+                q.name().to_string(),
+                model.name.to_string(),
+                format!("{per_op_cost:.3}"),
+                format!("{joint_cost:.3}"),
+                format!("{:.1}", (1.0 - joint_cost / per_op_cost) * 100.0),
+                joint.outcome.tested.len().to_string(),
+                joint.node.to_string(),
+            ]);
+            if model.name == models[0].name {
+                tuned.push((q, plan.clone(), joint.entry(&spec)));
+            }
+        }
+    }
+    t.print();
+    println!(
+        "\njoint ≤ per-op composition on {dominated}/{cases} (strictly better on {strict})"
+    );
+
+    // Persist registry v3: pipeline rows keyed by plan fingerprint, layered
+    // onto whatever per-op registry `repro tune` already wrote (the
+    // degradation ladder's lower rungs).
+    std::fs::create_dir_all("results").ok();
+    let path = std::path::Path::new("results/tuned.txt");
+    let mut reg = if path.is_file() {
+        Registry::load_degraded(path).0
+    } else {
+        Registry::with_host_provenance("this machine (repro tune-pipeline)")
+    };
+    for (_, plan, entry) in &tuned {
+        reg.insert_pipeline(plan.fingerprint(), entry.clone());
+    }
+    match reg.save(path) {
+        Ok(()) => println!(
+            "saved {} pipeline plan(s) [model {}] to {}; set HEF_PIPELINE={} to deploy them",
+            reg.pipelines_len(),
+            models[0].name,
+            path.display(),
+            path.display()
+        ),
+        Err(e) => eprintln!("warning: could not save {}: {e}", path.display()),
+    }
+
+    // Measured before/after on this machine: the per-op composition vs the
+    // joint plan, archived as a snapshot with a trend diff.
+    let samples = opts.repeats.max(3);
+    // Single-query (smoke) runs archive separately, so the committed
+    // full-sweep bench_pipeline.json only changes on full runs (same split
+    // as the probe bench's --smoke).
+    let mut snap =
+        BenchSnapshot::new(if opts.query.is_some() { "pipeline_smoke" } else { "pipeline" });
+    snap.config("sf", sf)
+        .config("model", &models[0].name)
+        .config("samples", samples)
+        .config("lineorder_rows", data.lineorder.len());
+    let rows = data.lineorder.len() as u64;
+    for (q, plan, entry) in &tuned {
+        let group = format!("pipeline_{}", q.name().replace('.', "_"));
+        let per_cfg = per_op_exec_config(&seed_regs[0]);
+        let joint_cfg = joint_exec_config(&seed_regs[0], entry);
+        let mut g = Group::new(group.clone()).throughput_elems(rows).samples(samples);
+        let s = g.bench("per_op", || {
+            execute_star(plan, &data.lineorder, &per_cfg);
+        });
+        snap.row(&group, "per_op", s, Some(rows));
+        let s = g.bench("joint", || {
+            execute_star(plan, &data.lineorder, &joint_cfg);
+        });
+        snap.row(&group, "joint", s, Some(rows));
+        g.finish();
+    }
+    match snap.compare_default() {
+        Some(report) => print!("{}", report.render()),
+        None => println!("compare: no archived baseline for `pipeline` yet"),
+    }
+    match snap.write_default() {
+        Ok(p) => println!("snapshot: {}", p.display()),
+        Err(e) => eprintln!("snapshot write failed: {e}"),
+    }
+}
+
 // ---------------------------------------------------------------- traced query
 
 /// `q21` / `Q2.1` / `21` → `QueryId::Q2_1`.
@@ -538,16 +736,59 @@ fn trace_report(path: &str) {
         report.thread_names.len(),
         report.dropped,
     );
-    // Aggregate spans by name: count + total self-exclusive-agnostic duration.
-    let mut agg: std::collections::BTreeMap<&str, (usize, f64)> = std::collections::BTreeMap::new();
+    // Aggregate spans by name: count, total (inclusive) duration, and
+    // *self* time — total minus the time spent in child spans nested inside
+    // (same thread, enclosed interval), so hot leaves stand out even when a
+    // parent span wraps the whole run.
+    let mut by_tid: std::collections::BTreeMap<u64, Vec<&hef_obs::check::SpanRec>> =
+        std::collections::BTreeMap::new();
     for s in &report.spans {
-        let e = agg.entry(s.name.as_str()).or_insert((0, 0.0));
-        e.0 += 1;
-        e.1 += s.dur_us;
+        by_tid.entry(s.tid).or_default().push(s);
     }
-    let mut t = TableWriter::new(vec!["span", "count", "total ms"]);
-    for (name, (count, us)) in agg {
-        t.row(vec![name.to_string(), count.to_string(), f2(us / 1e3)]);
+    let mut agg: std::collections::BTreeMap<&str, (usize, f64, f64)> =
+        std::collections::BTreeMap::new();
+    for spans in by_tid.values_mut() {
+        // Sort by start (longer span first on ties, so parents precede
+        // their children) and walk a nesting stack: when a span starts
+        // after the top of the stack ended, that frame is closed.
+        spans.sort_by(|a, b| {
+            a.ts_us
+                .partial_cmp(&b.ts_us)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.dur_us.partial_cmp(&a.dur_us).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        // (span, child_sum_us) frames.
+        let mut stack: Vec<(&hef_obs::check::SpanRec, f64)> = Vec::new();
+        for s in spans.iter() {
+            while let Some(&(top, child_sum)) = stack.last() {
+                if top.ts_us + top.dur_us <= s.ts_us {
+                    let e = agg.entry(top.name.as_str()).or_insert((0, 0.0, 0.0));
+                    e.0 += 1;
+                    e.1 += top.dur_us;
+                    e.2 += (top.dur_us - child_sum).max(0.0);
+                    stack.pop();
+                    if let Some(parent) = stack.last_mut() {
+                        parent.1 += top.dur_us;
+                    }
+                } else {
+                    break;
+                }
+            }
+            stack.push((s, 0.0));
+        }
+        while let Some((top, child_sum)) = stack.pop() {
+            let e = agg.entry(top.name.as_str()).or_insert((0, 0.0, 0.0));
+            e.0 += 1;
+            e.1 += top.dur_us;
+            e.2 += (top.dur_us - child_sum).max(0.0);
+            if let Some(parent) = stack.last_mut() {
+                parent.1 += top.dur_us;
+            }
+        }
+    }
+    let mut t = TableWriter::new(vec!["span", "count", "total ms", "self ms"]);
+    for (name, (count, us, self_us)) in agg {
+        t.row(vec![name.to_string(), count.to_string(), f2(us / 1e3), f2(self_us / 1e3)]);
     }
     t.print();
     for (tid, name) in &report.thread_names {
@@ -673,6 +914,7 @@ fn main() {
         "ablation-bloom" => ablation_bloom(&opts),
         "ablation-dynamic" => ablation_dynamic(&opts),
         "tune" => tune(&opts),
+        "tune-pipeline" => tune_pipeline(&opts),
         "all" => {
             for f in ["fig8", "fig9", "fig10"] {
                 ssb_figure(f, match f { "fig8" => "small", "fig9" => "medium", _ => "large" }, &opts);
@@ -700,6 +942,7 @@ fn main() {
                 println!("usage: repro <experiment> [--sf f] [--n elems] [--repeats k] [--trace file]");
                 println!("experiments: fig8 fig9 fig10 table3..table9 fig11..fig14");
                 println!("             ablation-search ablation-pack ablation-bloom ablation-dynamic tune all");
+                println!("             tune-pipeline [--query qNN] [--model silver-4110|gold-6240r]");
                 println!("             qNN (traced single query, e.g. q21)   report <trace.json>");
                 println!("             plan <file.plan | qNN> (logical plan: optimize, lower, execute)");
             }

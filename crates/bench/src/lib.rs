@@ -14,11 +14,13 @@
 pub mod config;
 pub mod counters;
 pub mod measure;
+pub mod pipeline;
 pub mod report;
 pub mod snapshot;
 
 pub use config::{exec_config, tuned_hybrid};
 pub use counters::{model_kernel, model_query, QueryCounters};
 pub use measure::{measure_kernel, measure_query, Measured};
+pub use pipeline::{joint_exec_config, per_op_exec_config, pipeline_spec};
 pub use report::TableWriter;
 pub use snapshot::BenchSnapshot;

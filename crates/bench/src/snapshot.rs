@@ -10,6 +10,7 @@
 //!
 //! ```json
 //! {
+//!   "schema_version": 2,
 //!   "bench": "probe",
 //!   "config": { "nkeys": "262144", ... },
 //!   "rows": [ { "group": "...", "label": "...", "median_s": 1e-3,
@@ -19,11 +20,22 @@
 //!   "counters": { "kernel.probe_prefetched_keys": 123, ... }
 //! }
 //! ```
+//!
+//! Versioning contract: `schema_version` bumps when a *reader-visible*
+//! meaning changes (never for added keys); readers — [`compare_with_archive`]
+//! included — must tolerate unknown keys, so v1 files (no `schema_version`)
+//! and future files with extra fields both load.
+//!
+//! [`compare_with_archive`]: BenchSnapshot::compare_with_archive
 
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
+use hef_obs::check::{parse_json, Json};
 use hef_testutil::Stats;
+
+/// Current snapshot schema version (see the module doc for the contract).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One recorded bench row: a [`Stats`] plus its group/label coordinates.
 #[derive(Debug, Clone)]
@@ -72,6 +84,11 @@ impl BenchSnapshot {
         BenchSnapshot { name: name.into(), config: Vec::new(), rows: Vec::new(), derived: Vec::new() }
     }
 
+    /// The snapshot's name (the `bench_<name>.json` stem).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
     /// Record a config key (workload size, mode flags, axis values…).
     pub fn config(&mut self, key: &str, value: impl ToString) -> &mut Self {
         self.config.push((key.to_string(), value.to_string()));
@@ -100,6 +117,7 @@ impl BenchSnapshot {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
+        s.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
         s.push_str(&format!("  \"bench\": \"{}\",\n", esc(&self.name)));
         s.push_str("  \"config\": {");
         for (i, (k, v)) in self.config.iter().enumerate() {
@@ -166,6 +184,84 @@ impl BenchSnapshot {
         Ok(path)
     }
 
+    /// Diff this (not-yet-written) snapshot against the newest archived
+    /// `results/bench_<name>.json` under `root`. Returns `None` when no
+    /// archive exists or it does not parse — regression tracking is advisory
+    /// and must never fail a run. Call *before* [`BenchSnapshot::write_under`]
+    /// overwrites the archive.
+    pub fn compare_with_archive(&self, root: &Path) -> Option<CompareReport> {
+        let path = root.join("results").join(format!("bench_{}.json", self.name));
+        let text = std::fs::read_to_string(&path).ok()?;
+        let doc = parse_json(&text).ok()?;
+        // Unknown keys (including a missing or future `schema_version`) are
+        // ignored by construction: only `rows` is consulted.
+        let old_rows = doc.get("rows")?.as_arr()?;
+        let mut report = CompareReport { baseline: path, rows: Vec::new(), added: 0, missing: 0 };
+        for r in &self.rows {
+            let old = old_rows.iter().find(|o| {
+                o.get("group").and_then(Json::as_str) == Some(r.group.as_str())
+                    && o.get("label").and_then(Json::as_str) == Some(r.label.as_str())
+            });
+            let Some(old) = old else {
+                report.added += 1;
+                continue;
+            };
+            let (Some(old_median), Some(old_mad)) = (
+                old.get("median_s").and_then(Json::as_f64),
+                old.get("mad_s").and_then(Json::as_f64),
+            ) else {
+                report.added += 1;
+                continue;
+            };
+            let new_median = r.stats.median;
+            // Significance: the medians moved by more than the runs' summed
+            // noise scales (3·MAD each) — the same robust statistics the
+            // bench harness reports.
+            let noise = 3.0 * (old_mad + r.stats.mad);
+            report.rows.push(RowDelta {
+                group: r.group.clone(),
+                label: r.label.clone(),
+                old_median_s: old_median,
+                new_median_s: new_median,
+                delta_frac: if old_median > 0.0 {
+                    (new_median - old_median) / old_median
+                } else {
+                    0.0
+                },
+                significant: (new_median - old_median).abs() > noise,
+            });
+        }
+        report.missing = old_rows
+            .iter()
+            .filter(|o| {
+                let (g, l) = (
+                    o.get("group").and_then(Json::as_str),
+                    o.get("label").and_then(Json::as_str),
+                );
+                match (g, l) {
+                    (Some(g), Some(l)) => {
+                        !self.rows.iter().any(|r| r.group == g && r.label == l)
+                    }
+                    _ => false,
+                }
+            })
+            .count();
+        Some(report)
+    }
+
+    /// [`BenchSnapshot::compare_with_archive`] against the same workspace
+    /// root [`BenchSnapshot::write_default`] writes under — the usual
+    /// pairing: compare first, then write (which replaces the baseline).
+    pub fn compare_default(&self) -> Option<CompareReport> {
+        let cwd = std::env::current_dir().ok()?;
+        let root = cwd
+            .ancestors()
+            .find(|d| d.join("Cargo.lock").is_file())
+            .unwrap_or(&cwd)
+            .to_path_buf();
+        self.compare_with_archive(&root)
+    }
+
     /// Write under the workspace root, so snapshots land in
     /// `<repo>/results/` next to `repro`'s outputs regardless of the
     /// caller's working directory (cargo runs benches with the *package*
@@ -179,6 +275,72 @@ impl BenchSnapshot {
             .find(|d| d.join("Cargo.lock").is_file())
             .unwrap_or(&cwd);
         self.write_under(root)
+    }
+}
+
+/// One per-kernel trend row of a [`CompareReport`].
+#[derive(Debug, Clone)]
+pub struct RowDelta {
+    pub group: String,
+    pub label: String,
+    pub old_median_s: f64,
+    pub new_median_s: f64,
+    /// `(new - old) / old`; positive = slower.
+    pub delta_frac: f64,
+    /// The shift exceeds `3·(mad_old + mad_new)` — likely real, not noise.
+    pub significant: bool,
+}
+
+/// The result of diffing a run against its archived baseline.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// The archive the run was compared against.
+    pub baseline: PathBuf,
+    /// Matched rows, in the current run's order.
+    pub rows: Vec<RowDelta>,
+    /// Rows in this run with no archived counterpart.
+    pub added: usize,
+    /// Archived rows this run no longer produces.
+    pub missing: usize,
+}
+
+impl CompareReport {
+    /// Rows flagged significant, worst regression first.
+    pub fn significant(&self) -> Vec<&RowDelta> {
+        let mut v: Vec<&RowDelta> = self.rows.iter().filter(|r| r.significant).collect();
+        v.sort_by(|a, b| b.delta_frac.total_cmp(&a.delta_frac));
+        v
+    }
+
+    /// Render the per-kernel trend table.
+    pub fn render(&self) -> String {
+        let mut t = crate::report::TableWriter::new(vec![
+            "group", "label", "old ms", "new ms", "delta", "verdict",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.group.clone(),
+                r.label.clone(),
+                format!("{:.3}", r.old_median_s * 1e3),
+                format!("{:.3}", r.new_median_s * 1e3),
+                format!("{:+.1}%", r.delta_frac * 100.0),
+                if !r.significant {
+                    "~noise".to_string()
+                } else if r.delta_frac > 0.0 {
+                    "SLOWER".to_string()
+                } else {
+                    "faster".to_string()
+                },
+            ]);
+        }
+        let mut s = format!("baseline: {}\n{}", self.baseline.display(), t.render());
+        if self.added + self.missing > 0 {
+            s.push_str(&format!(
+                "(rows vs baseline: {} added, {} missing)\n",
+                self.added, self.missing
+            ));
+        }
+        s
     }
 }
 
@@ -211,6 +373,63 @@ mod tests {
         assert_eq!(derived.get("speedup").and_then(|j| j.as_f64()), Some(1.5));
         assert_eq!(derived.get("nan_becomes_null"), Some(&hef_obs::check::Json::Null));
         assert!(doc.get("counters").is_some());
+    }
+
+    #[test]
+    fn schema_version_is_written_and_unknown_keys_are_tolerated() {
+        let snap = BenchSnapshot::new("vers");
+        let doc = parse_json(&snap.to_json()).expect("valid json");
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_f64),
+            Some(SCHEMA_VERSION as f64)
+        );
+
+        // A future document with keys this reader has never heard of (and a
+        // bumped version) still loads and compares.
+        let dir = std::env::temp_dir().join(format!("hef_snap_fwd_{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("results")).unwrap();
+        std::fs::write(
+            dir.join("results/bench_vers.json"),
+            r#"{"schema_version": 99, "bench": "vers", "novel_top_level": {"x": 1},
+                "rows": [{"group": "g", "label": "l", "median_s": 1e-3,
+                          "mad_s": 1e-6, "min_s": 9e-4, "samples": 5,
+                          "novel_row_key": "ignored"}]}"#,
+        )
+        .unwrap();
+        let mut snap = BenchSnapshot::new("vers");
+        snap.row("g", "l", summarize(&mut [1e-3, 1e-3, 1e-3]), None);
+        let report = snap.compare_with_archive(&dir).expect("archive parses");
+        assert_eq!(report.rows.len(), 1);
+        assert!(!report.rows[0].significant, "identical medians are not a shift");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compare_flags_real_shifts_and_counts_membership_changes() {
+        let dir = std::env::temp_dir().join(format!("hef_snap_cmp_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Archive: two rows with tight MAD.
+        let mut old = BenchSnapshot::new("cmp");
+        old.row("k", "stable", summarize(&mut [1e-3, 1.001e-3, 0.999e-3]), None);
+        old.row("k", "gone", summarize(&mut [1e-3, 1e-3, 1e-3]), None);
+        old.write_under(&dir).unwrap();
+
+        // Current run: `stable` doubled (significant), `fresh` is new.
+        let mut new = BenchSnapshot::new("cmp");
+        new.row("k", "stable", summarize(&mut [2e-3, 2.001e-3, 1.999e-3]), None);
+        new.row("k", "fresh", summarize(&mut [1e-3, 1e-3, 1e-3]), None);
+        let report = new.compare_with_archive(&dir).expect("baseline exists");
+        assert_eq!(report.rows.len(), 1);
+        let d = &report.rows[0];
+        assert!(d.significant && d.delta_frac > 0.9, "{d:?}");
+        assert_eq!((report.added, report.missing), (1, 1));
+        assert_eq!(report.significant().len(), 1);
+        let table = report.render();
+        assert!(table.contains("SLOWER") && table.contains("added"), "{table}");
+
+        // No baseline → None, never an error.
+        assert!(BenchSnapshot::new("nope").compare_with_archive(&dir).is_none());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -24,6 +24,7 @@
 pub mod dynamic;
 pub mod ops;
 pub mod parallel;
+pub mod pipeline_plan;
 pub mod plan;
 pub mod star;
 pub mod voila;
@@ -35,6 +36,7 @@ pub use ops::{gather_keys, grouped_accumulate};
 pub use parallel::{
     execute_star_parallel, resolve_threads, try_execute_star_parallel, ExecError, ExecReport,
 };
+pub use pipeline_plan::apply_pipeline_entry;
 pub use plan::{
     lower, optimize, parse_plan, render_plan, Catalog, GroupBy, JoinBuilder, JoinSpec, KeyExpr,
     LogicalPlan, Node, OptReport, PlanBuilder, PlanError, Pred,

@@ -1,0 +1,305 @@
+//! Per-query pipeline plans: stable plan fingerprints and `HEF_PIPELINE`
+//! resolution.
+//!
+//! The whole-pipeline joint tuner (`hef_core::pipeline`) persists its
+//! results as registry v3 rows keyed by a **plan fingerprint** — a hash of
+//! the query's *structure* (filters, join chain, measure, group strides),
+//! deliberately excluding anything scale-dependent (table sizes, row
+//! counts) so a plan tuned at one scale factor resolves at every other.
+//!
+//! At execution time, `HEF_PIPELINE=<registry file>` makes
+//! [`crate::try_execute_star`] look the executing plan's fingerprint up in
+//! that file and overlay the matching joint configuration onto the caller's
+//! [`ExecConfig`]. The lookup degrades, never fails: an unreadable or torn
+//! file, a missing row, or a stale-ISA registry all leave the caller's
+//! config (typically per-op tuned via `HEF_REGISTRY`) untouched — one rung
+//! down the ladder, identical results either way. Explicit `HEF_PREFETCH` /
+//! `HEF_PARTITION` overrides are applied *after* the pipeline row, so they
+//! still win.
+
+use std::path::Path;
+use std::sync::Mutex;
+
+use hef_core::{PipelineEntry, Registry};
+use hef_kernels::Family;
+
+use crate::star::{ExecConfig, Measure, StarPlan};
+
+/// FNV-1a, hand-rolled so the fingerprint is stable across Rust releases
+/// (`DefaultHasher` documents no such stability) — these hashes live in
+/// registry files that outlive the binary that wrote them.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+        // Delimit, so ("ab","c") and ("a","bc") hash apart.
+        self.bytes(&[0xff]);
+    }
+
+    fn num(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+}
+
+impl StarPlan {
+    /// Stable structural fingerprint, the registry v3 row key.
+    ///
+    /// Covers the query name and everything that shapes the lowered
+    /// pipeline — filter columns and bounds, the join chain (fk column,
+    /// dimension name, group count, probe order), the measure, and the
+    /// group-id strides. Excludes probe-table contents and sizes: the same
+    /// query at a different scale factor keeps its fingerprint, so one
+    /// tuned registry serves every data size.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.str(&self.name);
+        h.num(self.filters.len() as u64);
+        for f in &self.filters {
+            h.str(&f.col);
+            h.num(f.lo);
+            h.num(f.hi);
+        }
+        h.num(self.dims.len() as u64);
+        for d in &self.dims {
+            h.str(&d.fk_col);
+            h.str(&d.name);
+            h.num(d.groups as u64);
+        }
+        match &self.measure {
+            Measure::Sum(a) => {
+                h.num(1);
+                h.str(a);
+            }
+            Measure::SumProduct(a, b) => {
+                h.num(2);
+                h.str(a);
+                h.str(b);
+            }
+            Measure::SumDiff(a, b) => {
+                h.num(3);
+                h.str(a);
+                h.str(b);
+            }
+        }
+        for s in self.gid_strides() {
+            h.num(s);
+        }
+        h.0
+    }
+}
+
+/// Overlay a registry v3 pipeline row onto an execution config: each stage's
+/// node lands on the kernel-family slot the pipeline dispatches (bloom
+/// checks ride the probe slot they guard), and the row's shared prefetch
+/// depth replaces the per-op one. Stage families with no `ExecConfig` slot
+/// (the hash micro-kernels) are ignored.
+pub fn apply_pipeline_entry(mut cfg: ExecConfig, entry: &PipelineEntry) -> ExecConfig {
+    for &(family, node) in &entry.stages {
+        match family {
+            Family::Filter => cfg.filter = node,
+            Family::Probe | Family::BloomCheck => cfg.probe = node,
+            Family::Gather => cfg.gather = node,
+            Family::AggSum | Family::AggDot => cfg.agg = node,
+            Family::Murmur | Family::Crc64 => {}
+        }
+    }
+    cfg.probe_prefetch = entry.f;
+    cfg
+}
+
+/// One-slot cache of the last `HEF_PIPELINE` registry, keyed by path. The
+/// env var is re-read per execution (like `HEF_PREFETCH`), but the file is
+/// only re-parsed when the path changes — repeat queries pay one load.
+static PIPELINE_CACHE: Mutex<Option<(String, Registry)>> = Mutex::new(None);
+
+/// Resolve the `HEF_PIPELINE` override for `plan`: when the variable names
+/// a registry file containing a v3 row for the plan's fingerprint, return
+/// `cfg` with that row applied; otherwise return `cfg` unchanged. Load
+/// failures go through the registry degradation ladder (lenient parse,
+/// stale-ISA clearing), so a damaged file costs the pipeline row, never the
+/// query.
+pub(crate) fn resolve_pipeline_env(plan: &StarPlan, cfg: ExecConfig) -> ExecConfig {
+    let Ok(path) = std::env::var("HEF_PIPELINE") else {
+        return cfg;
+    };
+    let path = path.trim();
+    if path.is_empty() {
+        return cfg;
+    }
+    let mut cache = PIPELINE_CACHE.lock().unwrap_or_else(|e| e.into_inner());
+    let fresh = !matches!(&*cache, Some((p, _)) if p == path);
+    if fresh {
+        let (reg, report) = Registry::load_degraded(Path::new(path));
+        if !report.issues.is_empty() {
+            hef_obs::diag::warn_once(
+                "pipeline-registry-issues",
+                format!(
+                    "HEF_PIPELINE={path}: {} issue(s) degraded during load",
+                    report.issues.len()
+                ),
+            );
+        }
+        *cache = Some((path.to_string(), reg));
+    }
+    match &*cache {
+        Some((_, reg)) => match reg.get_pipeline(plan.fingerprint()) {
+            Some(entry) => apply_pipeline_entry(cfg, entry),
+            None => cfg,
+        },
+        None => cfg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::star::{build_dimension, RangeFilter};
+    use hef_kernels::HybridConfig;
+    use hef_storage::{Column, Table};
+
+    fn toy_plan() -> (Table, StarPlan) {
+        let n = 4096u64;
+        let mut fact = Table::new("fact");
+        fact.add_column(Column::new("fk", (0..n).map(|i| i % 64).collect()));
+        fact.add_column(Column::new("rev", (0..n).map(|i| i % 7 + 1).collect()));
+        let mut dim = Table::new("dim");
+        dim.add_column(Column::new("key", (0..64).collect()));
+        let d = build_dimension(
+            &dim,
+            "key",
+            |r| dim.col("key")[r] < 48,
+            |r| dim.col("key")[r] % 4,
+            4,
+            "fk",
+        );
+        let plan = StarPlan {
+            name: "toy".into(),
+            filters: vec![RangeFilter { col: "rev".into(), lo: 1, hi: 6 }],
+            dims: vec![d],
+            measure: Measure::Sum("rev".into()),
+            strides: vec![],
+        };
+        (fact, plan)
+    }
+
+    #[test]
+    fn fingerprint_is_structural_and_scale_stable() {
+        let (_, plan) = toy_plan();
+        let fp = plan.fingerprint();
+        assert_eq!(fp, plan.fingerprint(), "deterministic");
+
+        // A rebuilt plan with a *bigger* dimension table but identical
+        // structure keeps the fingerprint.
+        let mut dim = Table::new("dim");
+        dim.add_column(Column::new("key", (0..256).collect()));
+        let d = build_dimension(
+            &dim,
+            "key",
+            |r| dim.col("key")[r] < 48,
+            |r| dim.col("key")[r] % 4,
+            4,
+            "fk",
+        );
+        let scaled = StarPlan { dims: vec![d], ..plan.clone() };
+        assert_eq!(scaled.fingerprint(), fp, "table size must not matter");
+
+        // Any structural change moves it.
+        let mut renamed = plan.clone();
+        renamed.name = "toy2".into();
+        assert_ne!(renamed.fingerprint(), fp);
+        let mut refiltered = plan.clone();
+        refiltered.filters[0].hi = 5;
+        assert_ne!(refiltered.fingerprint(), fp);
+        let mut remeasured = plan.clone();
+        remeasured.measure = Measure::SumProduct("rev".into(), "rev".into());
+        assert_ne!(remeasured.fingerprint(), fp);
+    }
+
+    #[test]
+    fn entry_overlays_family_slots_and_depth() {
+        let base = ExecConfig::hybrid_default();
+        let entry = PipelineEntry {
+            stages: vec![
+                (Family::Filter, HybridConfig::new(2, 2, 2)),
+                (Family::Probe, HybridConfig::new(4, 0, 1)),
+                (Family::Gather, HybridConfig::new(0, 2, 1)),
+                (Family::AggSum, HybridConfig::new(1, 3, 1)),
+            ],
+            f: 32,
+        };
+        let cfg = apply_pipeline_entry(base, &entry);
+        assert_eq!(cfg.filter, HybridConfig::new(2, 2, 2));
+        assert_eq!(cfg.probe, HybridConfig::new(4, 0, 1));
+        assert_eq!(cfg.gather, HybridConfig::new(0, 2, 1));
+        assert_eq!(cfg.agg, HybridConfig::new(1, 3, 1));
+        assert_eq!(cfg.probe_prefetch, 32);
+        // Untouched knobs survive the overlay.
+        assert_eq!(cfg.batch, base.batch);
+        assert_eq!(cfg.use_bloom, base.use_bloom);
+    }
+
+    #[test]
+    fn hef_pipeline_resolves_and_damaged_files_degrade() {
+        let (fact, plan) = toy_plan();
+        let dir = std::env::temp_dir().join(format!("hef-pipe-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tuned.txt");
+
+        let mut reg = Registry::default();
+        reg.insert_pipeline(
+            plan.fingerprint(),
+            PipelineEntry {
+                stages: vec![
+                    (Family::Filter, HybridConfig::new(2, 2, 2)),
+                    (Family::Probe, HybridConfig::new(1, 1, 3)),
+                ],
+                f: 8,
+            },
+        );
+        reg.save(&path).unwrap();
+
+        let base = ExecConfig::hybrid_default();
+        std::env::set_var("HEF_PIPELINE", &path);
+        let resolved = resolve_pipeline_env(&plan, base);
+        assert_eq!(resolved.filter, HybridConfig::new(2, 2, 2));
+        assert_eq!(resolved.probe_prefetch, 8);
+
+        // A plan without a row keeps the caller's config.
+        let mut other = plan.clone();
+        other.name = "other".into();
+        let kept = resolve_pipeline_env(&other, base);
+        assert_eq!(kept.filter, base.filter);
+        assert_eq!(kept.probe_prefetch, base.probe_prefetch);
+
+        // End to end: the pipeline-configured run is bit-identical to the
+        // unconfigured one (grid nodes only change speed, never results).
+        let with = crate::execute_star(&plan, &fact, &base.with_threads(1));
+        std::env::remove_var("HEF_PIPELINE");
+        let without = crate::execute_star(&plan, &fact, &base.with_threads(1));
+        assert_eq!(with, without);
+
+        // Truncate the file mid-row: the ladder drops the torn row and the
+        // caller's config survives untouched.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.rfind("probe").map(|i| i + 3).unwrap_or(text.len());
+        let torn = dir.join("torn.txt");
+        std::fs::write(&torn, &text[..cut]).unwrap();
+        std::env::set_var("HEF_PIPELINE", &torn);
+        let degraded = resolve_pipeline_env(&plan, base);
+        assert_eq!(degraded.filter, base.filter);
+        assert_eq!(degraded.probe_prefetch, base.probe_prefetch);
+        std::env::remove_var("HEF_PIPELINE");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -458,7 +458,10 @@ pub fn try_execute_star(
     cfg: &ExecConfig,
 ) -> Result<(QueryOutput, crate::parallel::ExecReport), crate::parallel::ExecError> {
     validate_star_plan(plan, fact)?;
-    let cfg = &cfg.resolved_from_env();
+    // Overlay a tuned per-query pipeline plan (registry v3 via
+    // `HEF_PIPELINE`) first, then the explicit per-knob env overrides, so
+    // `HEF_PREFETCH`/`HEF_PARTITION` still win over the joint plan.
+    let cfg = &crate::pipeline_plan::resolve_pipeline_env(plan, *cfg).resolved_from_env();
     let threads = crate::parallel::resolve_threads(cfg.threads);
     let _qspan = if hef_obs::trace::enabled() {
         hef_obs::trace::span_begin_labeled(

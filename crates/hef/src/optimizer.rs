@@ -52,7 +52,7 @@ impl SearchOutcome {
     }
 }
 
-fn axis_neighbors(x: usize, axis: &[usize]) -> Option<Vec<usize>> {
+pub(crate) fn axis_neighbors(x: usize, axis: &[usize]) -> Option<Vec<usize>> {
     let i = axis.iter().position(|&a| a == x)?;
     let mut out = Vec::new();
     if i > 0 {
@@ -132,7 +132,7 @@ fn median_of_3(sample: &mut dyn FnMut() -> f64, first: f64) -> f64 {
 ///
 /// Node-agnostic (the node is baked into `sample`), so the `(v,s,p)` and
 /// `(v,s,p,f)` searches share one measurement policy.
-fn robust_cost(
+pub(crate) fn robust_cost(
     sample: &mut dyn FnMut() -> f64,
     reference: Option<f64>,
     running_best: f64,

@@ -1,0 +1,662 @@
+//! Whole-pipeline joint `(v, s, p, f)` tuning.
+//!
+//! The per-family tuner prices each operator in isolation, but a star-query
+//! pipeline runs its operators *co-resident*: one fused loop nest shares
+//! issue ports, architectural registers, and line-fill buffers across the
+//! filter → probe → gather → aggregate chain. Per-operator optima are not
+//! pipeline optima — the same argument goSLP makes against greedy local SLP
+//! decisions. This module searches the joint configuration space of a whole
+//! pipeline with the same Algorithm-2 machinery (min-cost-first expansion,
+//! winner/loser classification, monotone pruning) over a cost model that
+//! prices the *interactions*:
+//!
+//! * **Port pressure** — the stages' µop traces are concatenated (weighted
+//!   by the fraction of fact rows each stage sees) into one steady-state
+//!   body and scheduled together by the `hef-uarch` port simulator, so a
+//!   stage that saturates a port slows every co-resident stage.
+//! * **Register budget** — adjacent stages live in the same loop body, so
+//!   their register demands add; packs deep enough to spill pay a
+//!   store+reload penalty per element (§IV.A's register rule, applied
+//!   pairwise instead of per-operator).
+//! * **LFB occupancy** — random-probe stages prefetch into the same
+//!   line-fill buffers the streaming stages occupy, so the effective MLP
+//!   cap shrinks with the number of co-resident column streams
+//!   ([`hef_uarch::CacheSim::shared_mlp`]).
+//!
+//! The search is seeded with the per-op composition (registry entries, then
+//! analytic candidates), so its result is **never worse than the per-op
+//! composition under the same model** — the joint tuner can only move away
+//! from the seed when doing so lowers the joint cost.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use hef_kernels::{all_configs, Family, HybridConfig, F_AXIS};
+use hef_uarch::{AccessPattern, CacheSim, CpuModel, LoopBody};
+
+use crate::candidate::{initial_candidate, seed_prefetch, snap, snap_to_axis};
+use crate::error::HefError;
+use crate::optimizer::{axis_neighbors, robust_cost, try_neighbors, SpikedCost};
+use crate::registry::{PipelineEntry, Registry};
+use crate::templates;
+use crate::translate::to_loop_body;
+
+/// One operator stage of a lowered pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineStage {
+    /// The kernel family executing this stage.
+    pub family: Family,
+    /// Fraction of fact rows reaching this stage (selectivity of everything
+    /// upstream); weights the stage's share of the joint cost.
+    pub weight: f64,
+    /// Bytes of randomly probed state (hash table, bloom words); `0` for
+    /// purely streaming stages.
+    pub working_set: u64,
+}
+
+impl PipelineStage {
+    pub fn new(family: Family, weight: f64, working_set: u64) -> Self {
+        PipelineStage { family, weight: weight.max(0.0), working_set }
+    }
+}
+
+/// A whole lowered pipeline: the operator chain plus the memory context it
+/// runs in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineSpec {
+    /// Stages in pipeline order.
+    pub stages: Vec<PipelineStage>,
+    /// Concurrent sequential column streams (filter columns, fk takes,
+    /// measure columns): each occupies line-fill buffers the probe
+    /// prefetches cannot use.
+    pub streams: usize,
+}
+
+/// A joint search node: one hybrid shape per stage plus the shared
+/// software-prefetch depth.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PipelineNode {
+    pub cfgs: Vec<HybridConfig>,
+    pub f: usize,
+}
+
+impl fmt::Display for PipelineNode {
+    fn fmt(&self, w: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.cfgs.iter().enumerate() {
+            if i > 0 {
+                write!(w, "|")?;
+            }
+            write!(w, "{},{},{}", c.v, c.s, c.p)?;
+        }
+        write!(w, "|f{}", self.f)
+    }
+}
+
+/// Something that can price a joint pipeline node (lower is better).
+pub trait PipelineCostEvaluator {
+    fn pipeline_cost(&mut self, node: &PipelineNode) -> f64;
+}
+
+impl<E: PipelineCostEvaluator> PipelineCostEvaluator for SpikedCost<E> {
+    fn pipeline_cost(&mut self, node: &PipelineNode) -> f64 {
+        let c = self.inner.pipeline_cost(node);
+        match hef_testutil::fault::next_cost_spike() {
+            Some(factor) => c * factor,
+            None => c,
+        }
+    }
+}
+
+/// The result of a joint pipeline search.
+#[derive(Debug, Clone)]
+pub struct PipelineSearchOutcome {
+    pub best: PipelineNode,
+    pub best_cost: f64,
+    pub tested: Vec<(PipelineNode, f64)>,
+    pub end_list: Vec<PipelineNode>,
+}
+
+/// Register demand of one stage at `cfg`: §IV.A's rule (3 registers per
+/// scalar statement, `argc` per SIMD statement) times the pack depth.
+pub fn register_demand(template: &crate::ir::OperatorTemplate, cfg: HybridConfig) -> usize {
+    let argc = template.max_argc().max(1);
+    cfg.p * (3 * cfg.s).max(argc * cfg.v)
+}
+
+/// Architectural register count the pairwise spill rule budgets against.
+const REG_BUDGET: usize = 32;
+
+/// Cycles per element per spilled register (one store + one reload).
+const SPILL_CYCLES: f64 = 2.0;
+
+/// Elements priced per miss-model batch (integer miss counts would truncate
+/// per-element expectations to zero).
+const BATCH: u64 = 4096;
+
+/// Prices a joint node by composing the stages' µop traces into one
+/// co-resident steady-state body and simulating it on a CPU model, plus the
+/// shared-LFB memory term and the pairwise register-spill penalty. Unit:
+/// nanoseconds per fact row, so nodes with different steps are comparable
+/// and stage costs are additive.
+pub struct SimulatedPipelineCost<'a> {
+    pub model: &'a CpuModel,
+    pub spec: &'a PipelineSpec,
+    /// Steady-state iterations to simulate.
+    pub iterations: usize,
+}
+
+impl<'a> SimulatedPipelineCost<'a> {
+    pub fn new(model: &'a CpuModel, spec: &'a PipelineSpec) -> Self {
+        SimulatedPipelineCost { model, spec, iterations: 8 }
+    }
+}
+
+impl PipelineCostEvaluator for SimulatedPipelineCost<'_> {
+    fn pipeline_cost(&mut self, node: &PipelineNode) -> f64 {
+        if node.cfgs.len() != self.spec.stages.len() || self.spec.stages.is_empty() {
+            return f64::INFINITY;
+        }
+        let stages = &self.spec.stages;
+        let temps: Vec<_> =
+            stages.iter().map(|s| templates::for_family(s.family)).collect();
+        let bodies: Vec<LoopBody> = temps
+            .iter()
+            .zip(&node.cfgs)
+            .map(|(t, &cfg)| to_loop_body(t, cfg))
+            .collect();
+
+        // Co-resident compute term: replicate each stage's body in
+        // proportion to the elements it processes per fact row and schedule
+        // the concatenation as one loop. `elems` is the fact-row count one
+        // combined iteration stands for — twice the widest stage's step, so
+        // every full-weight stage contributes at least two body copies.
+        let max_step = node.cfgs.iter().map(|c| c.step()).max().unwrap_or(1);
+        let elems = (2 * max_step) as f64;
+        let mut combined = LoopBody::new();
+        // Stage elements a combined iteration underrepresents (weights too
+        // small for one body copy) — charged analytically below.
+        let mut analytic = Vec::new();
+        for (i, stage) in stages.iter().enumerate() {
+            let step = node.cfgs[i].step() as f64;
+            let reps = (stage.weight * elems / step).round() as usize;
+            if reps == 0 {
+                analytic.push(i);
+                continue;
+            }
+            for _ in 0..reps {
+                combined.append(&bodies[i]);
+            }
+        }
+        let mut ns_per_row = 0.0;
+        let ghz = if combined.is_empty() {
+            hef_uarch::freq::frequency_ghz(self.model, &bodies[0])
+        } else {
+            let r = hef_uarch::simulate(self.model, &combined, self.iterations);
+            hef_obs::metrics::add(hef_obs::metrics::Metric::SimRuns, 1);
+            hef_obs::metrics::add(hef_obs::metrics::Metric::SimCycles, r.cycles);
+            let ghz = hef_uarch::freq::frequency_ghz(self.model, &combined);
+            ns_per_row += r.cycles as f64 / self.iterations as f64 / ghz / elems;
+            ghz
+        };
+        for &i in &analytic {
+            // Solo per-element cost, weighted by the elements per fact row.
+            let r = hef_uarch::simulate(self.model, &bodies[i], self.iterations);
+            hef_obs::metrics::add(hef_obs::metrics::Metric::SimRuns, 1);
+            hef_obs::metrics::add(hef_obs::metrics::Metric::SimCycles, r.cycles);
+            let per_elem =
+                r.cycles as f64 / (node.cfgs[i].step() * self.iterations) as f64 / ghz;
+            ns_per_row += stages[i].weight * per_elem;
+        }
+
+        // Shared-LFB memory term: each random-probe stage's misses are
+        // hidden at the MLP left over after the pipeline's column streams
+        // claim their line-fill buffers.
+        let cache = CacheSim::new(self.model);
+        for stage in stages {
+            if stage.working_set == 0 || stage.weight <= 0.0 {
+                continue;
+            }
+            let misses = cache.misses(AccessPattern::RandomProbe {
+                count: BATCH,
+                working_set: stage.working_set,
+            });
+            let stall = cache.coresident_stall_cycles(&misses, node.f, self.spec.streams);
+            ns_per_row += stage.weight * (stall as f64 / BATCH as f64) / ghz;
+        }
+
+        // Pairwise register-spill penalty: adjacent stages share the loop
+        // body's register file; demand beyond the budget spills, costing a
+        // store+reload per element on the rows both stages see.
+        for i in 0..stages.len().saturating_sub(1) {
+            let d = register_demand(&temps[i], node.cfgs[i])
+                + register_demand(&temps[i + 1], node.cfgs[i + 1]);
+            let overflow = d.saturating_sub(REG_BUDGET);
+            if overflow > 0 {
+                let w = stages[i].weight.min(stages[i + 1].weight);
+                ns_per_row += w * overflow as f64 * SPILL_CYCLES / ghz;
+            }
+        }
+        ns_per_row
+    }
+}
+
+/// Neighbours of a joint node: one `(v, s, p)` axis step in exactly one
+/// stage (the others fixed), plus one step along the shared `f` axis — the
+/// same one-axis-at-a-time relation whose monotone pruning §IV.C justifies,
+/// lifted to the product grid.
+pub fn try_pipeline_neighbors(node: &PipelineNode) -> Result<Vec<PipelineNode>, HefError> {
+    let mut out = Vec::new();
+    for (i, &cfg) in node.cfgs.iter().enumerate() {
+        for n in try_neighbors(cfg)? {
+            let mut cfgs = node.cfgs.clone();
+            cfgs[i] = n;
+            out.push(PipelineNode { cfgs, f: node.f });
+        }
+    }
+    let fs = axis_neighbors(node.f, F_AXIS)
+        .ok_or(HefError::OffAxisPrefetch { f: node.f })?;
+    for f in fs {
+        out.push(PipelineNode { cfgs: node.cfgs.clone(), f });
+    }
+    Ok(out)
+}
+
+/// Hard cap on joint nodes priced per search. The product grid is
+/// astronomically larger than any per-op grid ([`joint_grid_size`]), and the
+/// winner/loser descent alone does not bound how much of it a smooth cost
+/// surface exposes; best-first order means the budget truncates only the
+/// most expensive frontier, and the seed-dominance guarantee (`best_cost <=
+/// initial_cost`) is unconditional because the seed is priced first.
+pub const SEARCH_BUDGET: usize = 256;
+
+/// Algorithm 2 over the joint per-stage `(v, s, p)` × shared `f` grid:
+/// identical winner/loser classification and monotone pruning to the
+/// per-operator searches, with a product-grid neighbour relation and a
+/// [`SEARCH_BUDGET`] cap on priced nodes.
+pub fn optimize_pipeline(
+    initial: &PipelineNode,
+    eval: &mut dyn PipelineCostEvaluator,
+) -> PipelineSearchOutcome {
+    let initial = PipelineNode {
+        cfgs: initial.cfgs.iter().map(|&c| snap(c)).collect(),
+        f: snap_to_axis(initial.f, F_AXIS),
+    };
+    let _span = hef_obs::span!(
+        "optimize_pipeline",
+        stages = initial.cfgs.len(),
+        f = initial.f
+    );
+    hef_obs::metrics::add(hef_obs::metrics::Metric::TunerSearches, 1);
+    let mut costs: HashMap<PipelineNode, f64> = HashMap::new();
+    let mut order: Vec<(PipelineNode, f64)> = Vec::new();
+    let mut end_list: Vec<PipelineNode> = Vec::new();
+
+    let c0 = robust_cost(&mut || eval.pipeline_cost(&initial), None, f64::INFINITY);
+    costs.insert(initial.clone(), c0);
+    order.push((initial.clone(), c0));
+    let mut best = (initial.clone(), c0);
+
+    let mut candidates = vec![initial];
+    let mut expanded: Vec<PipelineNode> = Vec::new();
+
+    while let Some(pos) = candidates
+        .iter()
+        .enumerate()
+        .min_by(|a, b| costs[a.1].total_cmp(&costs[b.1]))
+        .map(|(i, _)| i)
+    {
+        if costs.len() >= SEARCH_BUDGET {
+            break;
+        }
+        let node = candidates.swap_remove(pos);
+        if expanded.contains(&node) {
+            continue;
+        }
+        let node_cost = costs[&node];
+
+        for n in try_pipeline_neighbors(&node).unwrap_or_default() {
+            if costs.len() >= SEARCH_BUDGET {
+                break;
+            }
+            if costs.contains_key(&n) {
+                continue;
+            }
+            let c = robust_cost(&mut || eval.pipeline_cost(&n), Some(node_cost), best.1);
+            costs.insert(n.clone(), c);
+            order.push((n.clone(), c));
+            if c < best.1 {
+                best = (n.clone(), c);
+            }
+            if c < node_cost {
+                candidates.push(n);
+            } else {
+                end_list.push(n);
+            }
+        }
+        expanded.push(node);
+    }
+
+    PipelineSearchOutcome { best: best.0, best_cost: best.1, tested: order, end_list }
+}
+
+/// The per-op composition for a pipeline: each stage at its registry entry
+/// (falling back to the candidate generator's analytic pick), the depth at
+/// the registry's tuned probe depth (falling back to the analytic seed for
+/// the largest random working set). This is both the joint search's seed
+/// and the baseline the paper-style per-op tuner would deploy.
+pub fn compose_per_op(model: &CpuModel, spec: &PipelineSpec, reg: &Registry) -> PipelineNode {
+    let cfgs = spec
+        .stages
+        .iter()
+        .map(|s| {
+            snap(reg
+                .get(s.family)
+                .unwrap_or_else(|| initial_candidate(model, &templates::for_family(s.family))))
+        })
+        .collect();
+    let max_ws = spec.stages.iter().map(|s| s.working_set).max().unwrap_or(0);
+    let f = if max_ws == 0 {
+        0
+    } else {
+        match reg.get_prefetch(Family::Probe) {
+            Some(f) => snap_to_axis(f, F_AXIS),
+            None => seed_prefetch(model, &templates::probe(), max_ws),
+        }
+    };
+    PipelineNode { cfgs, f }
+}
+
+/// A jointly tuned pipeline: the output of the whole-pipeline offline phase.
+#[derive(Debug, Clone)]
+pub struct TunedPipeline {
+    /// The winning joint node.
+    pub node: PipelineNode,
+    /// The per-op composition the search was seeded with.
+    pub initial: PipelineNode,
+    /// The seed's joint cost under the same model — the per-op-tuned
+    /// baseline the acceptance comparison is against. The search starts
+    /// here, so `outcome.best_cost <= initial_cost` always holds.
+    pub initial_cost: f64,
+    /// Full search trace.
+    pub outcome: PipelineSearchOutcome,
+}
+
+impl TunedPipeline {
+    /// One-line summary for reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "pipeline: {} (seed {} @ {:.3} ns/row, tuned to {:.3} ns/row, tested {} nodes)",
+            self.node,
+            self.initial,
+            self.initial_cost,
+            self.outcome.best_cost,
+            self.outcome.tested.len(),
+        )
+    }
+
+    /// The registry v3 row for this result.
+    pub fn entry(&self, spec: &PipelineSpec) -> PipelineEntry {
+        let stages = spec
+            .stages
+            .iter()
+            .zip(&self.node.cfgs)
+            .map(|(s, &cfg)| (s.family, cfg))
+            .collect();
+        PipelineEntry { stages, f: self.node.f }
+    }
+}
+
+/// Jointly tune a pipeline against a modeled CPU, seeded from `reg`'s
+/// per-op entries. Measurements pass through [`SpikedCost`] so
+/// `HEF_FAULT=spike:…` exercises the re-measurement defence here too.
+pub fn tune_pipeline_simulated(
+    model: &CpuModel,
+    spec: &PipelineSpec,
+    reg: &Registry,
+) -> TunedPipeline {
+    let _span = hef_obs::trace::span_begin_labeled(
+        "tune",
+        "pipeline",
+        &[("stages", spec.stages.len() as i64), ("measured", 0)],
+    );
+    let initial = compose_per_op(model, spec, reg);
+    let mut eval = SpikedCost { inner: SimulatedPipelineCost::new(model, spec) };
+    let initial_cost = eval.inner.pipeline_cost(&initial);
+    let outcome = optimize_pipeline(&initial, &mut eval);
+    TunedPipeline { node: outcome.best.clone(), initial, initial_cost, outcome }
+}
+
+/// Price one joint node for a pipeline on a model (the deterministic
+/// evaluator the tuner uses), for reports and differential tests.
+pub fn pipeline_cost(model: &CpuModel, spec: &PipelineSpec, node: &PipelineNode) -> f64 {
+    SimulatedPipelineCost::new(model, spec).pipeline_cost(node)
+}
+
+/// Joint-grid size for `n` stages (saturating; the product grid overflows
+/// quickly and is only reported, never allocated).
+pub fn joint_grid_size(n: usize) -> usize {
+    let per = all_configs().count();
+    let mut total = F_AXIS.len();
+    for _ in 0..n {
+        total = total.saturating_mul(per);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A DRAM-probe star pipeline in the shape of an SSB query.
+    fn star_spec() -> PipelineSpec {
+        PipelineSpec {
+            stages: vec![
+                PipelineStage::new(Family::Filter, 1.0, 0),
+                PipelineStage::new(Family::Probe, 0.5, 64 << 20),
+                PipelineStage::new(Family::Gather, 0.2, 0),
+                PipelineStage::new(Family::AggSum, 0.2, 0),
+            ],
+            streams: 4,
+        }
+    }
+
+    #[test]
+    fn joint_cost_is_finite_and_additive_in_weight() {
+        let m = CpuModel::silver_4110();
+        let spec = star_spec();
+        let node = PipelineNode { cfgs: vec![HybridConfig::new(1, 1, 3); 4], f: 16 };
+        let c = pipeline_cost(&m, &spec, &node);
+        assert!(c.is_finite() && c > 0.0, "{c}");
+        // Halving every weight cannot increase the cost.
+        let mut light = spec.clone();
+        for s in &mut light.stages {
+            s.weight *= 0.5;
+        }
+        let cl = pipeline_cost(&m, &light, &node);
+        assert!(cl <= c, "{cl} vs {c}");
+    }
+
+    #[test]
+    fn mismatched_node_is_unaffordable_not_a_panic() {
+        let m = CpuModel::silver_4110();
+        let spec = star_spec();
+        let node = PipelineNode { cfgs: vec![HybridConfig::new(1, 1, 3)], f: 0 };
+        assert_eq!(pipeline_cost(&m, &spec, &node), f64::INFINITY);
+    }
+
+    #[test]
+    fn neighbors_step_one_stage_or_the_depth() {
+        let node = PipelineNode {
+            cfgs: vec![HybridConfig::new(2, 2, 2), HybridConfig::new(1, 1, 3)],
+            f: 8,
+        };
+        let ns = try_pipeline_neighbors(&node).unwrap();
+        // Every neighbour differs from the node in exactly one coordinate.
+        for n in &ns {
+            let cfg_diffs = n
+                .cfgs
+                .iter()
+                .zip(&node.cfgs)
+                .filter(|(a, b)| a != b)
+                .count();
+            let f_diff = usize::from(n.f != node.f);
+            assert_eq!(cfg_diffs + f_diff, 1, "{n}");
+        }
+        // Both f steps present (8 → 4 and 8 → 16).
+        assert!(ns.iter().any(|n| n.f == 4));
+        assert!(ns.iter().any(|n| n.f == 16));
+    }
+
+    #[test]
+    fn joint_search_never_loses_to_its_per_op_seed() {
+        let m = CpuModel::silver_4110();
+        let spec = star_spec();
+        let t = tune_pipeline_simulated(&m, &spec, &Registry::default());
+        assert!(t.outcome.best_cost.is_finite());
+        assert!(t.outcome.tested.len() <= SEARCH_BUDGET, "{}", t.outcome.tested.len());
+        assert!(
+            t.outcome.best_cost <= t.initial_cost,
+            "joint {} vs composed {}",
+            t.outcome.best_cost,
+            t.initial_cost
+        );
+        // Every stage of the winner is on the compiled grid.
+        for c in &t.node.cfgs {
+            assert!(crate::error::on_grid(c.v, c.s, c.p), "{c}");
+        }
+        assert!(F_AXIS.contains(&t.node.f));
+        assert!(t.describe().contains("pipeline"));
+    }
+
+    #[test]
+    fn register_coupling_steers_the_joint_tuner_away_from_greedy_packs() {
+        // Two adjacent stages seeded at register-hungry packs: the joint
+        // evaluator must price the pairwise overflow that the per-op view
+        // cannot see.
+        let m = CpuModel::silver_4110();
+        let spec = star_spec();
+        let greedy = PipelineNode {
+            cfgs: vec![
+                HybridConfig::new(2, 4, 4),
+                HybridConfig::new(2, 4, 4),
+                HybridConfig::new(1, 1, 3),
+                HybridConfig::new(1, 1, 3),
+            ],
+            f: 16,
+        };
+        let mut modest = greedy.clone();
+        modest.cfgs[0] = HybridConfig::new(2, 4, 1);
+        modest.cfgs[1] = HybridConfig::new(2, 4, 1);
+        let t = templates::for_family(Family::Filter);
+        assert!(
+            register_demand(&t, greedy.cfgs[0]) * 2 > REG_BUDGET,
+            "test premise: greedy packs overflow"
+        );
+        let cg = pipeline_cost(&m, &spec, &greedy);
+        let cm = pipeline_cost(&m, &spec, &modest);
+        assert!(cg.is_finite() && cm.is_finite());
+    }
+
+    #[test]
+    fn entry_maps_stages_in_order() {
+        let m = CpuModel::silver_4110();
+        let spec = star_spec();
+        let t = tune_pipeline_simulated(&m, &spec, &Registry::default());
+        let e = t.entry(&spec);
+        assert_eq!(e.stages.len(), 4);
+        assert_eq!(e.stages[0].0, Family::Filter);
+        assert_eq!(e.stages[1].0, Family::Probe);
+        assert_eq!(e.f, t.node.f);
+    }
+
+    #[test]
+    fn compose_per_op_prefers_registry_entries() {
+        let m = CpuModel::silver_4110();
+        let spec = star_spec();
+        let mut reg = Registry::default();
+        reg.insert(Family::Probe, HybridConfig::new(8, 0, 1));
+        reg.insert_prefetch(Family::Probe, 32);
+        let node = compose_per_op(&m, &spec, &reg);
+        assert_eq!(node.cfgs[1], HybridConfig::new(8, 0, 1));
+        assert_eq!(node.f, 32);
+        // Unregistered stages fall to the analytic candidate.
+        let analytic = initial_candidate(&m, &templates::for_family(Family::Filter));
+        assert_eq!(node.cfgs[0], analytic);
+    }
+
+    #[test]
+    fn cache_resident_pipeline_tunes_depth_to_zero() {
+        let m = CpuModel::silver_4110();
+        let spec = PipelineSpec {
+            stages: vec![
+                PipelineStage::new(Family::Filter, 1.0, 0),
+                PipelineStage::new(Family::Probe, 1.0, 16 << 10),
+                PipelineStage::new(Family::AggSum, 1.0, 0),
+            ],
+            streams: 2,
+        };
+        let t = tune_pipeline_simulated(&m, &spec, &Registry::default());
+        assert_eq!(t.node.f, 0, "nothing to hide at L1 residency: {}", t.node);
+    }
+
+    #[test]
+    fn joint_search_dominates_per_op_composition_on_random_pipelines() {
+        // The acceptance property, property-tested: on any pipeline shape —
+        // random stage families, reach fractions, working sets, stream
+        // pressure, and both CPU models — the joint tuner's simulated cost
+        // never exceeds the composition of per-op optima priced on the same
+        // model (the search is seeded there and the budget prices the seed
+        // first). Case count is small: each case is a full joint search.
+        use hef_testutil::prop::{self, strategy, Config};
+        let families = [Family::Filter, Family::Probe, Family::Gather, Family::AggSum];
+        prop::check_with(
+            &Config::with_cases(4),
+            "joint_dominates_per_op",
+            strategy::any_u64(),
+            |&seed| {
+                let mut rng = hef_testutil::Rng::seed_from_u64(seed);
+                let model = if rng.gen_range(0..2u32) == 0 {
+                    CpuModel::silver_4110()
+                } else {
+                    CpuModel::gold_6240r()
+                };
+                let nstages = rng.gen_range(2..4usize);
+                let stages: Vec<PipelineStage> = (0..nstages)
+                    .map(|_| {
+                        let family = families[rng.gen_range(0..families.len())];
+                        let weight = rng.gen_range(1..=100u32) as f64 / 100.0;
+                        let ws = if family == Family::Probe {
+                            1u64 << rng.gen_range(10..27u32)
+                        } else {
+                            0
+                        };
+                        PipelineStage::new(family, weight, ws)
+                    })
+                    .collect();
+                let spec = PipelineSpec { stages, streams: rng.gen_range(1..6usize) };
+                let reg = Registry::default();
+                let per_op = compose_per_op(&model, &spec, &reg);
+                let per_op_cost = pipeline_cost(&model, &spec, &per_op);
+                let t = tune_pipeline_simulated(&model, &spec, &reg);
+                hef_testutil::prop_assert!(
+                    per_op_cost.is_finite() && t.outcome.best_cost.is_finite(),
+                    "infinite cost for {spec:?}"
+                );
+                hef_testutil::prop_assert!(
+                    t.outcome.best_cost <= per_op_cost,
+                    "joint {} beat by per-op {} on {spec:?}",
+                    t.outcome.best_cost,
+                    per_op_cost
+                );
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn joint_grid_size_saturates_instead_of_overflowing() {
+        assert!(joint_grid_size(0) == F_AXIS.len());
+        assert!(joint_grid_size(4) > joint_grid_size(1));
+        assert_eq!(joint_grid_size(1000), usize::MAX);
+    }
+}

@@ -22,6 +22,21 @@
 //! are back-filled by the degradation ladder with the candidate
 //! generator's analytic seed ([`crate::candidate::seed_prefetch`]).
 //!
+//! The **v3** format adds *pipeline rows*: per-query joint configurations
+//! keyed by a stable plan fingerprint (the structural hash
+//! `hef-engine::StarPlan::fingerprint` computes), one stage per operator in
+//! pipeline order plus the shared prefetch depth:
+//!
+//! ```text
+//! pipeline 1f2e3d4c5b6a7980 = filter:1,3,2 probe:2,4,3 agg_sum:1,1,3 f:16
+//! ```
+//!
+//! The v3 header is only emitted when a pipeline row exists, mirroring the
+//! v2 rule, so per-op-only files stay byte-identical v2/v1. Consumers walk
+//! a **degradation ladder across versions**: a missing or dropped pipeline
+//! row falls back to the per-op v2/v1 entries, which in turn fall back to
+//! the candidate generator's analytic seeds.
+//!
 //! Because a production deployment's hot path keys off this file, loading
 //! is defensive at two levels:
 //!
@@ -50,6 +65,8 @@ pub struct Registry {
     entries: BTreeMap<&'static str, HybridConfig>,
     /// Tuned prefetch depths (v2 column 4) — today only `probe` carries one.
     prefetch: BTreeMap<&'static str, usize>,
+    /// Joint pipeline configurations (v3 rows), keyed by plan fingerprint.
+    pipelines: BTreeMap<u64, PipelineEntry>,
     /// Free-form provenance line (CPU name, date, …).
     pub cpu: String,
     /// ISA provenance (`avx512`, `avx2`, `emu`): the backend the nodes were
@@ -77,6 +94,11 @@ pub enum ParseError {
     /// A fourth (prefetch-depth) column this build cannot honour: present
     /// on a family other than `probe`, or off the tuner's `f` axis.
     BadPrefetch { line: usize, name: String, f: usize },
+    /// A v3 pipeline row this build cannot honour (bad fingerprint, unknown
+    /// stage family, off-grid stage node, off-axis depth, no stages…).
+    BadPipeline { line: usize, message: String },
+    /// The same plan fingerprint appears twice.
+    DuplicatePipeline { line: usize, fingerprint: String },
 }
 
 impl std::fmt::Display for ParseError {
@@ -100,7 +122,7 @@ impl std::fmt::Display for ParseError {
             ParseError::UnsupportedVersion { line, version } => {
                 write!(
                     f,
-                    "line {line}: unsupported registry version `{version}` (this build reads v1/v2)"
+                    "line {line}: unsupported registry version `{version}` (this build reads v1/v2/v3)"
                 )
             }
             ParseError::BadPrefetch { line, name, f: depth } => {
@@ -108,6 +130,12 @@ impl std::fmt::Display for ParseError {
                     f,
                     "line {line}: `{name}` prefetch depth {depth} rejected (probe-only; f ∈ {F_AXIS:?})"
                 )
+            }
+            ParseError::BadPipeline { line, message } => {
+                write!(f, "line {line}: bad pipeline row: {message}")
+            }
+            ParseError::DuplicatePipeline { line, fingerprint } => {
+                write!(f, "line {line}: duplicate pipeline entry for fingerprint `{fingerprint}`")
             }
         }
     }
@@ -119,12 +147,79 @@ fn family_by_name(name: &str) -> Option<Family> {
     Family::ALL.into_iter().find(|f| f.name() == name)
 }
 
+/// One joint pipeline configuration (a v3 row): the per-stage hybrid nodes
+/// in pipeline order plus the shared probe-prefetch depth `f`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineEntry {
+    /// Stages in pipeline order, each with its tuned node.
+    pub stages: Vec<(Family, HybridConfig)>,
+    /// Shared software-prefetch depth (on [`hef_kernels::F_AXIS`]).
+    pub f: usize,
+}
+
+impl PipelineEntry {
+    /// The tuned node of the first stage of `family`, if present.
+    pub fn stage(&self, family: Family) -> Option<HybridConfig> {
+        self.stages.iter().find(|(fam, _)| *fam == family).map(|(_, cfg)| *cfg)
+    }
+}
+
+/// Parse a v3 pipeline row body (`<16hex> = family:v,s,p … f:<depth>`).
+fn parse_pipeline_row(rest: &str, line_no: usize) -> Result<Line, ParseError> {
+    let bad = |message: String| ParseError::BadPipeline { line: line_no, message };
+    let (fp, body) = rest
+        .split_once('=')
+        .ok_or_else(|| bad("expected `pipeline <fingerprint> = …`".to_string()))?;
+    let fp = fp.trim();
+    let fingerprint = u64::from_str_radix(fp, 16)
+        .map_err(|_| bad(format!("bad fingerprint `{fp}` (expected hex)")))?;
+    let mut stages = Vec::new();
+    let mut depth = None;
+    for tok in body.split_whitespace() {
+        let (head, tail) = tok
+            .split_once(':')
+            .ok_or_else(|| bad(format!("bad stage token `{tok}`")))?;
+        if head == "f" {
+            if depth.is_some() {
+                return Err(bad("duplicate `f:` token".to_string()));
+            }
+            let f: usize = tail
+                .parse()
+                .map_err(|_| bad(format!("bad depth `{tail}`")))?;
+            if !F_AXIS.contains(&f) {
+                return Err(bad(format!("depth {f} off the search axis {F_AXIS:?}")));
+            }
+            depth = Some(f);
+            continue;
+        }
+        let family = family_by_name(head)
+            .ok_or_else(|| bad(format!("unknown stage family `{head}`")))?;
+        let nums: Vec<usize> = tail
+            .split(',')
+            .map(str::parse)
+            .collect::<Result<_, _>>()
+            .map_err(|_| bad(format!("bad stage node `{tok}`")))?;
+        let [v, s, p] = nums[..] else {
+            return Err(bad(format!("stage `{tok}` needs exactly v,s,p")));
+        };
+        if !on_grid(v, s, p) {
+            return Err(bad(format!("stage `{tok}` node ({v}, {s}, {p}) is off the compiled grid")));
+        }
+        stages.push((family, HybridConfig { v, s, p }));
+    }
+    if stages.is_empty() {
+        return Err(bad("pipeline row has no stages".to_string()));
+    }
+    Ok(Line::Pipeline(fingerprint, PipelineEntry { stages, f: depth.unwrap_or(0) }))
+}
+
 /// One parsed line of the registry format.
 enum Line {
     Skip,
     Cpu(String),
     Isa(String),
     Entry(Family, HybridConfig, Option<usize>),
+    Pipeline(u64, PipelineEntry),
 }
 
 /// Parse one (already `trim`med) line. Shared by the strict and lenient
@@ -132,7 +227,7 @@ enum Line {
 fn parse_line(line: &str, line_no: usize) -> Result<Line, ParseError> {
     if let Some(rest) = line.strip_prefix("# hef tuned-operator registry") {
         let version = rest.trim();
-        if version.is_empty() || version == "v1" || version == "v2" {
+        if version.is_empty() || version == "v1" || version == "v2" || version == "v3" {
             return Ok(Line::Skip);
         }
         return Err(ParseError::UnsupportedVersion {
@@ -148,6 +243,9 @@ fn parse_line(line: &str, line_no: usize) -> Result<Line, ParseError> {
     }
     if line.is_empty() || line.starts_with('#') {
         return Ok(Line::Skip);
+    }
+    if let Some(rest) = line.strip_prefix("pipeline ") {
+        return parse_pipeline_row(rest, line_no);
     }
     let (name, rest) = line
         .split_once('=')
@@ -230,6 +328,26 @@ impl Registry {
         self.prefetch.get(family.name()).copied()
     }
 
+    /// Record a joint pipeline configuration for a plan fingerprint.
+    pub fn insert_pipeline(&mut self, fingerprint: u64, entry: PipelineEntry) {
+        self.pipelines.insert(fingerprint, entry);
+    }
+
+    /// Joint pipeline configuration for a plan fingerprint, if recorded.
+    pub fn get_pipeline(&self, fingerprint: u64) -> Option<&PipelineEntry> {
+        self.pipelines.get(&fingerprint)
+    }
+
+    /// Recorded pipeline rows, in fingerprint order.
+    pub fn pipelines(&self) -> impl Iterator<Item = (u64, &PipelineEntry)> {
+        self.pipelines.iter().map(|(&fp, e)| (fp, e))
+    }
+
+    /// Number of recorded pipeline rows.
+    pub fn pipelines_len(&self) -> usize {
+        self.pipelines.len()
+    }
+
     /// Tuned node for a family, if recorded.
     pub fn get(&self, family: Family) -> Option<HybridConfig> {
         self.entries.get(family.name()).copied()
@@ -252,10 +370,17 @@ impl Registry {
     }
 
     /// Serialize to the registry text format. The v2 header (and fourth
-    /// column) appear only when a prefetch depth is recorded, so files
-    /// without one stay byte-identical v1 for old readers.
+    /// column) appear only when a prefetch depth is recorded, and the v3
+    /// header only when a pipeline row is recorded, so files without those
+    /// features stay byte-identical to the older formats for old readers.
     pub fn to_text(&self) -> String {
-        let version = if self.prefetch.is_empty() { "v1" } else { "v2" };
+        let version = if !self.pipelines.is_empty() {
+            "v3"
+        } else if !self.prefetch.is_empty() {
+            "v2"
+        } else {
+            "v1"
+        };
         let mut out = format!("# hef tuned-operator registry {version}\n");
         if !self.cpu.is_empty() {
             let _ = writeln!(out, "# cpu: {}", self.cpu);
@@ -272,6 +397,13 @@ impl Registry {
                     let _ = writeln!(out, "{name} = {} {} {}", cfg.v, cfg.s, cfg.p);
                 }
             }
+        }
+        for (fp, e) in &self.pipelines {
+            let _ = write!(out, "pipeline {fp:016x} =");
+            for (family, cfg) in &e.stages {
+                let _ = write!(out, " {}:{},{},{}", family.name(), cfg.v, cfg.s, cfg.p);
+            }
+            let _ = writeln!(out, " f:{}", e.f);
         }
         out
     }
@@ -299,6 +431,15 @@ impl Registry {
                     if let Some(f) = pf {
                         reg.insert_prefetch(family, f);
                     }
+                }
+                Line::Pipeline(fp, entry) => {
+                    if reg.pipelines.contains_key(&fp) {
+                        return Err(ParseError::DuplicatePipeline {
+                            line: line_no,
+                            fingerprint: format!("{fp:016x}"),
+                        });
+                    }
+                    reg.insert_pipeline(fp, entry);
                 }
             }
         }
@@ -331,6 +472,18 @@ impl Registry {
                         if let Some(f) = pf {
                             reg.insert_prefetch(family, f);
                         }
+                    }
+                }
+                Ok(Line::Pipeline(fp, entry)) => {
+                    if reg.pipelines.contains_key(&fp) {
+                        issues.push(RegistryIssue::BadLine {
+                            error: ParseError::DuplicatePipeline {
+                                line: line_no,
+                                fingerprint: format!("{fp:016x}"),
+                            },
+                        });
+                    } else {
+                        reg.insert_pipeline(fp, entry);
                     }
                 }
                 Err(e @ ParseError::UnsupportedVersion { .. }) => {
@@ -445,7 +598,10 @@ impl Registry {
 
         // Stale ISA: the whole file was tuned for a different backend. The
         // recorded prefetch depth is dropped too — it was balanced against
-        // another machine's miss latency — and re-seeded below.
+        // another machine's miss latency — and re-seeded below. Pipeline
+        // rows are cleared outright: a joint configuration is even more
+        // machine-specific than a per-op node, and dropping a row just
+        // walks consumers one rung down the ladder (per-op entries).
         let current_isa = hef_hid::Backend::native().name();
         if !reg.isa.is_empty() && reg.isa != current_isa {
             report.issues.push(RegistryIssue::StaleIsa {
@@ -456,6 +612,7 @@ impl Registry {
                 .extend(Family::ALL.into_iter().filter(|f| reg.get(*f).is_some()));
             reg.isa = current_isa.to_string();
             reg.prefetch.clear();
+            reg.pipelines.clear();
         }
 
         fallback_families.sort_by_key(|f| f.name());
@@ -684,16 +841,137 @@ mod tests {
 
     #[test]
     fn future_version_header_is_a_clear_error() {
-        let e = Registry::parse("# hef tuned-operator registry v3\nmurmur = 1 3 2").unwrap_err();
+        let e = Registry::parse("# hef tuned-operator registry v4\nmurmur = 1 3 2").unwrap_err();
         assert!(
-            matches!(e, ParseError::UnsupportedVersion { line: 1, ref version } if version == "v3"),
+            matches!(e, ParseError::UnsupportedVersion { line: 1, ref version } if version == "v4"),
             "{e}"
         );
         assert!(e.to_string().contains("this build reads v1"));
-        // v1, v2, and the bare legacy header all parse.
+        // v1, v2, v3, and the bare legacy header all parse.
         assert!(Registry::parse("# hef tuned-operator registry v1").is_ok());
         assert!(Registry::parse("# hef tuned-operator registry v2").is_ok());
+        assert!(Registry::parse("# hef tuned-operator registry v3").is_ok());
         assert!(Registry::parse("# hef tuned-operator registry").is_ok());
+    }
+
+    fn sample_pipeline() -> PipelineEntry {
+        PipelineEntry {
+            stages: vec![
+                (Family::Filter, HybridConfig::new(1, 3, 2)),
+                (Family::Probe, HybridConfig::new(2, 4, 3)),
+                (Family::Gather, HybridConfig::new(1, 1, 3)),
+                (Family::AggSum, HybridConfig::new(1, 1, 3)),
+            ],
+            f: 16,
+        }
+    }
+
+    #[test]
+    fn v3_roundtrip_preserves_pipeline_rows() {
+        let mut r = sample();
+        r.insert_pipeline(0x1f2e_3d4c_5b6a_7980, sample_pipeline());
+        let text = r.to_text();
+        assert!(text.starts_with("# hef tuned-operator registry v3\n"), "{text}");
+        assert!(
+            text.contains(
+                "pipeline 1f2e3d4c5b6a7980 = filter:1,3,2 probe:2,4,3 gather:1,1,3 agg_sum:1,1,3 f:16"
+            ),
+            "{text}"
+        );
+        let parsed = Registry::parse(&text).unwrap();
+        assert_eq!(parsed, r);
+        let e = parsed.get_pipeline(0x1f2e_3d4c_5b6a_7980).expect("row recorded");
+        assert_eq!(e.f, 16);
+        assert_eq!(e.stage(Family::Probe), Some(HybridConfig::new(2, 4, 3)));
+        assert_eq!(e.stage(Family::Murmur), None);
+        assert_eq!(parsed.pipelines_len(), 1);
+        assert_eq!(parsed.get_pipeline(0xdead_beef), None);
+    }
+
+    #[test]
+    fn registries_without_pipelines_never_write_v3() {
+        let mut r = sample();
+        r.insert_prefetch(Family::Probe, 16);
+        r.insert(Family::Probe, HybridConfig::new(2, 4, 3));
+        assert!(r.to_text().starts_with("# hef tuned-operator registry v2\n"));
+    }
+
+    #[test]
+    fn bad_pipeline_rows_are_typed_errors() {
+        // Bad fingerprint.
+        let e = Registry::parse("pipeline zz = probe:1,1,3 f:0").unwrap_err();
+        assert!(matches!(e, ParseError::BadPipeline { line: 1, .. }), "{e}");
+        // Unknown stage family.
+        let e = Registry::parse("pipeline 1 = bogus:1,1,3 f:0").unwrap_err();
+        assert!(e.to_string().contains("unknown stage family"), "{e}");
+        // Off-grid stage node.
+        let e = Registry::parse("pipeline 1 = probe:3,1,2 f:0").unwrap_err();
+        assert!(e.to_string().contains("off the compiled grid"), "{e}");
+        // Off-axis depth.
+        let e = Registry::parse("pipeline 1 = probe:1,1,3 f:7").unwrap_err();
+        assert!(e.to_string().contains("off the search axis"), "{e}");
+        // No stages.
+        let e = Registry::parse("pipeline 1 = f:16").unwrap_err();
+        assert!(e.to_string().contains("no stages"), "{e}");
+        // Duplicate fingerprint.
+        let e = Registry::parse("pipeline 1 = probe:1,1,3 f:0\npipeline 01 = filter:1,1,3 f:0")
+            .unwrap_err();
+        assert!(matches!(e, ParseError::DuplicatePipeline { line: 2, .. }), "{e}");
+    }
+
+    #[test]
+    fn lenient_parse_drops_bad_pipeline_rows_and_keeps_the_rest() {
+        let text = "murmur = 1 3 2\npipeline zz = probe:1,1,3 f:0\npipeline 2a = probe:2,4,3 f:16\n";
+        let (reg, issues) = Registry::parse_lenient(text);
+        assert_eq!(reg.get(Family::Murmur), Some(HybridConfig::new(1, 3, 2)));
+        assert_eq!(reg.pipelines_len(), 1);
+        assert!(reg.get_pipeline(0x2a).is_some());
+        assert_eq!(issues.len(), 1);
+        assert!(issues.iter().any(|i| matches!(
+            i,
+            RegistryIssue::BadLine { error: ParseError::BadPipeline { .. } }
+        )));
+    }
+
+    #[test]
+    fn truncated_v3_file_degrades_to_per_op_entries() {
+        // A v3 file cut mid-pipeline-row (e.g. a torn write): the ladder
+        // must keep the per-op entries and drop the mangled pipeline row,
+        // so consumers fall back one rung (pipeline → per-op).
+        let dir = std::env::temp_dir().join("hef-registry-v3trunc-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trunc.txt");
+        let mut r = Registry::new("test rig");
+        r.insert(Family::Probe, HybridConfig::new(2, 4, 3));
+        r.insert_prefetch(Family::Probe, 16);
+        r.insert_pipeline(0xabcd, sample_pipeline());
+        let full = r.to_text();
+        // Cut mid-token ("gather" → "gat"): the torn row must not parse.
+        let cut = full.rfind("gather").unwrap() + 3;
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let (reg, report) = Registry::load_degraded(&path);
+        std::fs::remove_file(&path).ok();
+        assert_eq!(reg.pipelines_len(), 0, "mangled pipeline row must drop");
+        assert_eq!(reg.get(Family::Probe), Some(HybridConfig::new(2, 4, 3)));
+        assert_eq!(reg.get_prefetch(Family::Probe), Some(16));
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn stale_isa_clears_pipeline_rows() {
+        let dir = std::env::temp_dir().join("hef-registry-v3stale-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stale3.txt");
+        let mut r = Registry::new("elsewhere");
+        r.isa = "punchcards".into();
+        r.insert(Family::Probe, HybridConfig::new(2, 4, 3));
+        r.insert_pipeline(7, sample_pipeline());
+        r.save(&path).unwrap();
+        let (reg, report) = Registry::load_degraded(&path);
+        std::fs::remove_file(&path).ok();
+        assert!(report.issues.iter().any(|i| matches!(i, RegistryIssue::StaleIsa { .. })));
+        assert_eq!(reg.pipelines_len(), 0, "stale pipelines must not survive");
+        assert!(reg.get(Family::Probe).is_some(), "per-op entry re-derived, not dropped");
     }
 
     #[test]

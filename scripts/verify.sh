@@ -84,4 +84,24 @@ cargo run --release --offline -q -p hef-bench --bin repro -- report target/trace
 # loop must stay within 2% of the uninstrumented baseline.
 cargo bench -p hef-bench --bench obs_overhead --offline -- --assert
 
+# Pipeline-tuning smoke (ISSUE 7): jointly tune one query on the simulated
+# Silver 4110, writing a registry v3 pipeline row to results/tuned.txt, then
+# reload it through HEF_PIPELINE end to end. A mid-row truncated copy must
+# degrade down the ladder (per-op v2 → analytic) and still run the query.
+cargo run --release --offline -q -p hef-bench --bin repro -- \
+    tune-pipeline --sf 0.002 --query q21 --model silver-4110
+grep -q '^# hef tuned-operator registry v3$' results/tuned.txt
+grep -q '^pipeline [0-9a-f]\{16\} = ' results/tuned.txt
+HEF_PIPELINE=results/tuned.txt cargo run --release --offline -q -p hef-bench --bin repro -- \
+    q21 --sf 0.002 --repeats 1
+mkdir -p target
+head -c $(($(wc -c < results/tuned.txt) - 24)) results/tuned.txt > target/tuned-torn.txt
+HEF_PIPELINE=target/tuned-torn.txt cargo run --release --offline -q -p hef-bench --bin repro -- \
+    q21 --sf 0.002 --repeats 1
+
+# Bench regression trend (advisory): diff the probe smoke snapshot against
+# its archive. Never fails the gate — trends are for humans to read.
+cargo bench -p hef-bench --bench probe --offline -- --smoke --compare || \
+    echo "verify: note — bench compare reported an error (non-fatal)"
+
 echo "verify: OK"
