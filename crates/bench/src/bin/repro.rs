@@ -35,6 +35,12 @@
 //!   --repeats <k>   timing repeats (default 2)
 //!   --trace <file>  write a Chrome trace_event JSON of this run
 //!                   (equivalent to HEF_TRACE=<file>)
+//!   --deadline-ms <ms>   per-query deadline; an exceeded deadline prints a
+//!                        typed DeadlineExceeded outcome instead of timing
+//!                        (equivalent to HEF_DEADLINE_MS=<ms>)
+//!   --mem-budget <bytes> global memory budget with k/m/g suffixes; the
+//!                        governor degrades and then rejects queries that
+//!                        would exceed it (equivalent to HEF_MEM_BUDGET=<n>)
 //! ```
 //!
 //! Scale-factor mapping (see DESIGN.md §3): the paper's SF10/SF20/SF50 are
@@ -58,11 +64,21 @@ struct Opts {
     trace: Option<String>,
     query: Option<String>,
     model: Option<String>,
+    deadline_ms: Option<u64>,
+    mem_budget: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
-    let mut o =
-        Opts { sf: None, n: 20_000_000, repeats: 2, trace: None, query: None, model: None };
+    let mut o = Opts {
+        sf: None,
+        n: 20_000_000,
+        repeats: 2,
+        trace: None,
+        query: None,
+        model: None,
+        deadline_ms: None,
+        mem_budget: None,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -88,6 +104,14 @@ fn parse_opts(args: &[String]) -> Opts {
             }
             "--trace" => {
                 o.trace = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--deadline-ms" => {
+                o.deadline_ms = Some(args[i + 1].parse().expect("--deadline-ms <ms>"));
+                i += 2;
+            }
+            "--mem-budget" => {
+                o.mem_budget = Some(args[i + 1].clone());
                 i += 2;
             }
             other => panic!("unknown option {other}"),
@@ -696,6 +720,37 @@ fn run_query(q: QueryId, opts: &Opts) {
     let data = gen_data(sf);
     let plan = build_plan(&data, q);
     let threads = hef_engine::resolve_threads(0).max(2);
+
+    // Governed run: with a deadline or memory budget in force the typed
+    // outcome is the product, not a panic — print each flavor's verdict and
+    // skip timing repeats (`measure_query_reported` treats any ExecError as
+    // fatal, which is exactly wrong here).
+    if opts.deadline_ms.is_some() || opts.mem_budget.is_some() {
+        for flavor in Flavor::ALL {
+            let cfg = exec_config(flavor).with_threads(threads);
+            match hef_engine::try_execute_star(&plan, &data.lineorder, &cfg) {
+                Ok((out, report)) => println!(
+                    "  {}: ok — {} groups, {} morsels, {} threads",
+                    flavor.name(),
+                    out.groups.len(),
+                    report.morsels_completed,
+                    report.threads
+                ),
+                Err(e @ hef_engine::ExecError::DeadlineExceeded { .. }) => {
+                    println!("  {}: DeadlineExceeded — {e}", flavor.name())
+                }
+                Err(e @ hef_engine::ExecError::Cancelled { .. }) => {
+                    println!("  {}: Cancelled — {e}", flavor.name())
+                }
+                Err(e @ hef_engine::ExecError::Rejected { .. }) => {
+                    println!("  {}: Rejected — {e}", flavor.name())
+                }
+                Err(e) => println!("  {}: error — {e}", flavor.name()),
+            }
+        }
+        return;
+    }
+
     let mut t = TableWriter::new(vec!["flavor", "ms", "threads", "retried", "lost", "serial"]);
     for flavor in Flavor::ALL {
         let cfg = exec_config(flavor).with_threads(threads);
@@ -890,6 +945,15 @@ fn main() {
         return;
     }
     let opts = parse_opts(&args[1.min(args.len())..]);
+    // Governance knobs must land in the environment before the first query
+    // executes: the engine reads HEF_DEADLINE_MS per execution and latches
+    // HEF_MEM_BUDGET into the process-wide governor on first admission.
+    if let Some(ms) = opts.deadline_ms {
+        std::env::set_var("HEF_DEADLINE_MS", ms.to_string());
+    }
+    if let Some(budget) = &opts.mem_budget {
+        std::env::set_var("HEF_MEM_BUDGET", budget);
+    }
     if let Some(path) = &opts.trace {
         hef_obs::trace::start_file(path, hef_obs::Level::Fine);
     }
@@ -939,7 +1003,10 @@ fn main() {
         other => match parse_query(other) {
             Some(q) => run_query(q, &opts),
             None => {
-                println!("usage: repro <experiment> [--sf f] [--n elems] [--repeats k] [--trace file]");
+                println!(
+                    "usage: repro <experiment> [--sf f] [--n elems] [--repeats k] [--trace file] \
+                     [--deadline-ms ms] [--mem-budget n]"
+                );
                 println!("experiments: fig8 fig9 fig10 table3..table9 fig11..fig14");
                 println!("             ablation-search ablation-pack ablation-bloom ablation-dynamic tune all");
                 println!("             tune-pipeline [--query qNN] [--model silver-4110|gold-6240r]");

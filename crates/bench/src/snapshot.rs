@@ -28,7 +28,6 @@
 //!
 //! [`compare_with_archive`]: BenchSnapshot::compare_with_archive
 
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use hef_obs::check::{parse_json, Json};
@@ -174,13 +173,14 @@ impl BenchSnapshot {
     }
 
     /// Write `results/bench_<name>.json` under `dir` (creating `results/`)
-    /// and return the path.
+    /// and return the path. The write is atomic (staging file + rename) so
+    /// an interrupted run never tears the archive a later
+    /// [`BenchSnapshot::compare_with_archive`] reads.
     pub fn write_under(&self, dir: &std::path::Path) -> std::io::Result<PathBuf> {
         let results = dir.join("results");
         std::fs::create_dir_all(&results)?;
         let path = results.join(format!("bench_{}.json", self.name));
-        let mut f = std::fs::File::create(&path)?;
-        f.write_all(self.to_json().as_bytes())?;
+        hef_testutil::atomic_write(&path, self.to_json().as_bytes())?;
         Ok(path)
     }
 

@@ -14,8 +14,11 @@ use std::time::Instant;
 
 use hef_storage::Table;
 
+use crate::govern::CancelToken;
 use crate::parallel::ExecError;
-use crate::star::{try_execute_star, ExecConfig, Flavor, QueryOutput, StarPlan};
+use crate::star::{
+    try_execute_star_cancellable, ExecConfig, Flavor, QueryOutput, StarPlan,
+};
 
 /// The outcome of a sampled selection.
 #[derive(Debug, Clone)]
@@ -47,13 +50,26 @@ pub fn try_choose_flavor(
     fact: &Table,
     sample_rows: usize,
 ) -> Result<Selection, ExecError> {
+    try_choose_flavor_cancellable(plan, fact, sample_rows, &CancelToken::new())
+}
+
+/// [`try_choose_flavor`] with a caller-supplied cancel token: the token is
+/// checked inside every sampled pre-run, so a cancelled selection stops at
+/// the next morsel boundary with a typed [`ExecError::Cancelled`] instead of
+/// timing the remaining flavors.
+pub fn try_choose_flavor_cancellable(
+    plan: &StarPlan,
+    fact: &Table,
+    sample_rows: usize,
+    cancel: &CancelToken,
+) -> Result<Selection, ExecError> {
     let sample = fact.head(sample_rows.max(1));
     let mut timings = Vec::with_capacity(Flavor::ALL.len());
     for flavor in Flavor::ALL {
         let cfg = ExecConfig::for_flavor(flavor);
-        try_execute_star(plan, &sample, &cfg)?; // warm-up
+        try_execute_star_cancellable(plan, &sample, &cfg, cancel)?; // warm-up
         let t = Instant::now();
-        try_execute_star(plan, &sample, &cfg)?;
+        try_execute_star_cancellable(plan, &sample, &cfg, cancel)?;
         timings.push((flavor, t.elapsed().as_secs_f64()));
     }
     Ok(Selection { flavor: fastest(&timings), sample_secs: timings, sample_rows: sample.len() })
@@ -75,9 +91,21 @@ pub fn try_execute_star_dynamic(
     fact: &Table,
     sample_fraction: f64,
 ) -> Result<(QueryOutput, Selection), ExecError> {
+    try_execute_star_dynamic_cancellable(plan, fact, sample_fraction, &CancelToken::new())
+}
+
+/// [`try_execute_star_dynamic`] with a caller-supplied cancel token threaded
+/// through both the sampled selection runs and the final full-table run.
+pub fn try_execute_star_dynamic_cancellable(
+    plan: &StarPlan,
+    fact: &Table,
+    sample_fraction: f64,
+    cancel: &CancelToken,
+) -> Result<(QueryOutput, Selection), ExecError> {
     let rows = ((fact.len() as f64 * sample_fraction) as usize).clamp(1024, 1_000_000);
-    let sel = try_choose_flavor(plan, fact, rows)?;
-    let (out, _) = try_execute_star(plan, fact, &ExecConfig::for_flavor(sel.flavor))?;
+    let sel = try_choose_flavor_cancellable(plan, fact, rows, cancel)?;
+    let (out, _) =
+        try_execute_star_cancellable(plan, fact, &ExecConfig::for_flavor(sel.flavor), cancel)?;
     Ok((out, sel))
 }
 

@@ -22,6 +22,7 @@
 //! aggregation.
 
 pub mod dynamic;
+pub mod govern;
 pub mod ops;
 pub mod parallel;
 pub mod pipeline_plan;
@@ -30,11 +31,17 @@ pub mod star;
 pub mod voila;
 
 pub use dynamic::{
-    choose_flavor, execute_star_dynamic, try_choose_flavor, try_execute_star_dynamic, Selection,
+    choose_flavor, execute_star_dynamic, try_choose_flavor, try_choose_flavor_cancellable,
+    try_execute_star_dynamic, try_execute_star_dynamic_cancellable, Selection,
+};
+pub use govern::{
+    estimate_query_bytes, try_execute_star_with_retry, with_governor, BudgetTracker, CancelToken,
+    DegradeAction, Governor, GovernorConfig, Interrupt, QueryCtx, MIN_BATCH,
 };
 pub use ops::{gather_keys, grouped_accumulate};
 pub use parallel::{
-    execute_star_parallel, resolve_threads, try_execute_star_parallel, ExecError, ExecReport,
+    execute_star_parallel, resolve_threads, resolve_threads_governed, try_execute_star_parallel,
+    ExecError, ExecReport,
 };
 pub use pipeline_plan::apply_pipeline_entry;
 pub use plan::{
@@ -42,8 +49,9 @@ pub use plan::{
     LogicalPlan, Node, OptReport, PlanBuilder, PlanError, Pred,
 };
 pub use star::{
-    build_dimension, execute_star, try_execute_star, validate_star_plan, DimJoin, ExecConfig,
-    ExecStats, Flavor, Measure, QueryOutput, RangeFilter, StarPlan,
+    build_dimension, execute_star, try_execute_star, try_execute_star_cancellable,
+    validate_star_plan, DimJoin, ExecConfig, ExecStats, Flavor, Measure, QueryOutput, RangeFilter,
+    StarPlan,
 };
 
 pub use hef_kernels::{HybridConfig, ProbeTable, MISS};

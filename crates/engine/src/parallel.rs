@@ -28,12 +28,13 @@
 //! crash can change a query's latency, never its result.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use hef_storage::Table;
 use hef_testutil::fault;
 
+use crate::govern::{DegradeAction, Interrupt, QueryCtx};
 use crate::star::{ExecConfig, ExecStats, Flavor, PipelineWorker, QueryOutput, StarPlan};
 use crate::voila::VoilaWorker;
 
@@ -93,6 +94,26 @@ pub fn resolve_threads(requested: usize) -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Re-clamp a resolved thread count against the governor's admitted worker
+/// budget. `admitted` comes out of [`crate::govern::Governor::admit`]'s
+/// degradation ladder; when the request (typically `HEF_THREADS`) exceeds
+/// it, one `diag::warn_once` explains the clamp — once per process, not
+/// once per query, so a server loop under sustained memory pressure does
+/// not flood stderr.
+pub fn resolve_threads_governed(requested: usize, admitted: usize) -> usize {
+    let admitted = admitted.max(1);
+    if requested > admitted {
+        hef_obs::diag::warn_once(
+            "threads-governor-clamp",
+            format!(
+                "{requested} worker threads requested but the governor admitted \
+                 {admitted} (memory budget); clamping"
+            ),
+        );
+    }
+    requested.min(admitted)
+}
+
 /// One worker of either execution strategy (the parallel scheduler is
 /// flavor-agnostic; Voila rides along so the paper's comparison stays
 /// apples-to-apples at every thread count).
@@ -110,10 +131,13 @@ impl<'a> AnyWorker<'a> {
         }
     }
 
-    fn run_range(&mut self, lo: usize, hi: usize) {
+    /// Interruptible range execution: checks `ctx` at every batch boundary
+    /// (which brackets each radix-partition bucketing pass — partitioning
+    /// is per-batch), so a cancel or deadline fires mid-morsel.
+    fn try_run_range(&mut self, lo: usize, hi: usize, ctx: &QueryCtx) -> Result<(), Interrupt> {
         match self {
-            AnyWorker::Pipeline(w) => w.run_range(lo, hi),
-            AnyWorker::Voila(w) => w.run_range(lo, hi),
+            AnyWorker::Pipeline(w) => w.try_run_range(lo, hi, ctx),
+            AnyWorker::Voila(w) => w.try_run_range(lo, hi, ctx),
         }
     }
 
@@ -125,8 +149,11 @@ impl<'a> AnyWorker<'a> {
     }
 }
 
-/// Per-query fault-recovery counters, returned beside the output by
-/// [`crate::try_execute_star`]. A clean run is all zeros.
+/// Per-query fault-recovery and governance attribution, returned beside the
+/// output by [`crate::try_execute_star`] — and *inside* the
+/// [`ExecError::Cancelled`] / [`ExecError::DeadlineExceeded`] variants,
+/// where it reports the partial progress made before the interrupt. A clean
+/// run is all zeros.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecReport {
     /// Worker threads the query ran with (1 = serial path).
@@ -138,17 +165,25 @@ pub struct ExecReport {
     pub workers_lost: usize,
     /// The parallel attempt was abandoned and the query re-run serially.
     pub degraded_to_serial: bool,
+    /// Morsel ranges fully executed (parallel path). On an interrupted
+    /// query this is the partial-progress attribution.
+    pub morsels_completed: usize,
+    /// Degradations the governor applied at admission, in order.
+    pub degrade_actions: Vec<DegradeAction>,
 }
 
 impl ExecReport {
-    /// `true` when no fault-recovery action was needed.
+    /// `true` when no fault-recovery or governance action was needed.
     pub fn is_clean(&self) -> bool {
-        self.morsels_retried == 0 && self.workers_lost == 0 && !self.degraded_to_serial
+        self.morsels_retried == 0
+            && self.workers_lost == 0
+            && !self.degraded_to_serial
+            && self.degrade_actions.is_empty()
     }
 }
 
-/// Typed executor failure: every rung of the degradation ladder (retry,
-/// worker replacement, serial fallback) was exhausted.
+/// Typed executor failure: a degradation-ladder exhaustion, an invalid
+/// plan, or a governance outcome (rejection, cancellation, deadline).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExecError {
     /// The serial fallback itself panicked.
@@ -157,6 +192,18 @@ pub enum ExecError {
     /// group-id strides are inconsistent; rejected up front, before any
     /// worker could hit the inconsistency as a panic.
     BadPlan { query: String, message: String },
+    /// Admission control refused the query: the concurrent-query cap is
+    /// full, or the memory budget cannot fit it even after the full
+    /// degradation ladder. `retry_after_ms` hints when to try again (see
+    /// [`crate::govern::try_execute_star_with_retry`]).
+    Rejected { query: String, retry_after_ms: u64 },
+    /// The query's [`crate::govern::CancelToken`] fired mid-execution; the
+    /// report carries the partial progress.
+    Cancelled { query: String, report: ExecReport },
+    /// The per-query deadline (`HEF_DEADLINE_MS` / `ExecConfig::
+    /// deadline_ms`) passed mid-execution; the report carries the partial
+    /// progress.
+    DeadlineExceeded { query: String, deadline_ms: u64, report: ExecReport },
 }
 
 impl std::fmt::Display for ExecError {
@@ -167,6 +214,28 @@ impl std::fmt::Display for ExecError {
             }
             ExecError::BadPlan { query, message } => {
                 write!(f, "query `{query}` rejected: {message}")
+            }
+            ExecError::Rejected { query, retry_after_ms } => {
+                write!(
+                    f,
+                    "query `{query}` refused admission (queue or memory budget full); \
+                     retry in ~{retry_after_ms}ms"
+                )
+            }
+            ExecError::Cancelled { query, report } => {
+                write!(
+                    f,
+                    "query `{query}` cancelled after {} completed morsels",
+                    report.morsels_completed
+                )
+            }
+            ExecError::DeadlineExceeded { query, deadline_ms, report } => {
+                write!(
+                    f,
+                    "query `{query}` exceeded its {deadline_ms}ms deadline \
+                     after {} completed morsels",
+                    report.morsels_completed
+                )
             }
         }
     }
@@ -191,14 +260,38 @@ struct Scheduler {
     in_flight: AtomicUsize,
     /// A range exceeded [`MAX_MORSEL_RETRIES`]: stop everything, go serial.
     give_up: AtomicBool,
+    /// Governance stop-cause: 0 = running, 1 = cancelled, 2 = deadline.
+    /// Checked in [`Scheduler::claim`] — including its wait-spin, so no
+    /// worker can wait forever on a peer that was interrupted.
+    stop: AtomicU8,
     retried: AtomicUsize,
     workers_lost: AtomicUsize,
+    /// Morsel ranges fully executed (partial-progress attribution).
+    completed: AtomicUsize,
 }
 
 impl Scheduler {
+    /// Record a governance interrupt (first cause wins) and stop handing
+    /// out work.
+    fn interrupt(&self, i: Interrupt) {
+        let code = match i {
+            Interrupt::Cancelled => 1,
+            Interrupt::DeadlineExceeded => 2,
+        };
+        let _ = self.stop.compare_exchange(0, code, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    fn interrupted(&self) -> Option<Interrupt> {
+        match self.stop.load(Ordering::Acquire) {
+            1 => Some(Interrupt::Cancelled),
+            2 => Some(Interrupt::DeadlineExceeded),
+            _ => None,
+        }
+    }
+
     fn claim(&self) -> Option<(usize, usize, u32)> {
         loop {
-            if self.give_up.load(Ordering::Acquire) {
+            if self.give_up.load(Ordering::Acquire) || self.stop.load(Ordering::Acquire) != 0 {
                 return None;
             }
             {
@@ -273,6 +366,7 @@ fn worker_loop<'a>(
     plan: &'a StarPlan,
     fact: &'a Table,
     cfg: &'a ExecConfig,
+    ctx: &QueryCtx,
 ) -> Option<QueryOutput> {
     if hef_obs::trace::enabled() {
         hef_obs::trace::set_thread_name(&format!("worker-{wid}"));
@@ -284,18 +378,36 @@ fn worker_loop<'a>(
         let morsel_idx = lo / sched.morsel;
         hef_obs::metrics::add(hef_obs::metrics::Metric::MorselsClaimed, 1);
         hef_obs::metrics::observe(hef_obs::metrics::Hist::MorselRows, (hi - lo) as u64);
+        // The `slow_morsel:` fault stalls here, in interruptible slices, so
+        // a deadline/cancel fires *mid*-morsel and still comes back typed.
+        if let Some(stall) = fault::next_slow_morsel(wid, morsel_idx) {
+            if let Err(i) = crate::govern::sleep_checked(stall, ctx) {
+                sched.interrupt(i);
+                sched.complete();
+                return None;
+            }
+        }
         // The span guard lives inside the catch_unwind closure so a panic
         // still closes the morsel span on unwind.
         let run = catch_unwind(AssertUnwindSafe(|| {
             let _mspan = hef_obs::span_fine!("morsel", lo = lo, hi = hi, attempt = attempts);
             fault::maybe_panic_worker(wid, morsel_idx, fault::Phase::Before);
-            w.run_range(lo, hi);
+            let r = w.try_run_range(lo, hi, ctx);
             fault::maybe_panic_worker(wid, morsel_idx, fault::Phase::After);
+            r
         }));
         match run {
-            Ok(()) => {
+            Ok(Ok(())) => {
                 done.push((lo, hi));
+                sched.completed.fetch_add(1, Ordering::AcqRel);
                 sched.complete();
+            }
+            Ok(Err(i)) => {
+                // Interrupted mid-morsel: this worker's partial output is
+                // unusable, and the whole query is ending anyway.
+                sched.interrupt(i);
+                sched.complete();
+                return None;
             }
             Err(_) => {
                 sched.requeue((lo, hi, attempts), &done);
@@ -304,7 +416,7 @@ fn worker_loop<'a>(
             }
         }
     }
-    if sched.give_up.load(Ordering::Acquire) {
+    if sched.give_up.load(Ordering::Acquire) || sched.stop.load(Ordering::Acquire) != 0 {
         return None;
     }
     Some(w.finish())
@@ -320,6 +432,21 @@ pub fn try_execute_star_parallel(
     cfg: &ExecConfig,
     threads: usize,
 ) -> Result<(QueryOutput, ExecReport), ExecError> {
+    try_execute_star_parallel_ctx(plan, fact, cfg, threads, &QueryCtx::unbounded())
+}
+
+/// [`try_execute_star_parallel`] under a governance context: every worker
+/// checks `ctx` at morsel claims and batch boundaries, and an interrupt
+/// drains the scheduler and comes back as a typed error with the partial
+/// [`ExecReport`]. `std::thread::scope` guarantees all workers are joined
+/// before this returns — interrupted queries never leak threads.
+pub(crate) fn try_execute_star_parallel_ctx(
+    plan: &StarPlan,
+    fact: &Table,
+    cfg: &ExecConfig,
+    threads: usize,
+    ctx: &QueryCtx,
+) -> Result<(QueryOutput, ExecReport), ExecError> {
     crate::star::validate_star_plan(plan, fact)?;
     let threads = threads.max(1);
     let sched = Scheduler {
@@ -329,8 +456,10 @@ pub fn try_execute_star_parallel(
         retry: Mutex::new(Vec::new()),
         in_flight: AtomicUsize::new(0),
         give_up: AtomicBool::new(false),
+        stop: AtomicU8::new(0),
         retried: AtomicUsize::new(0),
         workers_lost: AtomicUsize::new(0),
+        completed: AtomicUsize::new(0),
     };
 
     let mut outputs: Vec<QueryOutput> = Vec::with_capacity(threads);
@@ -339,7 +468,7 @@ pub fn try_execute_star_parallel(
         let handles: Vec<_> = (0..threads)
             .map(|wid| {
                 let sched = &sched;
-                s.spawn(move || worker_loop(wid, sched, plan, fact, cfg))
+                s.spawn(move || worker_loop(wid, sched, plan, fact, cfg, ctx))
             })
             .collect();
         for h in handles {
@@ -359,34 +488,48 @@ pub fn try_execute_star_parallel(
         morsels_retried: sched.retried.load(Ordering::Acquire),
         workers_lost: sched.workers_lost.load(Ordering::Acquire),
         degraded_to_serial: false,
+        morsels_completed: sched.completed.load(Ordering::Acquire),
+        degrade_actions: Vec::new(),
     };
+    if let Some(i) = sched.interrupted() {
+        return Err(crate::govern::interrupt_error(&plan.name, ctx, i, report));
+    }
     if sched.give_up.load(Ordering::Acquire) || worker_escaped {
         if worker_escaped {
             report.workers_lost += 1;
         }
         report.degraded_to_serial = true;
-        let out = run_serial_guarded(plan, fact, cfg)?;
+        let out = run_serial_guarded_ctx(plan, fact, cfg, ctx, &report)?;
         return Ok((out, report));
     }
     Ok((merge_outputs(plan, outputs), report))
 }
 
-/// The serial path, panic-guarded: its failure is the ladder's last rung
-/// and becomes a typed [`ExecError`].
-pub(crate) fn run_serial_guarded(
+/// The serial path under a governance context, panic-guarded: a panic is the
+/// ladder's last rung and becomes a typed [`ExecError::Failed`]; a cancel or
+/// deadline observed at a batch boundary comes back typed, carrying
+/// `base_report`'s attribution (the serial path may be the tail of an
+/// abandoned parallel attempt, whose recovery counts should survive into the
+/// error).
+pub(crate) fn run_serial_guarded_ctx(
     plan: &StarPlan,
     fact: &Table,
     cfg: &ExecConfig,
+    ctx: &QueryCtx,
+    base_report: &ExecReport,
 ) -> Result<QueryOutput, ExecError> {
-    catch_unwind(AssertUnwindSafe(|| crate::star::execute_star_serial(plan, fact, cfg)))
-        .map_err(|payload| {
-            let message = payload
-                .downcast_ref::<String>()
-                .cloned()
-                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
-                .unwrap_or_else(|| "panic with non-string payload".to_string());
-            ExecError::Failed { query: plan.name.clone(), message }
-        })
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        crate::star::execute_star_serial_ctx(plan, fact, cfg, ctx)
+    }))
+    .map_err(|payload| {
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "panic with non-string payload".to_string());
+        ExecError::Failed { query: plan.name.clone(), message }
+    })?;
+    run.map_err(|i| crate::govern::interrupt_error(&plan.name, ctx, i, base_report.clone()))
 }
 
 /// Panicking convenience over [`try_execute_star_parallel`], for callers
@@ -439,8 +582,14 @@ fn merge_outputs(plan: &StarPlan, outputs: Vec<QueryOutput>) -> QueryOutput {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::star::{build_dimension, execute_star_serial, Measure};
+    use crate::star::{build_dimension, Measure};
     use hef_storage::Column;
+
+    /// The serial path under an unbounded context (which never interrupts).
+    fn execute_star_serial(plan: &StarPlan, fact: &Table, cfg: &ExecConfig) -> QueryOutput {
+        crate::star::execute_star_serial_ctx(plan, fact, cfg, &QueryCtx::unbounded())
+            .expect("unbounded ctx never interrupts")
+    }
 
     fn toy(n: u64) -> (Table, StarPlan) {
         let mut fact = Table::new("fact");

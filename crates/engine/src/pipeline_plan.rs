@@ -123,18 +123,32 @@ pub fn apply_pipeline_entry(mut cfg: ExecConfig, entry: &PipelineEntry) -> ExecC
 /// only re-parsed when the path changes — repeat queries pay one load.
 static PIPELINE_CACHE: Mutex<Option<(String, Registry)>> = Mutex::new(None);
 
+/// Drop the one-slot registry cache. The governor calls this when it
+/// degrades a plan (e.g. drops partitioning): the cached overlay was tuned
+/// for the un-degraded execution shape, and re-applying its `p`/`f`
+/// settings from the cache to the next query with the same fingerprint
+/// would silently resurrect what degradation turned off.
+pub(crate) fn invalidate_cache() {
+    let mut cache = PIPELINE_CACHE.lock().unwrap_or_else(|e| e.into_inner());
+    *cache = None;
+}
+
 /// Resolve the `HEF_PIPELINE` override for `plan`: when the variable names
 /// a registry file containing a v3 row for the plan's fingerprint, return
 /// `cfg` with that row applied; otherwise return `cfg` unchanged. Load
 /// failures go through the registry degradation ladder (lenient parse,
 /// stale-ISA clearing), so a damaged file costs the pipeline row, never the
-/// query.
+/// query. Plans the governor degraded are exempt from the overlay entirely
+/// (see [`crate::govern::Governor::fingerprint_degraded`]).
 pub(crate) fn resolve_pipeline_env(plan: &StarPlan, cfg: ExecConfig) -> ExecConfig {
     let Ok(path) = std::env::var("HEF_PIPELINE") else {
         return cfg;
     };
     let path = path.trim();
     if path.is_empty() {
+        return cfg;
+    }
+    if crate::govern::Governor::current().fingerprint_degraded(plan.fingerprint()) {
         return cfg;
     }
     let mut cache = PIPELINE_CACHE.lock().unwrap_or_else(|e| e.into_inner());
@@ -249,8 +263,13 @@ mod tests {
         assert_eq!(cfg.use_bloom, base.use_bloom);
     }
 
+    /// Serializes the tests that mutate the process-wide `HEF_PIPELINE`
+    /// variable (they would otherwise race each other's paths).
+    static ENV_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn hef_pipeline_resolves_and_damaged_files_degrade() {
+        let _env = ENV_GUARD.lock().unwrap_or_else(|e| e.into_inner());
         let (fact, plan) = toy_plan();
         let dir = std::env::temp_dir().join(format!("hef-pipe-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -299,6 +318,88 @@ mod tests {
         let degraded = resolve_pipeline_env(&plan, base);
         assert_eq!(degraded.filter, base.filter);
         assert_eq!(degraded.probe_prefetch, base.probe_prefetch);
+        std::env::remove_var("HEF_PIPELINE");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression for the ISSUE 8 bugfix: once the governor degrades a plan
+    /// (here: drops its radix partitioning to fit the memory budget), the
+    /// plan's tuned `HEF_PIPELINE` overlay must stop applying — both on a
+    /// fresh load and from the one-slot registry cache, which the
+    /// degradation invalidates. Un-degraded plans keep their overlays.
+    #[test]
+    fn governor_degraded_plan_suppresses_stale_pipeline_overlay() {
+        use crate::govern::{with_governor, GovernorConfig};
+        use crate::star::Measure;
+
+        let _env = ENV_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        // A dimension big enough to carry a radix-partitioned probe table.
+        let n_dim = 200_000u64;
+        let mut dim = Table::new("bigdim");
+        dim.add_column(Column::new("key", (0..n_dim).collect()));
+        let d = build_dimension(&dim, "key", |_| true, |r| dim.col("key")[r] % 4, 4, "fk");
+        assert!(d.parts.is_some(), "dimension must partition");
+        let mut fact = Table::new("fact");
+        fact.add_column(Column::new("fk", (0..4096u64).map(|i| i % n_dim).collect()));
+        fact.add_column(Column::new("rev", (0..4096u64).map(|i| i % 7 + 1).collect()));
+        let plan = StarPlan {
+            name: "bigjoin".into(),
+            filters: vec![],
+            dims: vec![d],
+            measure: Measure::Sum("rev".into()),
+            strides: vec![],
+        };
+        let (_, other_plan) = toy_plan();
+
+        // Pipeline rows for both plans.
+        let dir = std::env::temp_dir().join(format!("hef-pipe-gov-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tuned.txt");
+        let entry = || PipelineEntry {
+            stages: vec![(Family::Filter, HybridConfig::new(2, 2, 2))],
+            f: 16,
+        };
+        let mut reg = Registry::default();
+        reg.insert_pipeline(plan.fingerprint(), entry());
+        reg.insert_pipeline(other_plan.fingerprint(), entry());
+        reg.save(&path).unwrap();
+        std::env::set_var("HEF_PIPELINE", &path);
+
+        let base = ExecConfig::hybrid_default();
+        // A budget that fits the flat shape but not the partitioned one, so
+        // admission's first ladder rung is exactly DropPartition.
+        let mut flat = base;
+        flat.partition = false;
+        let budget = crate::govern::estimate_query_bytes(&plan, &fact, &flat, 2);
+        assert!(
+            crate::govern::estimate_query_bytes(&plan, &fact, &base, 2) > budget,
+            "partitioned estimate must exceed the flat-shape budget"
+        );
+
+        with_governor(GovernorConfig { max_queries: 0, mem_budget: budget }, |gov| {
+            // Overlay applies while the plan is un-degraded (and primes the
+            // one-slot cache).
+            let before = resolve_pipeline_env(&plan, base);
+            assert_eq!(before.filter, HybridConfig::new(2, 2, 2));
+
+            let mut cfg = base;
+            let mut threads = 2;
+            let adm = gov.admit(&plan, &fact, &mut cfg, &mut threads).expect("admit degraded");
+            assert!(!cfg.partition, "ladder must have dropped partitioning");
+            assert!(gov.fingerprint_degraded(plan.fingerprint()));
+
+            // The stale overlay no longer applies — not from the (now
+            // invalidated) cache, not from a fresh load.
+            let after = resolve_pipeline_env(&plan, base);
+            assert_eq!(after.filter, base.filter, "stale overlay re-applied");
+            assert_eq!(after.probe_prefetch, base.probe_prefetch);
+
+            // Other plans are unaffected: their overlay still resolves.
+            let other = resolve_pipeline_env(&other_plan, base);
+            assert_eq!(other.filter, HybridConfig::new(2, 2, 2));
+            drop(adm);
+        });
+
         std::env::remove_var("HEF_PIPELINE");
         let _ = std::fs::remove_dir_all(&dir);
     }

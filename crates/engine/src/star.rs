@@ -59,6 +59,11 @@ pub struct ExecConfig {
     /// cache-sized sub-tables (see [`build_dimension`]) and the batch has
     /// enough keys per partition. Overridable per run via `HEF_PARTITION`.
     pub partition: bool,
+    /// Per-query deadline in milliseconds (`0` = none). Checked at every
+    /// morsel claim and batch boundary; an expired deadline surfaces as
+    /// typed [`crate::parallel::ExecError::DeadlineExceeded`]. Overridable
+    /// per run via `HEF_DEADLINE_MS`.
+    pub deadline_ms: u64,
 }
 
 impl ExecConfig {
@@ -76,6 +81,7 @@ impl ExecConfig {
             threads: 0,
             probe_prefetch: 0,
             partition: true,
+            deadline_ms: 0,
         }
     }
 
@@ -93,6 +99,7 @@ impl ExecConfig {
             threads: 0,
             probe_prefetch: 0,
             partition: true,
+            deadline_ms: 0,
         }
     }
 
@@ -112,6 +119,7 @@ impl ExecConfig {
             threads: 0,
             probe_prefetch: 0,
             partition: true,
+            deadline_ms: 0,
         }
     }
 
@@ -129,6 +137,7 @@ impl ExecConfig {
             threads: 0,
             probe_prefetch: 0,
             partition: true,
+            deadline_ms: 0,
         }
     }
 
@@ -147,6 +156,7 @@ impl ExecConfig {
             threads: 0,
             probe_prefetch: 0,
             partition: true,
+            deadline_ms: 0,
         }
     }
 
@@ -184,10 +194,24 @@ impl ExecConfig {
         self
     }
 
-    /// Apply the `HEF_PREFETCH` (depth, `usize`) and `HEF_PARTITION`
-    /// (`0/off/false` or `1/on/true`) environment overrides. Read per
-    /// execution — not cached — so tests and repeated runs in one process
-    /// can change them between queries.
+    /// Builder-style batch-size override.
+    pub fn with_batch(mut self, batch: usize) -> ExecConfig {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Builder-style deadline override (`0` = none, see
+    /// [`ExecConfig::deadline_ms`]).
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> ExecConfig {
+        self.deadline_ms = deadline_ms;
+        self
+    }
+
+    /// Apply the `HEF_PREFETCH` (depth, `usize`), `HEF_PARTITION`
+    /// (`0/off/false` or `1/on/true`), and `HEF_DEADLINE_MS` (milliseconds,
+    /// `0` = none) environment overrides. Read per execution — not cached —
+    /// so tests and repeated runs in one process can change them between
+    /// queries.
     pub fn resolved_from_env(mut self) -> ExecConfig {
         if let Ok(v) = std::env::var("HEF_PREFETCH") {
             if let Ok(f) = v.trim().parse::<usize>() {
@@ -199,6 +223,11 @@ impl ExecConfig {
                 "0" | "off" | "false" => self.partition = false,
                 "1" | "on" | "true" => self.partition = true,
                 _ => {}
+            }
+        }
+        if let Ok(v) = std::env::var("HEF_DEADLINE_MS") {
+            if let Ok(ms) = v.trim().parse::<u64>() {
+                self.deadline_ms = ms;
             }
         }
         self
@@ -457,12 +486,42 @@ pub fn try_execute_star(
     fact: &Table,
     cfg: &ExecConfig,
 ) -> Result<(QueryOutput, crate::parallel::ExecReport), crate::parallel::ExecError> {
+    try_execute_star_cancellable(plan, fact, cfg, &crate::govern::CancelToken::new())
+}
+
+/// [`try_execute_star`] with a caller-held [`CancelToken`]: clone the token
+/// into whatever owns the query's lifetime and [`cancel`] it to stop the
+/// query cooperatively at the next morsel/batch boundary, yielding typed
+/// [`ExecError::Cancelled`] with the partial report. This is also the full
+/// governed path: the query is admitted by [`Governor::current`] (possibly
+/// degraded under memory pressure, possibly `Rejected`) and runs under its
+/// deadline (`ExecConfig::deadline_ms` / `HEF_DEADLINE_MS`).
+///
+/// [`cancel`]: crate::govern::CancelToken::cancel
+/// [`Governor::current`]: crate::govern::Governor::current
+/// [`ExecError::Cancelled`]: crate::parallel::ExecError::Cancelled
+/// [`CancelToken`]: crate::govern::CancelToken
+pub fn try_execute_star_cancellable(
+    plan: &StarPlan,
+    fact: &Table,
+    cfg: &ExecConfig,
+    cancel: &crate::govern::CancelToken,
+) -> Result<(QueryOutput, crate::parallel::ExecReport), crate::parallel::ExecError> {
     validate_star_plan(plan, fact)?;
     // Overlay a tuned per-query pipeline plan (registry v3 via
     // `HEF_PIPELINE`) first, then the explicit per-knob env overrides, so
     // `HEF_PREFETCH`/`HEF_PARTITION` still win over the joint plan.
-    let cfg = &crate::pipeline_plan::resolve_pipeline_env(plan, *cfg).resolved_from_env();
-    let threads = crate::parallel::resolve_threads(cfg.threads);
+    let mut cfg = crate::pipeline_plan::resolve_pipeline_env(plan, *cfg).resolved_from_env();
+    let resolved_threads = crate::parallel::resolve_threads(cfg.threads);
+    // Admission: may degrade `cfg`/`threads` under memory pressure (the
+    // one-slot pipeline cache is invalidated when it does) or reject. The
+    // guard's Drop releases the charge on every path out of this function.
+    let mut threads = resolved_threads;
+    let gov = crate::govern::Governor::current();
+    let mut admission = gov.admit(plan, fact, &mut cfg, &mut threads)?;
+    let threads = crate::parallel::resolve_threads_governed(resolved_threads, threads);
+    let ctx = crate::govern::QueryCtx::new(cancel.clone(), cfg.deadline_ms);
+    let cfg = &cfg;
     let _qspan = if hef_obs::trace::enabled() {
         hef_obs::trace::span_begin_labeled(
             "query",
@@ -473,31 +532,57 @@ pub fn try_execute_star(
         hef_obs::trace::SpanGuard::disabled()
     };
     hef_obs::metrics::add(hef_obs::metrics::Metric::QueriesExecuted, 1);
-    if threads > 1 {
-        return crate::parallel::try_execute_star_parallel(plan, fact, cfg, threads);
+    let mut result = if threads > 1 {
+        crate::parallel::try_execute_star_parallel_ctx(plan, fact, cfg, threads, &ctx)
+    } else {
+        let report = crate::parallel::ExecReport { threads: 1, ..Default::default() };
+        crate::parallel::run_serial_guarded_ctx(plan, fact, cfg, &ctx, &report)
+            .map(|out| (out, report))
+    };
+    // Stamp the admission-time degradations into whichever report the
+    // outcome carries, so callers always see the full attribution.
+    let actions = admission.take_actions();
+    match &mut result {
+        Ok((_, report)) => report.degrade_actions = actions,
+        Err(crate::parallel::ExecError::Cancelled { report, .. })
+        | Err(crate::parallel::ExecError::DeadlineExceeded { report, .. }) => {
+            report.degrade_actions = actions
+        }
+        Err(_) => {}
     }
-    let report = crate::parallel::ExecReport { threads: 1, ..Default::default() };
-    crate::parallel::run_serial_guarded(plan, fact, cfg).map(|out| (out, report))
+    result
 }
 
-/// The serial path: one worker over the whole fact table. Consults the
-/// fault harness once (worker id [`hef_testutil::fault::SERIAL_WORKER`],
-/// morsel 0) so unrestricted `HEF_FAULT=panic:morsel=0` plans exercise the
-/// ladder's last rung too.
-pub(crate) fn execute_star_serial(plan: &StarPlan, fact: &Table, cfg: &ExecConfig) -> QueryOutput {
+/// The serial path: one worker over the whole fact table, under a
+/// governance context — checks `ctx` at every batch boundary and honors
+/// `slow_morsel:` stalls interruptibly, mirroring the parallel workers.
+/// Consults the fault harness once (worker id
+/// [`hef_testutil::fault::SERIAL_WORKER`], morsel 0) so unrestricted
+/// `HEF_FAULT=panic:morsel=0` plans exercise the ladder's last rung too.
+pub(crate) fn execute_star_serial_ctx(
+    plan: &StarPlan,
+    fact: &Table,
+    cfg: &ExecConfig,
+    ctx: &crate::govern::QueryCtx,
+) -> Result<QueryOutput, crate::govern::Interrupt> {
     hef_testutil::fault::maybe_panic_worker(
         hef_testutil::fault::SERIAL_WORKER,
         0,
         hef_testutil::fault::Phase::Before,
     );
+    if let Some(stall) =
+        hef_testutil::fault::next_slow_morsel(hef_testutil::fault::SERIAL_WORKER, 0)
+    {
+        crate::govern::sleep_checked(stall, ctx)?;
+    }
     if cfg.flavor == Flavor::Voila {
         let mut w = crate::voila::VoilaWorker::new(plan, fact, cfg.batch);
-        w.run_range(0, fact.len());
-        return w.finish();
+        w.try_run_range(0, fact.len(), ctx)?;
+        return Ok(w.finish());
     }
     let mut w = PipelineWorker::new(plan, fact, cfg);
-    w.run_range(0, fact.len());
-    w.finish()
+    w.try_run_range(0, fact.len(), ctx)?;
+    Ok(w.finish())
 }
 
 /// One VIP-style pipeline worker: owns the reusable batch buffers, a private
@@ -548,15 +633,25 @@ impl<'a> PipelineWorker<'a> {
         }
     }
 
-    /// Process fact rows `lo..hi` batch by batch.
-    pub(crate) fn run_range(&mut self, lo: usize, hi: usize) {
+    /// Process fact rows `lo..hi` batch by batch under a governance
+    /// context: the
+    /// cancel/deadline check runs before every batch, which also brackets
+    /// each radix-partition bucketing pass (partitioning is per-batch).
+    pub(crate) fn try_run_range(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        ctx: &crate::govern::QueryCtx,
+    ) -> Result<(), crate::govern::Interrupt> {
         self.stats.rows_scanned += (hi - lo) as u64;
         let mut start = lo;
         while start < hi {
+            ctx.check()?;
             let end = (start + self.cfg.batch).min(hi);
             self.run_batch(start, end);
             start = end;
         }
+        Ok(())
     }
 
     fn run_batch(&mut self, start: usize, end: usize) {

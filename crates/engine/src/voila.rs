@@ -107,6 +107,25 @@ impl<'a> VoilaWorker<'a> {
         }
     }
 
+    /// [`VoilaWorker::run_range`] under a governance context: the
+    /// cancel/deadline check runs before every batch.
+    pub(crate) fn try_run_range(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        ctx: &crate::govern::QueryCtx,
+    ) -> Result<(), crate::govern::Interrupt> {
+        self.stats.rows_scanned += (hi - lo) as u64;
+        let mut start = lo;
+        while start < hi {
+            ctx.check()?;
+            let end = (start + self.batch).min(hi);
+            self.run_batch(start, end);
+            start = end;
+        }
+        Ok(())
+    }
+
     fn run_batch(&mut self, start: usize, end: usize) {
         let (plan, fact, ncols) = (self.plan, self.fact, self.ncols);
         let ndims = plan.dims.len();

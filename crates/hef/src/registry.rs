@@ -495,9 +495,11 @@ impl Registry {
         (reg, issues)
     }
 
-    /// Write to a file.
+    /// Write to a file, atomically: the text lands in a same-directory
+    /// staging file first and is `rename`d into place, so a crash or
+    /// cancelled query mid-save can never leave a torn registry behind.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_text())
+        hef_testutil::atomic_write(path, self.to_text().as_bytes())
     }
 
     /// Read from a file (strict parse), as a typed [`HefError`].

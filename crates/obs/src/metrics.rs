@@ -53,10 +53,18 @@ pub enum Metric {
     // Cross-cutting
     FaultsInjected,
     DiagWarnings,
+    // Query lifecycle governance (engine::govern)
+    GovAdmitted,
+    GovRejected,
+    GovDegradations,
+    GovCancelled,
+    GovDeadlineExceeded,
+    GovBackoffRetries,
+    GovBytesCharged,
 }
 
 impl Metric {
-    pub const ALL: [Metric; 32] = [
+    pub const ALL: [Metric; 39] = [
         Metric::QueriesExecuted,
         Metric::MorselsClaimed,
         Metric::MorselsRetried,
@@ -89,6 +97,13 @@ impl Metric {
         Metric::StorageIssues,
         Metric::FaultsInjected,
         Metric::DiagWarnings,
+        Metric::GovAdmitted,
+        Metric::GovRejected,
+        Metric::GovDegradations,
+        Metric::GovCancelled,
+        Metric::GovDeadlineExceeded,
+        Metric::GovBackoffRetries,
+        Metric::GovBytesCharged,
     ];
 
     pub fn name(self) -> &'static str {
@@ -125,6 +140,13 @@ impl Metric {
             Metric::StorageIssues => "storage.issues",
             Metric::FaultsInjected => "fault.injected",
             Metric::DiagWarnings => "diag.warnings",
+            Metric::GovAdmitted => "govern.admitted",
+            Metric::GovRejected => "govern.rejected",
+            Metric::GovDegradations => "govern.degradations",
+            Metric::GovCancelled => "govern.cancelled",
+            Metric::GovDeadlineExceeded => "govern.deadline_exceeded",
+            Metric::GovBackoffRetries => "govern.backoff_retries",
+            Metric::GovBytesCharged => "govern.bytes_charged",
         }
     }
 }

@@ -27,6 +27,8 @@
 //! | `registry` | `flips=N` (req), `seed=S` (default 1)  | `N` seeded byte flips applied to registry text at load |
 //! | `torn`     | `bytes=N` (req), `seed=S` (default 1), `file=SUBSTR` | the last `N` bytes of matching file reads are overwritten with seeded garbage (a torn write) |
 //! | `short`    | `bytes=N` (req), `file=SUBSTR`         | matching file reads are truncated by `N` bytes (a short read / truncated file) |
+//! | `slow_morsel` | `morsel=N` (req), `ms=M` (default 50), `worker=N`, `times=N` (default 1) | a worker stalls `M` ms when claiming morsel `N` (the engine sleeps in slices, so deadlines fire mid-morsel) |
+//! | `mem_spike` | `bytes=N` (req), `times=N` (default 1) | the governor's admission estimate is inflated by `N` bytes, driving the degradation ladder |
 //!
 //! The `torn`/`short` clauses act at the [`read_file`] hook, which storage
 //! and registry loading route through; `file=SUBSTR` restricts a clause to
@@ -95,6 +97,34 @@ pub struct ShortRead {
     pub file: Option<String>,
 }
 
+/// Stall a parallel worker on a chosen morsel — models a slow disk, a
+/// contended lock, or a straggler NUMA node. The engine performs the sleep
+/// itself (in small slices, checking the query's cancellation/deadline
+/// context between slices) so governance can interrupt a stalled morsel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowMorsel {
+    /// Restrict to one worker index (`None` = whichever worker claims it).
+    pub worker: Option<usize>,
+    /// Morsel index (fact-table offset / morsel size) that triggers.
+    pub morsel: usize,
+    /// Stall duration in milliseconds.
+    pub ms: u64,
+    /// Maximum number of firings.
+    pub times: u32,
+}
+
+/// Inflate the governor's admission-time memory estimate — models a query
+/// whose scratch requirements blow past the prediction, forcing the
+/// degradation ladder (drop partitioning → shrink batches → shed workers →
+/// reject).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemSpike {
+    /// Extra bytes added to the admission estimate.
+    pub bytes: u64,
+    /// Maximum number of firings.
+    pub times: u32,
+}
+
 /// A complete fault schedule.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
@@ -103,6 +133,8 @@ pub struct FaultPlan {
     pub registry: Option<RegistryCorruption>,
     pub torn: Vec<TornFile>,
     pub short: Vec<ShortRead>,
+    pub slow_morsels: Vec<SlowMorsel>,
+    pub mem_spikes: Vec<MemSpike>,
 }
 
 impl FaultPlan {
@@ -113,6 +145,8 @@ impl FaultPlan {
             && self.registry.is_none()
             && self.torn.is_empty()
             && self.short.is_empty()
+            && self.slow_morsels.is_empty()
+            && self.mem_spikes.is_empty()
     }
 
     /// Parse a `HEF_FAULT` spec. Malformed clauses are returned as warnings
@@ -239,6 +273,40 @@ fn parse_clause(clause: &str, plan: &mut FaultPlan) -> Result<(), String> {
             }
             plan.short.push(s);
         }
+        "slow_morsel" => {
+            let mut sm = SlowMorsel { worker: None, morsel: 0, ms: 50, times: 1 };
+            let mut saw_morsel = false;
+            for (k, v) in parse_kv(body)? {
+                match k {
+                    "worker" => sm.worker = Some(num(k, v)?),
+                    "morsel" => {
+                        sm.morsel = num(k, v)?;
+                        saw_morsel = true;
+                    }
+                    "ms" => sm.ms = num(k, v)?,
+                    "times" => sm.times = num(k, v)?,
+                    other => return Err(format!("unknown key `{other}`")),
+                }
+            }
+            if !saw_morsel {
+                return Err("missing `morsel=N`".into());
+            }
+            plan.slow_morsels.push(sm);
+        }
+        "mem_spike" => {
+            let mut ms = MemSpike { bytes: 0, times: 1 };
+            for (k, v) in parse_kv(body)? {
+                match k {
+                    "bytes" => ms.bytes = num(k, v)?,
+                    "times" => ms.times = num(k, v)?,
+                    other => return Err(format!("unknown key `{other}`")),
+                }
+            }
+            if ms.bytes == 0 {
+                return Err("missing `bytes=N`".into());
+            }
+            plan.mem_spikes.push(ms);
+        }
         other => return Err(format!("unknown clause kind `{other}`")),
     }
     Ok(())
@@ -254,12 +322,18 @@ struct ActivePlan {
     panic_left: Vec<u32>,
     /// Global `CostEvaluator::cost` call counter.
     cost_calls: usize,
+    /// Remaining firings per `slow_morsels` entry.
+    slow_left: Vec<u32>,
+    /// Remaining firings per `mem_spikes` entry.
+    spike_left: Vec<u32>,
 }
 
 impl ActivePlan {
     fn new(plan: FaultPlan) -> ActivePlan {
         let panic_left = plan.worker_panics.iter().map(|p| p.times).collect();
-        ActivePlan { plan, panic_left, cost_calls: 0 }
+        let slow_left = plan.slow_morsels.iter().map(|s| s.times).collect();
+        let spike_left = plan.mem_spikes.iter().map(|s| s.times).collect();
+        ActivePlan { plan, panic_left, cost_calls: 0, slow_left, spike_left }
     }
 }
 
@@ -366,6 +440,55 @@ pub fn maybe_panic_worker(worker: usize, morsel: usize, phase: Phase) {
         hef_obs::metrics::add(hef_obs::metrics::Metric::FaultsInjected, 1);
         panic!("hef-fault: injected panic (worker {worker}, morsel {morsel}, {phase:?})");
     }
+}
+
+/// Injection hook for the parallel scheduler: returns how long the worker
+/// claiming (`worker`, `morsel`) should stall, or `None`. The *caller*
+/// performs the sleep (in interruptible slices) — the hook only consumes
+/// the schedule entry. No-op without a plan.
+pub fn next_slow_morsel(worker: usize, morsel: usize) -> Option<std::time::Duration> {
+    if !active() {
+        return None;
+    }
+    let ms = {
+        let mut s = lock_state();
+        let active = s.as_mut()?;
+        let mut hit = None;
+        for (i, sm) in active.plan.slow_morsels.iter().enumerate() {
+            let worker_ok = sm.worker.is_none_or(|w| w == worker);
+            if worker_ok && sm.morsel == morsel && active.slow_left[i] > 0 {
+                active.slow_left[i] -= 1;
+                hit = Some(sm.ms);
+                break;
+            }
+        }
+        hit?
+    };
+    hef_obs::metrics::add(hef_obs::metrics::Metric::FaultsInjected, 1);
+    Some(std::time::Duration::from_millis(ms))
+}
+
+/// Injection hook for the query governor: returns extra bytes to add to the
+/// admission-time memory estimate, or `None`. Consumed once per admission.
+pub fn next_mem_spike() -> Option<u64> {
+    if !active() {
+        return None;
+    }
+    let bytes = {
+        let mut s = lock_state();
+        let active = s.as_mut()?;
+        let mut hit = None;
+        for (i, sp) in active.plan.mem_spikes.iter().enumerate() {
+            if active.spike_left[i] > 0 {
+                active.spike_left[i] -= 1;
+                hit = Some(sp.bytes);
+                break;
+            }
+        }
+        hit?
+    };
+    hef_obs::metrics::add(hef_obs::metrics::Metric::FaultsInjected, 1);
+    Some(bytes)
 }
 
 /// Injection hook for cost evaluators: returns the multiplier for this
@@ -571,6 +694,41 @@ mod tests {
     #[test]
     fn malformed_torn_short_clauses_warn() {
         let (plan, warn) = FaultPlan::parse("torn:seed=2;short:file=x");
+        assert_eq!(warn.len(), 2, "{warn:?}");
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn slow_morsel_and_mem_spike_clauses_parse_and_fire() {
+        let (plan, warn) =
+            FaultPlan::parse("slow_morsel:morsel=2,ms=10,worker=1,times=2;mem_spike:bytes=4096");
+        assert!(warn.is_empty(), "{warn:?}");
+        assert_eq!(
+            plan.slow_morsels,
+            vec![SlowMorsel { worker: Some(1), morsel: 2, ms: 10, times: 2 }]
+        );
+        assert_eq!(plan.mem_spikes, vec![MemSpike { bytes: 4096, times: 1 }]);
+
+        with_plan(plan, || {
+            // Wrong worker / wrong morsel: no fire.
+            assert_eq!(next_slow_morsel(0, 2), None);
+            assert_eq!(next_slow_morsel(1, 3), None);
+            // Fires twice (times=2), then exhausted.
+            assert_eq!(next_slow_morsel(1, 2), Some(std::time::Duration::from_millis(10)));
+            assert_eq!(next_slow_morsel(1, 2), Some(std::time::Duration::from_millis(10)));
+            assert_eq!(next_slow_morsel(1, 2), None);
+            // Mem spike fires once.
+            assert_eq!(next_mem_spike(), Some(4096));
+            assert_eq!(next_mem_spike(), None);
+        });
+        // No plan: hooks are inert.
+        assert_eq!(next_slow_morsel(1, 2), None);
+        assert_eq!(next_mem_spike(), None);
+    }
+
+    #[test]
+    fn malformed_governance_clauses_warn() {
+        let (plan, warn) = FaultPlan::parse("slow_morsel:ms=5;mem_spike:times=2");
         assert_eq!(warn.len(), 2, "{warn:?}");
         assert!(plan.is_empty());
     }

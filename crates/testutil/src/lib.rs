@@ -19,6 +19,9 @@
 //!   worker panics on chosen morsels, consulted by `hef-core` and
 //!   `hef-engine` at cheap hooks so the degradation ladder is testable
 //!   end-to-end.
+//! * [`fsio`] — crash-safe persistence ([`atomic_write`]: temp file +
+//!   fsync + rename) used by every durable artifact writer (registry,
+//!   bench snapshots) so a killed process can never leave a torn file.
 //!
 //! HEF's optimizer is *test-based* (Algorithm 2 prices candidate nodes by
 //! running them), so measurement and case generation are core system
@@ -27,10 +30,12 @@
 
 pub mod bench;
 pub mod fault;
+pub mod fsio;
 pub mod prop;
 pub mod rng;
 
 pub use bench::{read_cycles, time_best_of, time_best_of_cycles, Bench, Group, Stats};
 pub use fault::FaultPlan;
+pub use fsio::atomic_write;
 pub use prop::strategy;
 pub use rng::{Rng, SplitMix64};

@@ -104,4 +104,25 @@ HEF_PIPELINE=target/tuned-torn.txt cargo run --release --offline -q -p hef-bench
 cargo bench -p hef-bench --bench probe --offline -- --smoke --compare || \
     echo "verify: note — bench compare reported an error (non-fatal)"
 
+# Lifecycle governance gate (ISSUE 8). The governance suite: deadlines and
+# cancellation surface as typed errors, the memory budget returns to zero
+# after every outcome, and no slow_morsel/mem_spike/panic schedule can hang
+# or abort the process.
+cargo test -q --offline --test fault_injection governance
+
+# Deadline smoke: a 1ms budget on a real SSB query must print a typed
+# DeadlineExceeded outcome and exit 0 — no panic, no backtrace.
+cargo run --release --offline -q -p hef-bench --bin repro -- \
+    q31 --sf 0.05 --repeats 1 --deadline-ms 1 > target/deadline-smoke.txt 2>&1
+grep -q 'DeadlineExceeded' target/deadline-smoke.txt
+if grep -q 'panicked' target/deadline-smoke.txt; then
+    echo "verify: FAIL — deadline smoke panicked instead of degrading" >&2
+    exit 1
+fi
+
+# The obs zero-overhead guard must hold with the governor enabled too: an
+# admitted (un-degraded) query's fast path adds no measurable cost.
+HEF_MAX_QUERIES=8 HEF_MEM_BUDGET=4g \
+    cargo bench -p hef-bench --bench obs_overhead --offline -- --assert
+
 echo "verify: OK"

@@ -7,7 +7,13 @@
 //! * a corrupted, off-grid, or stale `HEF_REGISTRY` file changes no query
 //!   result — only which (all result-identical) grid nodes execute it;
 //! * a single injected cost-measurement spike never moves the tuner's
-//!   `best` by more than one grid step.
+//!   `best` by more than one grid step;
+//! * (ISSUE 8) governance: deadlines and cancellation surface as typed
+//!   errors with partial [`ExecReport`] attribution, the memory budget
+//!   returns to zero after *every* outcome, and no schedule of
+//!   `slow_morsel:` / `mem_spike:` / worker-panic faults can deadlock or
+//!   abort the process (`governance_*` tests, filterable with
+//!   `cargo test --test fault_injection governance`).
 //!
 //! Every faulted section runs inside `fault::with_plan`, which serializes
 //! process-wide so concurrent tests in this binary cannot observe each
@@ -17,8 +23,10 @@
 use hef::core::{initial_candidate, on_grid, optimize, templates, Registry, RegistryIssue};
 use hef::core::optimizer::{SimulatedCost, SpikedCost};
 use hef::engine::{
-    build_dimension, execute_star, try_execute_star, try_execute_star_parallel, ExecConfig,
-    Measure, QueryOutput, StarPlan,
+    build_dimension, estimate_query_bytes, execute_star, try_execute_star,
+    try_execute_star_cancellable, try_execute_star_parallel, try_execute_star_with_retry,
+    with_governor, CancelToken, ExecConfig, ExecError, GovernorConfig, Measure, QueryOutput,
+    StarPlan, MIN_BATCH,
 };
 use hef::kernels::{Family, HybridConfig, P_AXIS, S_AXIS, V_AXIS};
 use hef::storage::{Column, Table};
@@ -361,6 +369,280 @@ fn grid_steps(a: HybridConfig, b: HybridConfig) -> usize {
     axis_index(a.v, V_AXIS).abs_diff(axis_index(b.v, V_AXIS))
         + axis_index(a.s, S_AXIS).abs_diff(axis_index(b.s, S_AXIS))
         + axis_index(a.p, P_AXIS).abs_diff(axis_index(b.p, P_AXIS))
+}
+
+// ---------------------------------------------------------------- governance
+
+/// A star plan whose dimension is big enough to trigger radix partitioning,
+/// so cancellation lands while per-batch partition bucketing is live.
+fn partitioned() -> (Table, StarPlan) {
+    let n_dim = 200_000u64;
+    let mut dim = Table::new("bigdim");
+    dim.add_column(Column::new("key", (0..n_dim).collect()));
+    dim.add_column(Column::new("grp", (0..n_dim).map(|k| k % 8).collect()));
+    let d = build_dimension(&dim, "key", |_| true, |r| dim.col("grp")[r], 8, "fk");
+    assert!(d.parts.is_some(), "dimension must trigger partitioning");
+    let n = 200_000u64;
+    let mut fact = Table::new("fact");
+    fact.add_column(Column::new("fk", (0..n).map(|i| (i * 7919) % (n_dim * 3 / 2)).collect()));
+    fact.add_column(Column::new("rev", (0..n).map(|i| i % 13 + 1).collect()));
+    let plan = StarPlan {
+        name: "bigjoin".into(),
+        filters: vec![],
+        dims: vec![d],
+        measure: Measure::Sum("rev".into()),
+        strides: vec![],
+    };
+    (fact, plan)
+}
+
+#[test]
+fn governance_deadline_mid_morsel_is_typed_and_workers_joined() {
+    let (fact, plan) = toy();
+    // Every morsel stalls 500ms (interruptibly); the 15ms deadline fires
+    // *inside* a stall, not between morsels.
+    let cfg = ExecConfig::hybrid_default().with_threads(4).with_deadline_ms(15);
+    with_governor(GovernorConfig { max_queries: 0, mem_budget: 0 }, |gov| {
+        with_plan(spec("slow_morsel:morsel=0,ms=500,times=8"), || {
+            let start = std::time::Instant::now();
+            let err = try_execute_star(&plan, &fact, &cfg)
+                .expect_err("a 15ms deadline cannot survive 500ms stalls");
+            match err {
+                ExecError::DeadlineExceeded { query, deadline_ms, .. } => {
+                    assert_eq!(query, "toy");
+                    assert_eq!(deadline_ms, 15);
+                }
+                other => panic!("expected DeadlineExceeded, got {other}"),
+            }
+            // Returning at all proves every worker joined (`thread::scope`);
+            // returning fast proves the stall was interrupted mid-sleep.
+            assert!(
+                start.elapsed() < std::time::Duration::from_millis(2000),
+                "deadline took {:?} to surface",
+                start.elapsed()
+            );
+        });
+        assert_eq!(gov.budget().used(), 0, "budget must return to zero");
+        assert_eq!(gov.active_queries(), 0);
+        // The governor is not poisoned: the same plan completes clean.
+        // (`with_plan` is not re-entrant — compute the clean run and the
+        // reference inside ONE guard scope.)
+        with_plan(FaultPlan::default(), || {
+            let (out, _) = try_execute_star(&plan, &fact, &ExecConfig::hybrid_default())
+                .expect("clean run after a deadline");
+            let reference = execute_star(&plan, &fact, &ExecConfig::hybrid_default().with_threads(1));
+            assert_eq!(out, reference);
+        });
+    });
+}
+
+#[test]
+fn governance_cancel_during_partition_build_returns_budget_to_zero() {
+    let (fact, plan) = partitioned();
+    let cfg = ExecConfig::hybrid_default().with_threads(4);
+    // A finite budget so the admission actually charges bytes.
+    let budget = estimate_query_bytes(&plan, &fact, &cfg, 4) * 4;
+    with_governor(GovernorConfig { max_queries: 0, mem_budget: budget }, |gov| {
+        with_plan(spec("slow_morsel:morsel=1,ms=500,times=8"), || {
+            let cancel = CancelToken::new();
+            let canceller = cancel.clone();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    canceller.cancel();
+                });
+                let err = try_execute_star_cancellable(&plan, &fact, &cfg, &cancel)
+                    .expect_err("cancel must surface");
+                match err {
+                    ExecError::Cancelled { query, .. } => assert_eq!(query, "bigjoin"),
+                    other => panic!("expected Cancelled, got {other}"),
+                }
+            });
+        });
+        assert_eq!(gov.budget().used(), 0, "budget must return to zero after cancel");
+        assert_eq!(gov.active_queries(), 0);
+    });
+}
+
+#[test]
+fn governance_degraded_run_completes_bit_identical() {
+    // A budget that fits only the minimal shape: the full ladder engages
+    // (drop partition, shrink batch, shed workers) and the query still
+    // produces exactly the reference answer.
+    let (fact, plan) = partitioned();
+    let reference = serial_reference(&plan, &fact, &ExecConfig::scalar());
+    let minimal = estimate_query_bytes(
+        &plan,
+        &fact,
+        &ExecConfig::hybrid_default().with_batch(MIN_BATCH),
+        1,
+    );
+    with_governor(GovernorConfig { max_queries: 0, mem_budget: minimal }, |gov| {
+        with_plan(FaultPlan::default(), || {
+            let (out, report) =
+                try_execute_star(&plan, &fact, &ExecConfig::hybrid_default().with_threads(4))
+                    .expect("degraded admission must still execute");
+            assert_eq!(out.groups, reference.groups, "degradation changed the result");
+            assert!(!report.degrade_actions.is_empty(), "ladder must have engaged");
+            assert!(!report.is_clean(), "a degraded run must not report clean");
+        });
+        assert_eq!(gov.budget().used(), 0);
+        assert_eq!(gov.active_queries(), 0);
+    });
+}
+
+#[test]
+fn governance_rejected_admission_retries_with_backoff_until_slot_frees() {
+    let (fact, plan) = toy();
+    let cfg = ExecConfig::hybrid_default().with_threads(2);
+    with_governor(GovernorConfig { max_queries: 1, mem_budget: 0 }, |gov| {
+        with_plan(FaultPlan::default(), || {
+            // Occupy the only slot, then free it from another thread while
+            // the governed call sits in its backoff sleeps.
+            let mut held_cfg = cfg;
+            let mut held_threads = 2;
+            let held =
+                gov.admit(&plan, &fact, &mut held_cfg, &mut held_threads).expect("first admit");
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    drop(held);
+                });
+                let (out, _) =
+                    try_execute_star_with_retry(&plan, &fact, &cfg, &CancelToken::new(), 8)
+                        .expect("retry must succeed once the slot frees");
+                // `with_plan` is not re-entrant: compute the reference here,
+                // inside the same guard scope.
+                assert_eq!(out, execute_star(&plan, &fact, &cfg.with_threads(1)));
+            });
+            // With no retries, a held slot is an immediate typed rejection.
+            let mut held_cfg = cfg;
+            let mut held_threads = 2;
+            let held2 =
+                gov.admit(&plan, &fact, &mut held_cfg, &mut held_threads).expect("re-admit");
+            let err = try_execute_star_with_retry(&plan, &fact, &cfg, &CancelToken::new(), 0)
+                .expect_err("no retries, full queue");
+            match err {
+                ExecError::Rejected { retry_after_ms, .. } => assert!(retry_after_ms >= 1),
+                other => panic!("expected Rejected, got {other}"),
+            }
+            drop(held2);
+        });
+        assert_eq!(gov.active_queries(), 0);
+    });
+}
+
+#[test]
+fn governance_any_fault_schedule_is_typed_never_hung() {
+    // Property: under ANY combination of slow_morsel / mem_spike / panic
+    // faults, with any deadline and cancellation timing, a governed query
+    // either completes or fails with a typed error — never a hang (watchdog)
+    // and never an abort (panic = channel disconnect) — and the budget
+    // returns to zero afterwards.
+    prop::check_with(
+        &prop::Config::with_cases(24),
+        "governed faults ⇒ typed outcome, zero budget, no hang",
+        |rng| {
+            let mut clauses: Vec<String> = Vec::new();
+            if rng.gen_range(0..2u32) == 1 {
+                clauses.push(format!(
+                    "slow_morsel:morsel={},ms={},times={}",
+                    rng.gen_range(0..5usize),
+                    rng.gen_range(1..40u64),
+                    rng.gen_range(1..4u32),
+                ));
+            }
+            if rng.gen_range(0..2u32) == 1 {
+                clauses.push(format!(
+                    "mem_spike:bytes={},times={}",
+                    rng.gen_range(1024..(64u64 << 20)),
+                    rng.gen_range(1..3u32),
+                ));
+            }
+            if rng.gen_range(0..2u32) == 1 {
+                clauses.push(format!(
+                    "panic:morsel={},times={}",
+                    rng.gen_range(0..5usize),
+                    rng.gen_range(1..3u32),
+                ));
+            }
+            (
+                clauses.join(";"),
+                [0u64, 5, 10_000][rng.gen_range(0..3usize)], // deadline_ms
+                rng.gen_range(0..2u32) == 1,                    // cancel mid-run?
+                [1usize, 2, 4][rng.gen_range(0..3usize)],    // threads
+                rng.gen_range(0..3u32),                      // admission retries
+            )
+        },
+        |case| {
+            let (spec_str, deadline_ms, cancel_mid, threads, retries) = case.clone();
+            let (tx, rx) = std::sync::mpsc::channel();
+            std::thread::spawn(move || {
+                let (fact, plan) = toy();
+                let cfg = ExecConfig::hybrid_default()
+                    .with_threads(threads)
+                    .with_deadline_ms(deadline_ms);
+                let budget = estimate_query_bytes(&plan, &fact, &cfg, threads) * 2;
+                let verdict =
+                    with_governor(GovernorConfig { max_queries: 2, mem_budget: budget }, |gov| {
+                        let faults = if spec_str.is_empty() {
+                            FaultPlan::default()
+                        } else {
+                            spec(&spec_str)
+                        };
+                        let outcome = with_plan(faults, || {
+                            let cancel = CancelToken::new();
+                            let canceller = cancel.clone();
+                            std::thread::scope(|s| {
+                                if cancel_mid {
+                                    s.spawn(move || {
+                                        std::thread::sleep(
+                                            std::time::Duration::from_millis(3),
+                                        );
+                                        canceller.cancel();
+                                    });
+                                }
+                                try_execute_star_with_retry(
+                                    &plan, &fact, &cfg, &cancel, retries,
+                                )
+                            })
+                        });
+                        let leak = (gov.budget().used(), gov.active_queries());
+                        (outcome.map(|(out, _)| out), leak)
+                    });
+                tx.send(verdict).ok();
+            });
+            let (outcome, (budget_used, active)) = rx
+                .recv_timeout(std::time::Duration::from_secs(30))
+                .unwrap_or_else(|e| match e {
+                    std::sync::mpsc::RecvTimeoutError::Timeout => {
+                        panic!("governed query hung under {case:?}")
+                    }
+                    std::sync::mpsc::RecvTimeoutError::Disconnected => {
+                        panic!("governed query panicked (not typed) under {case:?}")
+                    }
+                });
+            hef_testutil::prop_assert!(
+                budget_used == 0 && active == 0,
+                "leaked accounting under {case:?}: used={budget_used} active={active}"
+            );
+            if let Err(e) = outcome {
+                // Every failure is one of the typed governance/robustness
+                // variants — reaching here at all means no panic escaped.
+                hef_testutil::prop_assert!(
+                    matches!(
+                        e,
+                        ExecError::Failed { .. }
+                            | ExecError::Rejected { .. }
+                            | ExecError::Cancelled { .. }
+                            | ExecError::DeadlineExceeded { .. }
+                    ),
+                    "unexpected error kind under {case:?}: {e}"
+                );
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]
