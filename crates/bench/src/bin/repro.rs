@@ -27,6 +27,13 @@
 //!   plan <file.plan | qNN>   parse → optimize → lower → execute a logical
 //!                            plan (text file or canned SSB query), checking
 //!                            the optimized lowering bit-identical to naive
+//!   flame [qNN]              one profiled query (default q21): in-terminal
+//!                            flamegraph of per-worker self time, governance
+//!                            events inline, reconciled against ExecReport
+//!   trend [--strict]         sparkline trend of every archived snapshot row
+//!                            (results/history/ + results/bench_*.json);
+//!                            --strict exits non-zero on significant
+//!                            regressions
 //!   all                      everything above
 //!
 //! options:
@@ -765,6 +772,136 @@ fn run_query(q: QueryId, opts: &Opts) {
         ]);
     }
     t.print();
+    // Replay-time calibration: re-measure each registry node so drift since
+    // tune time (thermal state, other tenants, a different machine) shows
+    // up next to the recorded `# drift:` rows.
+    drift_table(reg);
+}
+
+// ---------------------------------------------------------------- observatory
+
+/// Run one query under in-memory fine-grained capture and render the
+/// aggregated self-time tree — the in-terminal flamegraph — with per-worker
+/// attribution, inline governance events, and a top-N self-time table. The
+/// profile is reconciled against the engine's own [`ExecReport`] morsel
+/// count and the tree's nesting invariant is checked; any mismatch exits
+/// non-zero so `verify.sh` can gate on it.
+///
+/// [`ExecReport`]: hef_engine::ExecReport
+fn flame_cmd(q: QueryId, opts: &Opts) {
+    let (sf, note) = scale_for("small", opts);
+    println!("\n=== flame {}: profiled query ({note}) ===\n", q.name());
+
+    // An externally-started session (HEF_TRACE / --trace) is reused; only
+    // reconcile counts when we own the capture — a pre-existing session may
+    // hold spans from earlier work or a coarse level without morsel spans.
+    let own_capture = !hef_obs::trace::enabled();
+    if own_capture {
+        hef_obs::trace::start_capture(hef_obs::Level::Fine);
+    }
+
+    let data = gen_data(sf);
+    let plan = build_plan(&data, q);
+    let threads = hef_engine::resolve_threads(0).max(2);
+    let cfg = exec_config(Flavor::Hybrid).with_threads(threads);
+    let (out, report) = match hef_engine::try_execute_star(&plan, &data.lineorder, &cfg) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("flame: {}: {e}", q.name());
+            std::process::exit(1);
+        }
+    };
+
+    let Some(tree) = hef_obs::ProfileTree::from_active_session() else {
+        eprintln!("flame: no active trace session to profile");
+        std::process::exit(1);
+    };
+    print!("{}", tree.render());
+    println!();
+    print!("{}", tree.render_top(10));
+
+    if let Err(e) = tree.check_nesting() {
+        eprintln!("flame: nesting invariant violated: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "\nquery: {} groups, {} morsels over {} threads",
+        out.groups.len(),
+        report.morsels_completed,
+        report.threads
+    );
+    if own_capture {
+        let profiled = tree.count_of("morsel");
+        if tree.dropped() > 0 {
+            println!(
+                "profile: {} record(s) dropped (raise HEF_TRACE_BUF); skipping reconciliation",
+                tree.dropped()
+            );
+        } else if profiled != report.morsels_completed as u64 {
+            eprintln!(
+                "flame: profile saw {profiled} morsel span(s) but the engine reported {}",
+                report.morsels_completed
+            );
+            std::process::exit(1);
+        } else {
+            println!("profile: morsel spans reconcile with ExecReport ({profiled})");
+        }
+    }
+    println!("profile: OK");
+}
+
+/// Regression tracker over every archived snapshot: thread
+/// `results/history/*.json` and `results/bench_*.json` into per-row series,
+/// render sparkline trends, and (with `--strict`) exit non-zero when the
+/// newest point of any series regressed significantly.
+fn trend_cmd(strict: bool) {
+    let report = match hef_bench::trend::scan_default() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trend: {e}");
+            std::process::exit(1);
+        }
+    };
+    if report.snapshots == 0 {
+        println!("trend: no archived snapshots under results/ — run a bench with snapshots first");
+        return;
+    }
+    print!("{}", report.render());
+    if strict && !report.regressions().is_empty() {
+        std::process::exit(3);
+    }
+}
+
+/// Per-family calibration table: the registry's tune-time `# drift:` rows
+/// next to a fresh predicted-vs-measured sample of the same node on this
+/// machine (which also feeds the `tuner.drift` histogram). Columns without
+/// data (no tune-time row, no cycle counter) print `-`.
+fn drift_table(reg: &Registry) {
+    println!("\n=== tuned-node drift (port simulator vs this machine) ===\n");
+    let mut t = TableWriter::new(vec![
+        "family", "node", "pred c/row", "tuned c/row", "now c/row", "drift",
+    ]);
+    let dash = || "-".to_string();
+    for family in Family::ALL {
+        let cfg = reg.get_or_default(family);
+        let tuned = reg.get_drift(family);
+        let live = hef_core::measure_drift(family, cfg, 1 << 16);
+        let predicted = live
+            .map(|d| d.predicted_cpr)
+            .unwrap_or_else(|| hef_core::predicted_cycles_per_row(family, cfg, &CpuModel::host()));
+        let ratio = live.map(|d| d.ratio()).or_else(|| {
+            tuned.and_then(|(p, m)| if p > 0.0 { Some(m / p) } else { None })
+        });
+        t.row(vec![
+            family.name().to_string(),
+            cfg.to_string(),
+            format!("{predicted:.2}"),
+            tuned.map(|(_, m)| format!("{m:.2}")).unwrap_or_else(dash),
+            live.map(|d| format!("{:.2}", d.measured_cpr)).unwrap_or_else(dash),
+            ratio.map(|r| format!("{r:.2}x")).unwrap_or_else(dash),
+        ]);
+    }
+    t.print();
 }
 
 /// Validate a Chrome trace written by `--trace`/`HEF_TRACE` and print a
@@ -849,6 +986,8 @@ fn trace_report(path: &str) {
     for (tid, name) in &report.thread_names {
         println!("  thread {tid}: {name}");
     }
+    // Calibration follow-up: how the registry's tuned nodes price out today.
+    drift_table(Registry::warm());
 }
 
 // ---------------------------------------------------------------- plan files
@@ -944,6 +1083,26 @@ fn main() {
         }));
         return;
     }
+    if cmd == "trend" {
+        trend_cmd(args.iter().skip(1).any(|a| a == "--strict"));
+        return;
+    }
+    if cmd == "flame" {
+        // Optional query spec, then the standard options.
+        let (q, rest) = match args.get(1).and_then(|a| parse_query(a)) {
+            Some(q) => (q, &args[2..]),
+            None => (QueryId::Q2_1, &args[1.min(args.len())..]),
+        };
+        let opts = parse_opts(rest);
+        flame_cmd(q, &opts);
+        if let Some(out) = hef_obs::trace::finish() {
+            if let Some(p) = &out.path {
+                eprintln!("[trace] wrote {} ({} events)", p.display(), out.events);
+            }
+        }
+        hef_obs::metrics::report_if_enabled();
+        return;
+    }
     let opts = parse_opts(&args[1.min(args.len())..]);
     // Governance knobs must land in the environment before the first query
     // executes: the engine reads HEF_DEADLINE_MS per execution and latches
@@ -1012,6 +1171,8 @@ fn main() {
                 println!("             tune-pipeline [--query qNN] [--model silver-4110|gold-6240r]");
                 println!("             qNN (traced single query, e.g. q21)   report <trace.json>");
                 println!("             plan <file.plan | qNN> (logical plan: optimize, lower, execute)");
+                println!("             flame [qNN] (in-terminal flamegraph of one profiled query)");
+                println!("             trend [--strict] (per-row sparklines over archived snapshots)");
             }
         },
     }

@@ -80,7 +80,19 @@ fn num(x: f64) -> String {
 
 impl BenchSnapshot {
     pub fn new(name: impl Into<String>) -> BenchSnapshot {
-        BenchSnapshot { name: name.into(), config: Vec::new(), rows: Vec::new(), derived: Vec::new() }
+        let mut snap = BenchSnapshot {
+            name: name.into(),
+            config: Vec::new(),
+            rows: Vec::new(),
+            derived: Vec::new(),
+        };
+        // Provenance stamps: which backend the kernels dispatched to and how
+        // many workers `HEF_THREADS` resolved to. Config keys are
+        // schema-tolerant by contract (readers only consult `rows`), so no
+        // version bump.
+        snap.config("host_isa", hef_hid::Backend::native().name());
+        snap.config("threads", hef_engine::resolve_threads(0));
+        snap
     }
 
     /// The snapshot's name (the `bench_<name>.json` stem).
@@ -430,6 +442,21 @@ mod tests {
         // No baseline → None, never an error.
         assert!(BenchSnapshot::new("nope").compare_with_archive(&dir).is_none());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_is_stamped_with_host_provenance() {
+        let snap = BenchSnapshot::new("prov");
+        let doc = parse_json(&snap.to_json()).expect("valid json");
+        let config = doc.get("config").expect("config object");
+        let isa = config.get("host_isa").and_then(Json::as_str).expect("isa stamped");
+        assert!(!isa.is_empty());
+        let threads: usize = config
+            .get("threads")
+            .and_then(Json::as_str)
+            .and_then(|t| t.parse().ok())
+            .expect("threads stamped");
+        assert!(threads >= 1);
     }
 
     #[test]

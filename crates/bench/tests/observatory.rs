@@ -1,0 +1,103 @@
+//! Property tests for the observatory's profile aggregation: random span
+//! schedules — including unbalanced, deeply nested, and wide ones — must
+//! always produce a [`ProfileTree`](hef_obs::ProfileTree) that satisfies the
+//! nesting invariant `self + Σ children.total == total` and conserves span
+//! executions (every `begin` is counted exactly once, even when folded into
+//! the `(deep)` or `(other)` overflow nodes).
+
+use hef_obs::{ProfileBuilder, ProfileNode};
+use hef_testutil::prop::{self, Config};
+use hef_testutil::Rng;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Begin(usize),
+    End,
+    Instant(usize),
+}
+
+/// One random schedule: per-thread op sequences with monotone timestamps.
+#[derive(Debug)]
+struct Schedule {
+    threads: Vec<Vec<(Op, u64)>>,
+}
+
+const NAMES: [&str; 5] = ["query", "worker", "morsel", "tune", "probe"];
+const EVENTS: [&str; 3] = ["degrade", "admitted", "cancel"];
+
+fn gen_schedule(rng: &mut Rng) -> Schedule {
+    let nthreads = 1 + (rng.next_u64() % 3) as usize;
+    let threads = (0..nthreads)
+        .map(|_| {
+            let len = (rng.next_u64() % 120) as usize;
+            let mut ts = 0u64;
+            (0..len)
+                .map(|_| {
+                    // Zero increments exercise equal-timestamp edges; the
+                    // op mix leaves spans open and emits unmatched ends.
+                    ts += rng.next_u64() % 50;
+                    let op = match rng.next_u64() % 10 {
+                        // Begin-heavy so depth regularly exceeds MAX_DEPTH.
+                        0..=5 => Op::Begin((rng.next_u64() % NAMES.len() as u64) as usize),
+                        6..=8 => Op::End,
+                        _ => Op::Instant((rng.next_u64() % EVENTS.len() as u64) as usize),
+                    };
+                    (op, ts)
+                })
+                .collect()
+        })
+        .collect();
+    Schedule { threads }
+}
+
+fn count_all(n: &ProfileNode) -> u64 {
+    n.count + n.children.iter().map(count_all).sum::<u64>()
+}
+
+#[test]
+fn random_span_schedules_keep_the_nesting_invariant() {
+    prop::check_with(
+        &Config::with_cases(64),
+        "profile nesting invariant",
+        gen_schedule,
+        |sched| {
+            let mut b = ProfileBuilder::new();
+            let mut begins_per_thread = Vec::new();
+            for (tid, ops) in sched.threads.iter().enumerate() {
+                let tid = tid as u32;
+                b.thread(tid, &format!("t{tid}"), 0);
+                let mut begins = 0u64;
+                for &(op, ts) in ops {
+                    match op {
+                        Op::Begin(i) => {
+                            begins += 1;
+                            b.begin(tid, NAMES[i], "", ts);
+                        }
+                        Op::End => b.end(tid, ts),
+                        Op::Instant(i) => b.instant(tid, EVENTS[i], ts),
+                    }
+                }
+                begins_per_thread.push(begins);
+            }
+            let tree = b.finish();
+            tree.check_nesting()?;
+            // Execution conservation: every begin lands in exactly one node,
+            // overflow merges and depth folds included.
+            for (t, &begins) in tree.threads.iter().zip(&begins_per_thread) {
+                let counted: u64 = t.roots.iter().map(count_all).sum();
+                if counted != begins {
+                    return Err(format!(
+                        "thread {}: {counted} executions counted, {begins} begun",
+                        t.tid
+                    ));
+                }
+            }
+            // Rendering any tree must not panic and shows each used thread.
+            let rendered = tree.render();
+            if tree.threads.iter().any(|t| t.total_ns() > 0) && !rendered.contains("tid") {
+                return Err("render lost the per-thread attribution".to_string());
+            }
+            Ok(())
+        },
+    );
+}

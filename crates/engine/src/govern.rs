@@ -123,6 +123,14 @@ impl QueryCtx {
         self.deadline_ms
     }
 
+    /// Milliseconds left before the deadline, saturating at 0 once it has
+    /// passed; `None` when the context has no deadline. Feeds the
+    /// `govern.deadline_slack_ms` histogram on successful completion.
+    pub fn remaining_ms(&self) -> Option<u64> {
+        let d = self.deadline?;
+        Some(d.saturating_duration_since(Instant::now()).as_millis() as u64)
+    }
+
     /// Poll for an interrupt. Cancellation wins over the deadline when both
     /// hold, so an explicit cancel is always reported as such.
     #[inline]
@@ -569,6 +577,15 @@ pub fn try_execute_star_with_retry(
     max_retries: u32,
 ) -> Result<(crate::star::QueryOutput, ExecReport), ExecError> {
     let mut attempt = 0u32;
+    // Total wall time this query spent waiting in admission backoff; fed to
+    // the `govern.admission_wait_us` histogram on whatever outcome ends the
+    // loop, so queue pressure shows up as a percentile, not just a counter.
+    let mut waited_us = 0u64;
+    let observe_wait = |waited_us: u64| {
+        if waited_us > 0 {
+            hef_obs::metrics::observe(hef_obs::metrics::Hist::AdmissionWaitUs, waited_us);
+        }
+    };
     loop {
         match crate::star::try_execute_star_cancellable(plan, fact, cfg, cancel) {
             Err(ExecError::Rejected { retry_after_ms, .. }) if attempt < max_retries => {
@@ -579,12 +596,19 @@ pub fn try_execute_star_with_retry(
                 hef_obs::metrics::add(hef_obs::metrics::Metric::GovBackoffRetries, 1);
                 hef_obs::event!("govern_retry", attempt = attempt, backoff_ms = backoff);
                 let ctx = QueryCtx::new(cancel.clone(), 0);
-                if let Err(i) = sleep_checked(Duration::from_millis(backoff), &ctx) {
+                let t0 = Instant::now();
+                let slept = sleep_checked(Duration::from_millis(backoff), &ctx);
+                waited_us += t0.elapsed().as_micros() as u64;
+                if let Err(i) = slept {
+                    observe_wait(waited_us);
                     return Err(interrupt_error(&plan.name, &ctx, i, ExecReport::default()));
                 }
                 attempt += 1;
             }
-            other => return other,
+            other => {
+                observe_wait(waited_us);
+                return other;
+            }
         }
     }
 }

@@ -389,6 +389,7 @@ fn worker_loop<'a>(
         }
         // The span guard lives inside the catch_unwind closure so a panic
         // still closes the morsel span on unwind.
+        let t0 = hef_obs::metrics::enabled().then(std::time::Instant::now);
         let run = catch_unwind(AssertUnwindSafe(|| {
             let _mspan = hef_obs::span_fine!("morsel", lo = lo, hi = hi, attempt = attempts);
             fault::maybe_panic_worker(wid, morsel_idx, fault::Phase::Before);
@@ -398,6 +399,12 @@ fn worker_loop<'a>(
         }));
         match run {
             Ok(Ok(())) => {
+                if let Some(t0) = t0 {
+                    hef_obs::metrics::observe(
+                        hef_obs::metrics::Hist::MorselLatencyUs,
+                        t0.elapsed().as_micros() as u64,
+                    );
+                }
                 done.push((lo, hi));
                 sched.completed.fetch_add(1, Ordering::AcqRel);
                 sched.complete();

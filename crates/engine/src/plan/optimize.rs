@@ -182,6 +182,16 @@ pub fn optimize(
         reordered,
         scan_columns: (before, columns.len()),
     };
+    // `HEF_PLAN_OPT` decisions, as counters (ISSUE 9): how many predicates
+    // landed in the scan, whether this plan's joins moved, and how many scan
+    // columns projection analysis dropped.
+    {
+        use hef_obs::metrics::{add, Metric};
+        add(Metric::PlanPushdownApplied, report.pushed.len() as u64);
+        add(Metric::PlanJoinsReordered, report.reordered as u64);
+        let (before, after) = report.scan_columns;
+        add(Metric::PlanProjectionsPruned, before.saturating_sub(after) as u64);
+    }
 
     let mut node = Node::Scan {
         table: fact_table.to_string(),

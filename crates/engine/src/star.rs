@@ -507,6 +507,25 @@ pub fn try_execute_star_cancellable(
     cfg: &ExecConfig,
     cancel: &crate::govern::CancelToken,
 ) -> Result<(QueryOutput, crate::parallel::ExecReport), crate::parallel::ExecError> {
+    // Drop-guard drain: a query ending in a typed error (Rejected /
+    // Cancelled / DeadlineExceeded / Failed) — or unwinding — flushes the
+    // partially-filled trace buffers to the session's file via
+    // `trace::checkpoint`, so `HEF_TRACE` output survives non-success
+    // paths. A successful query disarms and leaves the single write to the
+    // session's `finish()`.
+    struct TraceDrain {
+        armed: bool,
+    }
+    impl Drop for TraceDrain {
+        fn drop(&mut self) {
+            if self.armed {
+                hef_obs::trace::checkpoint();
+            }
+        }
+    }
+    let mut drain = TraceDrain {
+        armed: hef_obs::trace::enabled(),
+    };
     validate_star_plan(plan, fact)?;
     // Overlay a tuned per-query pipeline plan (registry v3 via
     // `HEF_PIPELINE`) first, then the explicit per-knob env overrides, so
@@ -550,6 +569,15 @@ pub fn try_execute_star_cancellable(
         }
         Err(_) => {}
     }
+    if result.is_ok() {
+        // How close did a deadlined query come to its budget? Slack feeds
+        // capacity planning (a p1 near 0 means deadlines are about to fire).
+        if let Some(slack) = ctx.remaining_ms() {
+            hef_obs::metrics::observe(hef_obs::metrics::Hist::DeadlineSlackMs, slack);
+        }
+        drain.armed = false;
+    }
+    hef_obs::metrics::maybe_dump();
     result
 }
 

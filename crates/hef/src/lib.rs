@@ -67,8 +67,9 @@ pub use pipeline::{
 pub use registry::{PipelineEntry, Registry, RegistryIssue, WarmReport};
 pub use translate::{translate, to_loop_body, try_to_loop_body, try_translate, TargetCode};
 pub use tuner::{
-    try_tune_source, try_tune_template, tune_measured, tune_probe_measured,
-    tune_probe_simulated, tune_simulated, TunedOperator, TunedProbe,
+    measure_drift, predicted_cycles_per_row, try_tune_source, try_tune_template, tune_measured,
+    tune_probe_measured, tune_probe_simulated, tune_simulated, DriftRecord, TunedOperator,
+    TunedProbe,
 };
 
 pub use hef_kernels::{Family, HybridConfig};

@@ -549,6 +549,12 @@ impl CostEvaluator for MeasuredCost {
             self.run_once(cfg);
         });
         self.last_cycles = cycles;
+        if let Some(c) = cycles {
+            hef_obs::metrics::observe(
+                hef_obs::metrics::Hist::KernelCyclesPerRow,
+                c / self.input.len().max(1) as u64,
+            );
+        }
         secs
     }
 }
@@ -615,6 +621,12 @@ impl ProbeCostEvaluator for MeasuredProbeCost {
             self.run_once(node);
         });
         self.last_cycles = cycles;
+        if let Some(c) = cycles {
+            hef_obs::metrics::observe(
+                hef_obs::metrics::Hist::KernelCyclesPerRow,
+                c / self.keys.len().max(1) as u64,
+            );
+        }
         secs
     }
 }

@@ -67,6 +67,11 @@ pub struct Registry {
     prefetch: BTreeMap<&'static str, usize>,
     /// Joint pipeline configurations (v3 rows), keyed by plan fingerprint.
     pipelines: BTreeMap<u64, PipelineEntry>,
+    /// Tune-time calibration per family (`# drift:` provenance comments):
+    /// predicted (port-simulator) and measured cycles/row of the winning
+    /// node, stored as milli-cycles so the registry stays `Eq`. Old readers
+    /// skip these lines as ordinary comments — no version bump needed.
+    drift: BTreeMap<&'static str, (u64, u64)>,
     /// Free-form provenance line (CPU name, date, …).
     pub cpu: String,
     /// ISA provenance (`avx512`, `avx2`, `emu`): the backend the nodes were
@@ -218,6 +223,7 @@ enum Line {
     Skip,
     Cpu(String),
     Isa(String),
+    Drift(Family, u64, u64),
     Entry(Family, HybridConfig, Option<usize>),
     Pipeline(u64, PipelineEntry),
 }
@@ -240,6 +246,21 @@ fn parse_line(line: &str, line_no: usize) -> Result<Line, ParseError> {
     }
     if let Some(isa) = line.strip_prefix("# isa:") {
         return Ok(Line::Isa(isa.trim().to_string()));
+    }
+    if let Some(rest) = line.strip_prefix("# drift:") {
+        // Calibration provenance: `# drift: <family> = <predicted> <measured>`
+        // in milli-cycles/row. Purely informational, so anything malformed
+        // degrades to an ordinary comment instead of failing the load.
+        if let Some((name, nums)) = rest.split_once('=') {
+            if let Some(family) = family_by_name(name.trim()) {
+                let vals: Vec<u64> =
+                    nums.split_whitespace().filter_map(|t| t.parse().ok()).collect();
+                if let [predicted, measured] = vals[..] {
+                    return Ok(Line::Drift(family, predicted, measured));
+                }
+            }
+        }
+        return Ok(Line::Skip);
     }
     if line.is_empty() || line.starts_with('#') {
         return Ok(Line::Skip);
@@ -307,9 +328,33 @@ impl Registry {
         self.entries.insert(family.name(), cfg);
     }
 
-    /// Record a tuning result.
+    /// Record a tuning result, including its calibration row when the tune
+    /// measured this machine.
     pub fn insert_tuned(&mut self, tuned: &TunedOperator) {
         self.insert(tuned.family, tuned.cfg);
+        if let Some(d) = &tuned.drift {
+            self.insert_drift(tuned.family, d.predicted_cpr, d.measured_cpr);
+        }
+    }
+
+    /// Record a tune-time calibration row: predicted (port-simulator) and
+    /// measured cycles/row, quantized to milli-cycles.
+    pub fn insert_drift(&mut self, family: Family, predicted_cpr: f64, measured_cpr: f64) {
+        let q = |v: f64| (v.max(0.0) * 1000.0).round() as u64;
+        self.drift.insert(family.name(), (q(predicted_cpr), q(measured_cpr)));
+    }
+
+    /// Tune-time calibration for a family as `(predicted, measured)`
+    /// cycles/row, if recorded.
+    pub fn get_drift(&self, family: Family) -> Option<(f64, f64)> {
+        let &(p, m) = self.drift.get(family.name())?;
+        Some((p as f64 / 1000.0, m as f64 / 1000.0))
+    }
+
+    /// Recorded calibration rows as `(family name, predicted, measured)`
+    /// cycles/row, in name order.
+    pub fn drift_rows(&self) -> impl Iterator<Item = (&'static str, f64, f64)> + '_ {
+        self.drift.iter().map(|(&name, &(p, m))| (name, p as f64 / 1000.0, m as f64 / 1000.0))
     }
 
     /// Record a tuned prefetch depth (v2 column 4; probe-only today).
@@ -388,6 +433,9 @@ impl Registry {
         if !self.isa.is_empty() {
             let _ = writeln!(out, "# isa: {}", self.isa);
         }
+        for (name, (p, m)) in &self.drift {
+            let _ = writeln!(out, "# drift: {name} = {p} {m}");
+        }
         for (name, cfg) in &self.entries {
             match self.prefetch.get(name) {
                 Some(f) => {
@@ -420,6 +468,9 @@ impl Registry {
                 Line::Skip => {}
                 Line::Cpu(cpu) => reg.cpu = cpu,
                 Line::Isa(isa) => reg.isa = isa,
+                Line::Drift(family, p, m) => {
+                    reg.drift.insert(family.name(), (p, m));
+                }
                 Line::Entry(family, cfg, pf) => {
                     if reg.entries.contains_key(family.name()) {
                         return Err(ParseError::DuplicateFamily {
@@ -459,6 +510,9 @@ impl Registry {
                 Ok(Line::Skip) => {}
                 Ok(Line::Cpu(cpu)) => reg.cpu = cpu,
                 Ok(Line::Isa(isa)) => reg.isa = isa,
+                Ok(Line::Drift(family, p, m)) => {
+                    reg.drift.insert(family.name(), (p, m));
+                }
                 Ok(Line::Entry(family, cfg, pf)) => {
                     if reg.entries.contains_key(family.name()) {
                         issues.push(RegistryIssue::BadLine {
@@ -615,6 +669,9 @@ impl Registry {
             reg.isa = current_isa.to_string();
             reg.prefetch.clear();
             reg.pipelines.clear();
+            // Calibration rows pair a simulator prediction with *that*
+            // machine's cycle counter; on new hardware they say nothing.
+            reg.drift.clear();
         }
 
         fallback_families.sort_by_key(|f| f.name());
@@ -758,6 +815,27 @@ mod tests {
         assert_eq!(parsed.cpu, "Intel Xeon Silver 4110");
         assert_eq!(parsed.isa, "avx512");
         assert_eq!(parsed.get(Family::Murmur), Some(HybridConfig::new(1, 3, 2)));
+    }
+
+    #[test]
+    fn drift_rows_roundtrip_and_stay_comments_for_old_readers() {
+        let mut r = sample();
+        r.insert_drift(Family::Murmur, 2.451, 3.12);
+        let text = r.to_text();
+        // Still a v1 file: drift is provenance, not a format feature.
+        assert!(text.starts_with("# hef tuned-operator registry v1"));
+        assert!(text.contains("# drift: murmur = 2451 3120"), "{text}");
+        let parsed = Registry::parse(&text).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.get_drift(Family::Murmur), Some((2.451, 3.12)));
+        assert_eq!(parsed.get_drift(Family::Crc64), None);
+        assert_eq!(parsed.drift_rows().count(), 1);
+        // Malformed drift comments degrade to ordinary comments.
+        let (lenient, issues) =
+            Registry::parse_lenient("# drift: murmur = nonsense\nmurmur = 1 3 2\n");
+        assert!(issues.is_empty());
+        assert_eq!(lenient.get_drift(Family::Murmur), None);
+        assert_eq!(lenient.get(Family::Murmur), Some(HybridConfig::new(1, 3, 2)));
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub struct TunedOperator {
     pub initial: HybridConfig,
     /// Full search trace.
     pub outcome: SearchOutcome,
+    /// Predicted-vs-measured calibration of the winning node, recorded when
+    /// tuning actually measured this machine (`None` on simulated paths).
+    pub drift: Option<DriftRecord>,
 }
 
 impl TunedOperator {
@@ -69,6 +72,86 @@ impl TunedProbe {
             self.outcome.pruned(),
         )
     }
+}
+
+/// Predicted-vs-measured calibration for one tuned node — the goSLP
+/// reconciliation signal. A globally-optimized SIMD decision is only
+/// trustworthy when the cost model that picked it is checked against the
+/// machine it runs on; this record makes simulated-tuner miscalibration
+/// visible instead of silent. Recorded per registry row at tune time
+/// (`# drift:` provenance) and re-measured at `HEF_PIPELINE` replay time
+/// by `repro report`.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftRecord {
+    pub family: Family,
+    pub cfg: HybridConfig,
+    /// Port-simulator cycles per row (steady state, generic host model).
+    pub predicted_cpr: f64,
+    /// RDTSC-measured hardware cycles per row on this machine.
+    pub measured_cpr: f64,
+}
+
+impl DriftRecord {
+    /// `measured / predicted`: 1.0 = perfectly calibrated; > 1 means the
+    /// simulator is optimistic on this machine, < 1 pessimistic.
+    pub fn ratio(&self) -> f64 {
+        if self.predicted_cpr > 0.0 {
+            self.measured_cpr / self.predicted_cpr
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// One-line summary for reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}: predicted {:.2} c/row, measured {:.2} c/row, drift {:.2}x",
+            self.family.name(),
+            self.predicted_cpr,
+            self.measured_cpr,
+            self.ratio()
+        )
+    }
+}
+
+/// Steady-state port-simulator cycles per row for `cfg` on `model`.
+pub fn predicted_cycles_per_row(family: Family, cfg: HybridConfig, model: &CpuModel) -> f64 {
+    let template = templates::for_family(family);
+    let body = crate::translate::to_loop_body(&template, cfg);
+    let iterations = 60;
+    let r = hef_uarch::simulate(model, &body, iterations);
+    r.cycles as f64 / (cfg.step() * iterations) as f64
+}
+
+/// Measure drift for one node: price `cfg` on the port simulator (generic
+/// host model) and run the compiled kernel over `n` synthetic rows on this
+/// machine, then record the ratio in the `tuner.drift` histogram (permille,
+/// 1000 = calibrated). `None` when hardware cycle counters are unavailable
+/// (non-x86_64) or the node is off-grid.
+pub fn measure_drift(family: Family, cfg: HybridConfig, n: usize) -> Option<DriftRecord> {
+    use crate::optimizer::CostEvaluator as _;
+    let mut eval = MeasuredCost::new(family, n);
+    if !eval.cost(cfg).is_finite() {
+        return None;
+    }
+    let cycles = eval.last_cycles?;
+    let rec = DriftRecord {
+        family,
+        cfg,
+        predicted_cpr: predicted_cycles_per_row(family, cfg, &CpuModel::host()),
+        measured_cpr: cycles as f64 / n.max(1) as f64,
+    };
+    let ratio = rec.ratio();
+    if ratio.is_finite() && ratio >= 0.0 {
+        let permille = (ratio * 1000.0).round() as u64;
+        hef_obs::metrics::observe(hef_obs::metrics::Hist::TunerDriftPermille, permille);
+        hef_obs::trace::instant_labeled(
+            "tuner_drift",
+            family.name(),
+            &[("permille", permille as i64)],
+        );
+    }
+    Some(rec)
 }
 
 /// Tune the probe family on this machine over `(v, s, p, f)`: a build side
@@ -122,7 +205,8 @@ pub fn tune_measured(family: Family, n: usize) -> TunedOperator {
     let initial = initial_candidate(&model, &template);
     let mut eval = SpikedCost { inner: MeasuredCost::new(family, n) };
     let outcome = optimize(initial, &mut eval);
-    TunedOperator { family, cfg: outcome.best, initial, outcome }
+    let drift = measure_drift(family, outcome.best, n);
+    TunedOperator { family, cfg: outcome.best, initial, outcome, drift }
 }
 
 /// Tune an operator against a modeled CPU (the path for the paper's Xeons,
@@ -134,7 +218,7 @@ pub fn tune_simulated(family: Family, model: &CpuModel) -> TunedOperator {
     let initial = initial_candidate(model, &template);
     let mut eval = SpikedCost { inner: SimulatedCost::new(model, &template) };
     let outcome = optimize(initial, &mut eval);
-    TunedOperator { family, cfg: outcome.best, initial, outcome }
+    TunedOperator { family, cfg: outcome.best, initial, outcome, drift: None }
 }
 
 /// Tune a *user-supplied* template (the §IV.B path: operators arrive as
@@ -199,6 +283,24 @@ mod tests {
         let t = tune_measured(Family::AggSum, 8192);
         assert!(t.outcome.best_cost.is_finite());
         assert!(t.describe().contains("agg_sum"));
+        // Where cycle counters exist, the tuned node carries calibration.
+        if let Some(d) = &t.drift {
+            assert!(d.predicted_cpr > 0.0, "{}", d.describe());
+            assert!(d.measured_cpr > 0.0, "{}", d.describe());
+            assert!(d.ratio().is_finite() && d.ratio() > 0.0);
+        }
+    }
+
+    #[test]
+    fn drift_measurement_is_self_consistent() {
+        let cfg = HybridConfig::SIMD;
+        let pred = predicted_cycles_per_row(Family::AggSum, cfg, &CpuModel::host());
+        assert!(pred.is_finite() && pred > 0.0);
+        if let Some(d) = measure_drift(Family::AggSum, cfg, 8192) {
+            assert_eq!(d.family, Family::AggSum);
+            // Same simulator inputs → same prediction.
+            assert!((d.predicted_cpr - pred).abs() < 1e-9, "{} vs {pred}", d.predicted_cpr);
+        }
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! * [`diag`] — the single warning sink. Everything that used to
 //!   `eprintln!` a warning routes through here so tests can capture and
 //!   assert diagnostics ([`diag::capture`]).
+//! * [`profile`] — streaming self-time aggregation of the active trace
+//!   session into a bounded [`profile::ProfileTree`], rendered as an
+//!   in-terminal flamegraph / top-N table (`repro flame`).
 //!
 //! The disabled path of every instrumentation site is one branch on a
 //! relaxed atomic load — verified by `benches/obs_overhead.rs` in
@@ -22,10 +25,12 @@
 pub mod check;
 pub mod diag;
 pub mod metrics;
+pub mod profile;
 pub mod trace;
 
 pub use check::{check_trace, Json, SpanRec, TraceReport};
 pub use metrics::{Hist, Metric, Snapshot};
+pub use profile::{ProfileBuilder, ProfileNode, ProfileTree, ThreadProfile};
 pub use trace::{Level, SpanGuard, TraceOutput};
 
 /// Open a coarse-level span that ends when the returned guard drops.

@@ -61,10 +61,17 @@ pub enum Metric {
     GovDeadlineExceeded,
     GovBackoffRetries,
     GovBytesCharged,
+    // Plan optimizer (engine::plan::optimize)
+    /// Predicates pushed below a join by the plan optimizer.
+    PlanPushdownApplied,
+    /// Plans whose join order the optimizer changed.
+    PlanJoinsReordered,
+    /// Scan columns pruned by projection analysis.
+    PlanProjectionsPruned,
 }
 
 impl Metric {
-    pub const ALL: [Metric; 39] = [
+    pub const ALL: [Metric; 42] = [
         Metric::QueriesExecuted,
         Metric::MorselsClaimed,
         Metric::MorselsRetried,
@@ -104,6 +111,9 @@ impl Metric {
         Metric::GovDeadlineExceeded,
         Metric::GovBackoffRetries,
         Metric::GovBytesCharged,
+        Metric::PlanPushdownApplied,
+        Metric::PlanJoinsReordered,
+        Metric::PlanProjectionsPruned,
     ];
 
     pub fn name(self) -> &'static str {
@@ -147,6 +157,9 @@ impl Metric {
             Metric::GovDeadlineExceeded => "govern.deadline_exceeded",
             Metric::GovBackoffRetries => "govern.backoff_retries",
             Metric::GovBytesCharged => "govern.bytes_charged",
+            Metric::PlanPushdownApplied => "plan.pushdown_applied",
+            Metric::PlanJoinsReordered => "plan.joins_reordered",
+            Metric::PlanProjectionsPruned => "plan.projections_pruned",
         }
     }
 }
@@ -164,16 +177,41 @@ pub enum Hist {
     ProbeBatchHits,
     /// Rows per claimed morsel.
     MorselRows,
+    /// Wall-clock microseconds per executed morsel.
+    MorselLatencyUs,
+    /// Microseconds a query spent in admission backoff before running.
+    AdmissionWaitUs,
+    /// Milliseconds left on the deadline when a deadlined query succeeded.
+    DeadlineSlackMs,
+    /// Hardware cycles per row of a measured tuner trial.
+    KernelCyclesPerRow,
+    /// Tuner calibration drift: measured/predicted cost ratio, in permille
+    /// (1000 = the port simulator priced this node exactly right).
+    TunerDriftPermille,
 }
 
 impl Hist {
-    pub const ALL: [Hist; 3] = [Hist::FilterBatchRowsOut, Hist::ProbeBatchHits, Hist::MorselRows];
+    pub const ALL: [Hist; 8] = [
+        Hist::FilterBatchRowsOut,
+        Hist::ProbeBatchHits,
+        Hist::MorselRows,
+        Hist::MorselLatencyUs,
+        Hist::AdmissionWaitUs,
+        Hist::DeadlineSlackMs,
+        Hist::KernelCyclesPerRow,
+        Hist::TunerDriftPermille,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
             Hist::FilterBatchRowsOut => "kernel.filter_batch_rows_out",
             Hist::ProbeBatchHits => "kernel.probe_batch_hits",
             Hist::MorselRows => "scheduler.morsel_rows",
+            Hist::MorselLatencyUs => "scheduler.morsel_latency_us",
+            Hist::AdmissionWaitUs => "govern.admission_wait_us",
+            Hist::DeadlineSlackMs => "govern.deadline_slack_ms",
+            Hist::KernelCyclesPerRow => "kernel.cycles_per_row",
+            Hist::TunerDriftPermille => "tuner.drift",
         }
     }
 }
@@ -256,6 +294,38 @@ pub fn observe(h: Hist, v: u64) {
     }
 }
 
+/// Representative value of bucket `i`: 0 for the zero bucket, the geometric
+/// midpoint of `[2^(i-1), 2^i)` for interior buckets, and the lower edge for
+/// the saturating top bucket (whose true upper edge is unbounded).
+pub fn bucket_value(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else if i == HIST_BUCKETS - 1 {
+        (1u64 << (i - 1)) as f64
+    } else {
+        (1u64 << (i - 1)) as f64 * std::f64::consts::SQRT_2
+    }
+}
+
+/// Percentile estimate (`0 < p <= 100`) from log2 buckets: the representative
+/// value of the first bucket whose cumulative count reaches the rank.
+/// `None` when the histogram is empty.
+pub fn percentile(buckets: &[u64; HIST_BUCKETS], p: f64) -> Option<f64> {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        cum += c;
+        if cum >= rank {
+            return Some(bucket_value(i));
+        }
+    }
+    Some(bucket_value(HIST_BUCKETS - 1))
+}
+
 /// A point-in-time copy of every counter and histogram.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Snapshot {
@@ -287,6 +357,16 @@ impl Snapshot {
     /// Histogram buckets for `h`.
     pub fn hist(&self, h: Hist) -> &[u64; HIST_BUCKETS] {
         &self.hists[h as usize]
+    }
+
+    /// `(p50, p95, p99)` estimates for `h`; `None` when it has no samples.
+    pub fn percentiles(&self, h: Hist) -> Option<(f64, f64, f64)> {
+        let b = self.hist(h);
+        Some((
+            percentile(b, 50.0)?,
+            percentile(b, 95.0)?,
+            percentile(b, 99.0)?,
+        ))
     }
 
     /// Per-counter / per-bucket difference `self - earlier` (saturating).
@@ -322,7 +402,19 @@ impl Snapshot {
         for &h in Hist::ALL.iter() {
             let b = self.hist(h);
             if b.iter().any(|&c| c > 0) {
-                let _ = writeln!(out, "{}:", h.name());
+                let n: u64 = b.iter().sum();
+                match self.percentiles(h) {
+                    Some((p50, p95, p99)) => {
+                        let _ = writeln!(
+                            out,
+                            "{}: n={n} p50={p50:.0} p95={p95:.0} p99={p99:.0}",
+                            h.name()
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "{}:", h.name());
+                    }
+                }
                 for (i, &c) in b.iter().enumerate() {
                     if c > 0 {
                         let range = if i == 0 {
@@ -347,6 +439,115 @@ impl Snapshot {
 pub fn report_if_enabled() {
     if enabled() {
         eprintln!("--- hef metrics ---\n{}", snapshot().render());
+        dump_now();
+    }
+}
+
+/// Minimum interval between [`maybe_dump`] appends.
+const DUMP_INTERVAL_NS: u64 = 1_000_000_000;
+static LAST_DUMP_NS: AtomicU64 = AtomicU64::new(0);
+
+fn dump_target() -> Option<&'static std::path::PathBuf> {
+    use std::sync::OnceLock;
+    static TARGET: OnceLock<Option<std::path::PathBuf>> = OnceLock::new();
+    TARGET
+        .get_or_init(|| {
+            std::env::var("HEF_METRICS_DUMP")
+                .ok()
+                .filter(|p| !p.is_empty())
+                .map(std::path::PathBuf::from)
+        })
+        .as_ref()
+}
+
+/// One JSONL record of the full registry state: timestamp, every non-zero
+/// counter, and every non-empty histogram with its buckets and percentiles.
+pub fn dump_line(snap: &Snapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(256);
+    let _ = write!(out, "{{\"ts_ns\":{}", crate::trace::now_ns());
+    out.push_str(",\"counters\":{");
+    let mut first = true;
+    for &m in Metric::ALL.iter() {
+        let v = snap.get(m);
+        if v > 0 {
+            if !std::mem::take(&mut first) {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", m.name());
+        }
+    }
+    out.push_str("},\"hists\":{");
+    let mut first = true;
+    for &h in Hist::ALL.iter() {
+        let b = snap.hist(h);
+        if b.iter().all(|&c| c == 0) {
+            continue;
+        }
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{{\"buckets\":[", h.name());
+        for (i, &c) in b.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{c}");
+        }
+        out.push(']');
+        if let Some((p50, p95, p99)) = snap.percentiles(h) {
+            let _ = write!(out, ",\"p50\":{p50:.1},\"p95\":{p95:.1},\"p99\":{p99:.1}");
+        }
+        out.push('}');
+    }
+    out.push_str("}}\n");
+    out
+}
+
+/// Append one snapshot line to the `HEF_METRICS_DUMP` file right now.
+/// Returns whether a line was written (false when disabled or no target).
+pub fn dump_now() -> bool {
+    if !enabled() {
+        return false;
+    }
+    let Some(path) = dump_target() else {
+        return false;
+    };
+    let line = dump_line(&snapshot());
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = res {
+        crate::diag::warn_once(
+            "metrics_dump_write",
+            format!("metrics: failed to append {}: {e}", path.display()),
+        );
+        return false;
+    }
+    LAST_DUMP_NS.store(crate::trace::now_ns(), Ordering::Relaxed);
+    true
+}
+
+/// Rate-limited [`dump_now`]: appends at most once per second. The engine
+/// calls this at query completion so long-running governed workloads leave
+/// a periodic JSONL record without per-query file traffic.
+pub fn maybe_dump() {
+    if !enabled() || dump_target().is_none() {
+        return;
+    }
+    let now = crate::trace::now_ns();
+    let last = LAST_DUMP_NS.load(Ordering::Relaxed);
+    if now.saturating_sub(last) < DUMP_INTERVAL_NS {
+        return;
+    }
+    // One writer wins the interval; losers skip (best-effort cadence).
+    if LAST_DUMP_NS
+        .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+        .is_ok()
+    {
+        dump_now();
     }
 }
 
@@ -404,5 +605,86 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), Metric::ALL.len());
+    }
+
+    #[test]
+    fn hist_names_unique() {
+        let mut names: Vec<_> = Hist::ALL.iter().map(|h| h.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Hist::ALL.len());
+    }
+
+    #[test]
+    fn percentile_empty_histogram_is_none() {
+        let b = [0u64; HIST_BUCKETS];
+        assert_eq!(percentile(&b, 50.0), None);
+    }
+
+    #[test]
+    fn percentile_all_zero_values() {
+        // Every sample in the zero bucket: all percentiles are exactly 0.
+        let mut b = [0u64; HIST_BUCKETS];
+        b[0] = 1000;
+        assert_eq!(percentile(&b, 50.0), Some(0.0));
+        assert_eq!(percentile(&b, 99.0), Some(0.0));
+    }
+
+    #[test]
+    fn percentile_log2_bucket_edges() {
+        // Values 1 (bucket 1) and 2..=3 (bucket 2): p50 of {1, 3} samples.
+        let mut b = [0u64; HIST_BUCKETS];
+        b[bucket(1)] += 1;
+        b[bucket(3)] += 1;
+        // rank(50%) = 1 → bucket 1's representative, inside [1, 2).
+        assert_eq!(percentile(&b, 50.0), Some(bucket_value(1)));
+        assert!((1.0..2.0).contains(&bucket_value(1)));
+        assert_eq!(percentile(&b, 99.0), Some(bucket_value(2)));
+        // An interior representative sits inside its bucket's range.
+        let v = bucket_value(2);
+        assert!((2.0..4.0).contains(&v), "bucket 2 midpoint {v}");
+    }
+
+    #[test]
+    fn percentile_saturated_top_bucket() {
+        // u64::MAX lands in the saturating top bucket; the representative is
+        // the bucket's lower edge (the true range is unbounded above).
+        let mut b = [0u64; HIST_BUCKETS];
+        b[bucket(u64::MAX)] += 4;
+        let top = bucket_value(HIST_BUCKETS - 1);
+        assert_eq!(percentile(&b, 50.0), Some(top));
+        assert_eq!(percentile(&b, 99.0), Some(top));
+        assert_eq!(top, (1u64 << (HIST_BUCKETS - 2)) as f64);
+    }
+
+    #[test]
+    fn percentile_rank_splits_two_buckets() {
+        // 99 samples at 0, 1 sample high: p50 → 0, p99 → 0, p99.5+ → high.
+        let mut b = [0u64; HIST_BUCKETS];
+        b[0] = 99;
+        b[bucket(1024)] = 1;
+        assert_eq!(percentile(&b, 50.0), Some(0.0));
+        assert_eq!(percentile(&b, 99.0), Some(0.0));
+        assert_eq!(percentile(&b, 100.0), Some(bucket_value(bucket(1024))));
+    }
+
+    #[test]
+    fn snapshot_percentiles_and_dump_line() {
+        let _g = lock();
+        enable();
+        let before = snapshot();
+        for _ in 0..100 {
+            observe(Hist::MorselLatencyUs, 100);
+        }
+        observe(Hist::MorselLatencyUs, 100_000);
+        let d = snapshot().delta(&before);
+        let (p50, p95, p99) = d.percentiles(Hist::MorselLatencyUs).expect("samples");
+        assert!((64.0..128.0).contains(&p50), "p50 {p50}");
+        assert!(p99 >= p95 && p95 >= p50);
+        let line = dump_line(&d);
+        assert!(line.ends_with("}}\n"));
+        assert!(line.contains("\"scheduler.morsel_latency_us\""));
+        // The exporter emits strict JSON: the in-tree parser must accept it.
+        crate::check::parse_json(line.trim_end()).expect("dump line parses");
     }
 }

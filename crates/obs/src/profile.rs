@@ -1,0 +1,586 @@
+//! Streaming self-time profiles: aggregate the active trace session's span
+//! records into a bounded [`ProfileTree`] — no Chrome-JSON detour — and
+//! render it as an in-terminal flamegraph or a top-N self-time table.
+//!
+//! Construction replays each thread's `Begin`/`End` records against a stack,
+//! merging repeated spans by `(name, label)` under their parent, so the tree
+//! stays small no matter how many morsels ran. Memory is bounded three ways:
+//! at most [`MAX_DEPTH`] live stack frames feed distinct nodes (deeper spans
+//! fold into a `(deep)` child), each node keeps at most [`MAX_CHILDREN`]
+//! named children (the rest merge into `(other)`), and each thread's arena
+//! is capped at [`MAX_NODES`] named nodes. Instant events (governance
+//! actions, diag warnings) are annotated inline on whichever span was open
+//! when they fired.
+//!
+//! Invariant (checked by [`ProfileTree::check_nesting`] and a proptest):
+//! for every node, `self_ns + Σ children.total_ns == total_ns` — a child's
+//! inclusive time can never exceed what its parent has left to give.
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Stack frames deeper than this fold into a single `(deep)` node.
+pub const MAX_DEPTH: usize = 16;
+/// Named children per node; further distinct spans merge into `(other)`.
+pub const MAX_CHILDREN: usize = 24;
+/// Named nodes per thread; past this, new spans merge into `(other)`.
+pub const MAX_NODES: usize = 4096;
+/// Distinct inline event names per node; the rest merge into `(other)`.
+pub const MAX_EVENTS: usize = 8;
+
+const OTHER: &str = "(other)";
+const DEEP: &str = "(deep)";
+
+/// One aggregated span in the profile: every execution of span `name` (with
+/// dynamic label `label`) under the same parent path.
+#[derive(Debug, Clone)]
+pub struct ProfileNode {
+    /// Static span name (`query`, `worker`, `morsel`, …).
+    pub name: String,
+    /// Dynamic label, when the span carried one (e.g. `q2.1 [hybrid]`).
+    pub label: String,
+    /// Number of merged span executions.
+    pub count: u64,
+    /// Inclusive wall time across all executions.
+    pub total_ns: u64,
+    /// Exclusive wall time: inclusive minus time spent in child spans.
+    pub self_ns: u64,
+    /// Instant events that fired while this span was innermost, by name.
+    pub events: Vec<(String, u64)>,
+    pub children: Vec<ProfileNode>,
+}
+
+impl ProfileNode {
+    /// `name label` (or just `name` when unlabeled).
+    pub fn title(&self) -> String {
+        if self.label.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{} {}", self.name, self.label)
+        }
+    }
+}
+
+/// All spans recorded by one thread, as a forest of root spans.
+#[derive(Debug, Clone)]
+pub struct ThreadProfile {
+    pub tid: u32,
+    pub name: String,
+    /// Records the trace buffer dropped at saturation (profile is partial).
+    pub dropped: u64,
+    pub roots: Vec<ProfileNode>,
+}
+
+impl ThreadProfile {
+    /// Inclusive wall time of this thread's root spans.
+    pub fn total_ns(&self) -> u64 {
+        self.roots.iter().map(|r| r.total_ns).sum()
+    }
+}
+
+/// A per-thread self-time profile of one trace session.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileTree {
+    pub threads: Vec<ThreadProfile>,
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+
+struct NodeBuf {
+    name: String,
+    label: String,
+    count: u64,
+    total_ns: u64,
+    self_ns: u64,
+    events: Vec<(String, u64)>,
+    children: Vec<usize>,
+}
+
+struct Frame {
+    node: usize,
+    begin_ns: u64,
+    child_ns: u64,
+}
+
+struct ThreadBuilder {
+    name: String,
+    dropped: u64,
+    arena: Vec<NodeBuf>,
+    roots: Vec<usize>,
+    stack: Vec<Frame>,
+    max_ts: u64,
+}
+
+impl ThreadBuilder {
+    fn new(name: String, dropped: u64) -> Self {
+        ThreadBuilder {
+            name,
+            dropped,
+            arena: Vec::new(),
+            roots: Vec::new(),
+            stack: Vec::new(),
+            max_ts: 0,
+        }
+    }
+
+    /// Find or create the child of `parent` (`None` = root set) keyed by
+    /// `(name, label)`, respecting the children/arena bounds.
+    fn child(&mut self, parent: Option<usize>, name: &str, label: &str) -> usize {
+        let siblings: &Vec<usize> = match parent {
+            Some(p) => &self.arena[p].children,
+            None => &self.roots,
+        };
+        if let Some(&i) = siblings
+            .iter()
+            .find(|&&i| self.arena[i].name == name && self.arena[i].label == label)
+        {
+            return i;
+        }
+        let over_siblings = siblings.len() >= MAX_CHILDREN;
+        let over_arena = self.arena.len() >= MAX_NODES;
+        let (name, label) = if (over_siblings || over_arena) && name != OTHER {
+            (OTHER, "")
+        } else {
+            (name, label)
+        };
+        // Re-probe under the (possibly) merged key.
+        let siblings: &Vec<usize> = match parent {
+            Some(p) => &self.arena[p].children,
+            None => &self.roots,
+        };
+        if let Some(&i) = siblings
+            .iter()
+            .find(|&&i| self.arena[i].name == name && self.arena[i].label == label)
+        {
+            return i;
+        }
+        let i = self.arena.len();
+        self.arena.push(NodeBuf {
+            name: name.to_string(),
+            label: label.to_string(),
+            count: 0,
+            total_ns: 0,
+            self_ns: 0,
+            events: Vec::new(),
+            children: Vec::new(),
+        });
+        match parent {
+            Some(p) => self.arena[p].children.push(i),
+            None => self.roots.push(i),
+        }
+        i
+    }
+
+    fn begin(&mut self, name: &str, label: &str, ts_ns: u64) {
+        self.max_ts = self.max_ts.max(ts_ns);
+        let parent = self.stack.last().map(|f| f.node);
+        // Past MAX_DEPTH every deeper span folds into one (deep) child, so
+        // arbitrarily nested schedules cannot grow the tree — only the
+        // stack, which shrinks again at End.
+        let node = if self.stack.len() >= MAX_DEPTH {
+            self.child(parent, DEEP, "")
+        } else {
+            self.child(parent, name, label)
+        };
+        self.stack.push(Frame {
+            node,
+            begin_ns: ts_ns,
+            child_ns: 0,
+        });
+    }
+
+    fn end(&mut self, ts_ns: u64) {
+        self.max_ts = self.max_ts.max(ts_ns);
+        let Some(f) = self.stack.pop() else {
+            return; // unmatched End: tolerate, like the JSON renderer
+        };
+        let dur = ts_ns.saturating_sub(f.begin_ns);
+        let n = &mut self.arena[f.node];
+        n.count += 1;
+        n.total_ns += dur;
+        n.self_ns += dur.saturating_sub(f.child_ns);
+        if let Some(p) = self.stack.last_mut() {
+            p.child_ns += dur;
+        }
+    }
+
+    fn instant(&mut self, name: &str, ts_ns: u64) {
+        self.max_ts = self.max_ts.max(ts_ns);
+        let Some(f) = self.stack.last() else {
+            return; // instant outside any span: nothing to annotate
+        };
+        let events = &mut self.arena[f.node].events;
+        if let Some(e) = events.iter_mut().find(|(n, _)| n == name) {
+            e.1 += 1;
+        } else if events.len() < MAX_EVENTS {
+            events.push((name.to_string(), 1));
+        } else if let Some(e) = events.iter_mut().find(|(n, _)| n == OTHER) {
+            e.1 += 1;
+        } else {
+            events.push((OTHER.to_string(), 1));
+        }
+    }
+
+    fn finish(mut self, tid: u32) -> ThreadProfile {
+        // Auto-close spans still open at the last observed timestamp, same
+        // convention as the Chrome renderer.
+        while !self.stack.is_empty() {
+            self.end(self.max_ts);
+        }
+        let roots = self
+            .roots
+            .clone()
+            .into_iter()
+            .map(|i| to_node(&self.arena, i))
+            .collect();
+        ThreadProfile {
+            tid,
+            name: self.name,
+            dropped: self.dropped,
+            roots,
+        }
+    }
+}
+
+fn to_node(arena: &[NodeBuf], i: usize) -> ProfileNode {
+    let b = &arena[i];
+    ProfileNode {
+        name: b.name.clone(),
+        label: b.label.clone(),
+        count: b.count,
+        total_ns: b.total_ns,
+        self_ns: b.self_ns,
+        events: b.events.clone(),
+        children: b.children.iter().map(|&c| to_node(arena, c)).collect(),
+    }
+}
+
+/// Incremental [`ProfileTree`] builder over raw span records. The engine
+/// feeds it via [`ProfileTree::from_active_session`]; tests feed synthetic
+/// schedules directly.
+#[derive(Default)]
+pub struct ProfileBuilder {
+    threads: BTreeMap<u32, ThreadBuilder>,
+}
+
+impl ProfileBuilder {
+    pub fn new() -> Self {
+        ProfileBuilder::default()
+    }
+
+    fn thread_mut(&mut self, tid: u32) -> &mut ThreadBuilder {
+        self.threads
+            .entry(tid)
+            .or_insert_with(|| ThreadBuilder::new(format!("thread-{tid}"), 0))
+    }
+
+    /// Register (or rename) a thread and its drop counter.
+    pub fn thread(&mut self, tid: u32, name: &str, dropped: u64) {
+        let t = self.thread_mut(tid);
+        t.name = name.to_string();
+        t.dropped = dropped;
+    }
+
+    pub fn begin(&mut self, tid: u32, name: &str, label: &str, ts_ns: u64) {
+        self.thread_mut(tid).begin(name, label, ts_ns);
+    }
+
+    pub fn end(&mut self, tid: u32, ts_ns: u64) {
+        self.thread_mut(tid).end(ts_ns);
+    }
+
+    pub fn instant(&mut self, tid: u32, name: &str, ts_ns: u64) {
+        self.thread_mut(tid).instant(name, ts_ns);
+    }
+
+    pub fn finish(self) -> ProfileTree {
+        ProfileTree {
+            threads: self
+                .threads
+                .into_iter()
+                .map(|(tid, t)| t.finish(tid))
+                .collect(),
+        }
+    }
+}
+
+impl ProfileTree {
+    /// Aggregate the active trace session's buffers into a profile. The
+    /// session stays active (buffers keep recording); `None` when no
+    /// session is running.
+    pub fn from_active_session() -> Option<ProfileTree> {
+        // Two independent FnMut callbacks need disjoint access: a RefCell
+        // keeps the builder shared without unsafe (calls never overlap).
+        let b = std::cell::RefCell::new(ProfileBuilder::new());
+        let ok = crate::trace::visit_records(
+            |tid, name, dropped| b.borrow_mut().thread(tid, name, dropped),
+            |tid, r| match r.kind {
+                crate::trace::RecKind::Begin => {
+                    b.borrow_mut().begin(tid, r.name, r.label, r.ts_ns)
+                }
+                crate::trace::RecKind::End => b.borrow_mut().end(tid, r.ts_ns),
+                crate::trace::RecKind::Instant => b.borrow_mut().instant(tid, r.name, r.ts_ns),
+            },
+        );
+        if !ok {
+            return None;
+        }
+        Some(b.into_inner().finish())
+    }
+
+    /// Records dropped across all thread buffers (profile is partial if >0).
+    pub fn dropped(&self) -> u64 {
+        self.threads.iter().map(|t| t.dropped).sum()
+    }
+
+    /// Total executions of spans named `name`, across all threads/paths.
+    pub fn count_of(&self, name: &str) -> u64 {
+        fn walk(n: &ProfileNode, name: &str) -> u64 {
+            let own = if n.name == name { n.count } else { 0 };
+            own + n.children.iter().map(|c| walk(c, name)).sum::<u64>()
+        }
+        self.threads
+            .iter()
+            .flat_map(|t| t.roots.iter())
+            .map(|r| walk(r, name))
+            .sum()
+    }
+
+    /// Verify the nesting invariant on every node:
+    /// `self_ns + Σ children.total_ns == total_ns` (so in particular no
+    /// child's inclusive time exceeds its parent's).
+    pub fn check_nesting(&self) -> Result<(), String> {
+        fn walk(n: &ProfileNode, path: &str) -> Result<(), String> {
+            let here = format!("{path}/{}", n.name);
+            let child_sum: u64 = n.children.iter().map(|c| c.total_ns).sum();
+            if n.self_ns.saturating_add(child_sum) != n.total_ns {
+                return Err(format!(
+                    "{here}: self {} + children {} != total {}",
+                    n.self_ns, child_sum, n.total_ns
+                ));
+            }
+            for c in &n.children {
+                walk(c, &here)?;
+            }
+            Ok(())
+        }
+        for t in &self.threads {
+            for r in &t.roots {
+                walk(r, &t.name)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Top-`n` spans by aggregate self time: `(title, count, self_ns)`,
+    /// merged across threads and paths.
+    pub fn top_self(&self, n: usize) -> Vec<(String, u64, u64)> {
+        let mut agg: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        fn walk(node: &ProfileNode, agg: &mut BTreeMap<String, (u64, u64)>) {
+            let e = agg.entry(node.title()).or_insert((0, 0));
+            e.0 += node.count;
+            e.1 += node.self_ns;
+            for c in &node.children {
+                walk(c, agg);
+            }
+        }
+        for t in &self.threads {
+            for r in &t.roots {
+                walk(r, &mut agg);
+            }
+        }
+        let mut rows: Vec<(String, u64, u64)> =
+            agg.into_iter().map(|(k, (c, s))| (k, c, s)).collect();
+        rows.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+        rows.truncate(n);
+        rows
+    }
+
+    /// In-terminal flamegraph: per thread, an indented span tree with bars
+    /// proportional to inclusive time, counts, total/self milliseconds, and
+    /// inline `[event×k]` annotations.
+    pub fn render(&self) -> String {
+        const BAR_W: usize = 20;
+        let mut out = String::new();
+        for t in &self.threads {
+            let scale = t.roots.iter().map(|r| r.total_ns).max().unwrap_or(0);
+            let _ = write!(out, "tid {} {}", t.tid, t.name);
+            if t.dropped > 0 {
+                let _ = write!(out, "  (partial: {} records dropped)", t.dropped);
+            }
+            out.push('\n');
+            for r in &t.roots {
+                render_node(&mut out, r, 1, scale, BAR_W);
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no spans recorded)\n");
+        }
+        out
+    }
+
+    /// Top-N self-time table.
+    pub fn render_top(&self, n: usize) -> String {
+        let rows = self.top_self(n);
+        let mut out = String::from("span                              count    self-ms\n");
+        for (title, count, self_ns) in rows {
+            let _ = writeln!(
+                out,
+                "{:<32} {:>6}  {:>9.3}",
+                title,
+                count,
+                self_ns as f64 / 1e6
+            );
+        }
+        out
+    }
+}
+
+fn render_node(out: &mut String, n: &ProfileNode, depth: usize, scale: u64, bar_w: usize) {
+    let frac = if scale == 0 {
+        0.0
+    } else {
+        n.total_ns as f64 / scale as f64
+    };
+    let mut fill = (frac * bar_w as f64).round() as usize;
+    if n.total_ns > 0 {
+        fill = fill.clamp(1, bar_w);
+    }
+    let bar = format!("{}{}", "█".repeat(fill), "·".repeat(bar_w - fill));
+    let indent = "  ".repeat(depth);
+    let _ = write!(
+        out,
+        "{indent}{bar} {:<24} {:>5}x {:>9.3}ms total {:>9.3}ms self",
+        n.title(),
+        n.count,
+        n.total_ns as f64 / 1e6,
+        n.self_ns as f64 / 1e6
+    );
+    for (name, k) in &n.events {
+        let _ = write!(out, "  [{name}×{k}]");
+    }
+    out.push('\n');
+    for c in &n.children {
+        render_node(out, c, depth + 1, scale, bar_w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_aggregate_and_self_time() {
+        let mut b = ProfileBuilder::new();
+        b.thread(0, "main", 0);
+        b.begin(0, "query", "q2.1 [hybrid]", 0);
+        b.begin(0, "morsel", "", 100);
+        b.end(0, 400); // morsel #1: 300ns
+        b.begin(0, "morsel", "", 500);
+        b.end(0, 700); // morsel #2: 200ns
+        b.end(0, 1000); // query: 1000ns total, 500ns self
+        let t = b.finish();
+        t.check_nesting().expect("invariant");
+        assert_eq!(t.threads.len(), 1);
+        let q = &t.threads[0].roots[0];
+        assert_eq!(q.title(), "query q2.1 [hybrid]");
+        assert_eq!(q.total_ns, 1000);
+        assert_eq!(q.self_ns, 500);
+        let m = &q.children[0];
+        assert_eq!(m.count, 2);
+        assert_eq!(m.total_ns, 500);
+        assert_eq!(m.self_ns, 500);
+        assert_eq!(t.count_of("morsel"), 2);
+    }
+
+    #[test]
+    fn open_spans_auto_close_at_max_ts() {
+        let mut b = ProfileBuilder::new();
+        b.begin(3, "query", "", 0);
+        b.begin(3, "morsel", "", 200);
+        b.instant(3, "govern_deadline", 900);
+        // No Ends: a deadline fired mid-run. Both close at max_ts = 900.
+        let t = b.finish();
+        t.check_nesting().expect("invariant");
+        let q = &t.threads[0].roots[0];
+        assert_eq!(q.total_ns, 900);
+        assert_eq!(q.children[0].total_ns, 700);
+        assert_eq!(q.children[0].events, vec![("govern_deadline".into(), 1)]);
+    }
+
+    #[test]
+    fn unmatched_end_is_tolerated() {
+        let mut b = ProfileBuilder::new();
+        b.end(0, 50);
+        b.begin(0, "a", "", 100);
+        b.end(0, 200);
+        let t = b.finish();
+        t.check_nesting().expect("invariant");
+        assert_eq!(t.threads[0].roots.len(), 1);
+        assert_eq!(t.threads[0].roots[0].total_ns, 100);
+    }
+
+    #[test]
+    fn bounded_children_merge_into_other() {
+        let mut b = ProfileBuilder::new();
+        let mut ts = 0u64;
+        b.begin(0, "root", "", ts);
+        for i in 0..(MAX_CHILDREN + 10) {
+            ts += 10;
+            // Distinct labels force distinct (name, label) keys.
+            b.begin(0, "child", &format!("c{i}"), ts);
+            ts += 5;
+            b.end(0, ts);
+        }
+        ts += 10;
+        b.end(0, ts);
+        let t = b.finish();
+        t.check_nesting().expect("invariant");
+        let root = &t.threads[0].roots[0];
+        assert!(root.children.len() <= MAX_CHILDREN + 1);
+        let other = root
+            .children
+            .iter()
+            .find(|c| c.name == OTHER)
+            .expect("overflow merged");
+        assert_eq!(other.count, 10); // every over-cap child merged
+    }
+
+    #[test]
+    fn depth_overflow_folds_into_deep() {
+        let mut b = ProfileBuilder::new();
+        for i in 0..(MAX_DEPTH as u64 + 8) {
+            b.begin(0, "lvl", &format!("{i}"), i * 10);
+        }
+        for i in (0..(MAX_DEPTH as u64 + 8)).rev() {
+            b.end(0, 1000 + i);
+        }
+        let t = b.finish();
+        t.check_nesting().expect("invariant");
+        // Walk to depth MAX_DEPTH: everything deeper is one (deep) chain.
+        let mut n = &t.threads[0].roots[0];
+        for _ in 1..MAX_DEPTH {
+            assert_eq!(n.children.len(), 1);
+            n = &n.children[0];
+        }
+        assert!(n.children.iter().all(|c| c.name == DEEP || c.name == "lvl"));
+    }
+
+    #[test]
+    fn render_is_nonempty_and_mentions_spans() {
+        let mut b = ProfileBuilder::new();
+        b.thread(0, "worker-0", 0);
+        b.begin(0, "worker", "", 0);
+        b.begin(0, "morsel", "", 10);
+        b.instant(0, "govern_degrade", 15);
+        b.end(0, 90);
+        b.end(0, 100);
+        let t = b.finish();
+        let flame = t.render();
+        assert!(flame.contains("worker-0"));
+        assert!(flame.contains("morsel"));
+        assert!(flame.contains("govern_degrade"));
+        let top = t.render_top(5);
+        assert!(top.contains("morsel"));
+    }
+}

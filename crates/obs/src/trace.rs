@@ -233,6 +233,88 @@ pub fn finish() -> Option<TraceOutput> {
     })
 }
 
+/// Render the active session's current records to its output file *without*
+/// ending the session: the live buffers are untouched and keep recording;
+/// spans still open are auto-closed in the rendered copy only. This is the
+/// drop-guard drain for queries that end in a typed error — the partial
+/// trace lands on disk even though the process-level [`finish`] may be far
+/// away (or never reached). Returns the event count written; `None` when no
+/// session is active or it has no file target.
+pub fn checkpoint() -> Option<usize> {
+    let guard = session().lock().unwrap_or_else(|p| p.into_inner());
+    let sess = guard.as_ref()?;
+    let path = sess.out.as_ref()?;
+    let (json, events, _) = render_chrome_json(sess);
+    if let Err(e) = std::fs::write(path, &json) {
+        crate::diag::warn(format!(
+            "trace: checkpoint failed to write {}: {e}",
+            path.display()
+        ));
+        return None;
+    }
+    Some(events)
+}
+
+/// Record kind handed to [`visit_records`] callbacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecKind {
+    Begin,
+    End,
+    Instant,
+}
+
+/// Borrowed view of one buffered record, for streaming aggregation
+/// ([`crate::profile`]) without rendering Chrome JSON.
+pub struct RecordView<'a> {
+    pub kind: RecKind,
+    pub name: &'static str,
+    /// Nanoseconds since the trace epoch.
+    pub ts_ns: u64,
+    /// Dynamic label (empty when none was recorded).
+    pub label: &'a str,
+    pub args: &'a [(&'static str, i64)],
+}
+
+/// Walk the active session's per-thread buffers in place: `thread` is called
+/// once per registered thread with `(tid, name, dropped)`, then `rec` with
+/// each of that thread's records in append order. The session stays active
+/// and its buffers keep recording afterwards. Returns `false` when no
+/// session is active.
+pub fn visit_records(
+    mut thread: impl FnMut(u32, &str, u64),
+    mut rec: impl FnMut(u32, RecordView<'_>),
+) -> bool {
+    let guard = session().lock().unwrap_or_else(|p| p.into_inner());
+    let Some(sess) = guard.as_ref() else {
+        return false;
+    };
+    for buf in &sess.threads {
+        let name = buf.name.lock().unwrap_or_else(|p| p.into_inner()).clone();
+        let sink = buf.sink.lock().unwrap_or_else(|p| p.into_inner());
+        thread(buf.tid, &name, sink.dropped);
+        for r in &sink.records {
+            let kind = match r.kind {
+                Kind::Begin => RecKind::Begin,
+                Kind::End => RecKind::End,
+                Kind::Instant => RecKind::Instant,
+            };
+            let label =
+                std::str::from_utf8(&r.label[..r.label_len as usize]).unwrap_or("<bad-utf8>");
+            rec(
+                buf.tid,
+                RecordView {
+                    kind,
+                    name: r.name,
+                    ts_ns: r.ts_ns,
+                    label,
+                    args: &r.args[..r.nargs as usize],
+                },
+            );
+        }
+    }
+    true
+}
+
 /// Name the calling thread in the trace (e.g. `worker-3`). No-op when off.
 pub fn set_thread_name(name: &str) {
     if !enabled() {

@@ -125,4 +125,23 @@ fi
 HEF_MAX_QUERIES=8 HEF_MEM_BUDGET=4g \
     cargo bench -p hef-bench --bench obs_overhead --offline -- --assert
 
+# Observatory gate (ISSUE 9). Flame smoke: an in-terminal profile of one
+# query must render a non-empty self-time tree that satisfies the nesting
+# invariant and reconciles morsel spans with the engine's ExecReport (the
+# subcommand exits non-zero and omits the OK marker otherwise).
+cargo run --release --offline -q -p hef-bench --bin repro -- \
+    flame q11 --sf 0.002 > target/flame-smoke.txt 2>&1
+grep -q 'profile: OK' target/flame-smoke.txt
+grep -q 'morsel' target/flame-smoke.txt
+
+# Trend smoke over the committed snapshot archive: sparkline series must
+# render, and --strict must exit zero on healthy history (regressions are
+# advisory outside --strict, so this only gates on the machinery working).
+cargo run --release --offline -q -p hef-bench --bin repro -- trend --strict
+
+# The 2% overhead budget must also hold with the full observatory ON:
+# metrics, a fine in-memory capture, and per-round profile builds over a
+# governed (deadlined) query.
+cargo bench -p hef-bench --bench obs_overhead --offline -- --assert-enabled
+
 echo "verify: OK"
