@@ -19,7 +19,14 @@
 //!                            modeled Xeons; writes registry v3 pipeline
 //!                            rows to results/tuned.txt and a measured
 //!                            per-op-vs-joint snapshot (--query qNN for one
-//!                            query, --model silver-4110|gold-6240r)
+//!                            query, --model silver-4110|gold-6240r;
+//!                            --paged adds the page-decode stage and
+//!                            measures over the out-of-core scan)
+//!   paged                    out-of-core sweep: lineorder as paged
+//!                            compressed columns behind the bounded page
+//!                            cache (HEF_PAGE_CACHE, default 25% of raw),
+//!                            all queries checked bit-identical to the
+//!                            in-memory executor at 1 and 4 threads
 //!   qNN (e.g. q21, Q2.1)     one traced SSB query end to end (offline tune,
 //!                            registry warm, parallel execution)
 //!   report <trace.json>      validate + summarize a trace written earlier
@@ -73,6 +80,7 @@ struct Opts {
     model: Option<String>,
     deadline_ms: Option<u64>,
     mem_budget: Option<String>,
+    paged: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -85,6 +93,7 @@ fn parse_opts(args: &[String]) -> Opts {
         model: None,
         deadline_ms: None,
         mem_budget: None,
+        paged: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -120,6 +129,10 @@ fn parse_opts(args: &[String]) -> Opts {
             "--mem-budget" => {
                 o.mem_budget = Some(args[i + 1].clone());
                 i += 2;
+            }
+            "--paged" => {
+                o.paged = true;
+                i += 1;
             }
             other => panic!("unknown option {other}"),
         }
@@ -497,7 +510,7 @@ fn tune(opts: &Opts) {
     }
     println!("\n=== HEF offline tuning on the modeled Xeons (simulated) ===\n");
     for model in [CpuModel::silver_4110(), CpuModel::gold_6240r()] {
-        for family in [Family::Murmur, Family::Crc64, Family::Probe] {
+        for family in [Family::Murmur, Family::Crc64, Family::Probe, Family::Decode] {
             let t = tune_simulated(family, &model);
             println!("  [{}] {}", model.name, t.describe());
         }
@@ -529,7 +542,9 @@ fn model_by_name(name: &str) -> CpuModel {
 /// are wall-clock measured into `results/bench_pipeline.json` with a trend
 /// diff against the previous archive.
 fn tune_pipeline(opts: &Opts) {
-    use hef_bench::pipeline::{joint_exec_config, per_op_exec_config, pipeline_spec};
+    use hef_bench::pipeline::{
+        joint_exec_config, per_op_exec_config, pipeline_spec, pipeline_spec_paged,
+    };
     use hef_bench::BenchSnapshot;
     use hef_engine::{execute_star, ExecConfig};
     use hef_testutil::bench::Group;
@@ -546,22 +561,27 @@ fn tune_pipeline(opts: &Opts) {
         None => vec![CpuModel::silver_4110(), CpuModel::gold_6240r()],
     };
     println!(
-        "\n=== whole-pipeline joint (v,s,p,f) tuning ({note}; {} queries × {} models) ===\n",
+        "\n=== whole-pipeline joint (v,s,p,f) tuning ({note}; {} queries × {} models{}) ===\n",
         queries.len(),
-        models.len()
+        models.len(),
+        if opts.paged { "; paged scan with decode stage" } else { "" }
     );
     let data = gen_data(sf);
 
     // Per-op simulated baselines, one registry per model: each family the
     // SSB pipelines use, tuned in isolation — the composition the paper's
-    // per-op tuner would deploy, and the joint search's seed.
-    let spec_families =
-        [Family::Filter, Family::Probe, Family::Gather, Family::AggSum, Family::AggDot];
+    // per-op tuner would deploy, and the joint search's seed. A paged scan
+    // adds the page-decode family to the chain.
+    let mut spec_families =
+        vec![Family::Filter, Family::Probe, Family::Gather, Family::AggSum, Family::AggDot];
+    if opts.paged {
+        spec_families.push(Family::Decode);
+    }
     let seed_regs: Vec<Registry> = models
         .iter()
         .map(|model| {
             let mut reg = Registry::default();
-            for family in spec_families {
+            for &family in &spec_families {
                 reg.insert_tuned(&tune_simulated(family, model));
             }
             reg
@@ -582,7 +602,11 @@ fn tune_pipeline(opts: &Opts) {
         // One stats run (scalar, single-threaded) yields the reach fractions
         // and probe working sets the co-residency model weighs.
         let out = execute_star(&plan, &data.lineorder, &ExecConfig::scalar().with_threads(1));
-        let spec = pipeline_spec(&plan, &out.stats);
+        let spec = if opts.paged {
+            pipeline_spec_paged(&plan, &out.stats)
+        } else {
+            pipeline_spec(&plan, &out.stats)
+        };
         let max_ws = spec.stages.iter().map(|s| s.working_set).max().unwrap_or(0);
 
         for (model, seed) in models.iter().zip(&seed_regs) {
@@ -653,25 +677,42 @@ fn tune_pipeline(opts: &Opts) {
     // Single-query (smoke) runs archive separately, so the committed
     // full-sweep bench_pipeline.json only changes on full runs (same split
     // as the probe bench's --smoke).
-    let mut snap =
-        BenchSnapshot::new(if opts.query.is_some() { "pipeline_smoke" } else { "pipeline" });
+    let mut snap = BenchSnapshot::new(match (opts.paged, opts.query.is_some()) {
+        (false, false) => "pipeline",
+        (false, true) => "pipeline_smoke",
+        (true, false) => "pipeline_paged",
+        (true, true) => "pipeline_paged_smoke",
+    });
     snap.config("sf", sf)
         .config("model", &models[0].name)
         .config("samples", samples)
         .config("lineorder_rows", data.lineorder.len());
     let rows = data.lineorder.len() as u64;
+    // In paged mode the measured before/after runs the out-of-core scan, so
+    // the tuned decode node is actually on the measured path.
+    let paged_table = opts.paged.then(|| {
+        let dir = std::env::temp_dir().join(format!("hef-repro-tunepipe-sf{sf}"));
+        std::fs::remove_dir_all(&dir).ok();
+        hef_ssb::generate_paged(sf, 0x55B, &dir, hef_storage::page::rows_per_page_from_env())
+            .expect("paged generation failed");
+        hef_engine::PagedTable::open_dir(&dir, "lineorder").expect("paged open failed")
+    });
+    let run = |plan: &hef_engine::StarPlan, cfg: &ExecConfig| match &paged_table {
+        Some(t) => {
+            hef_engine::execute_star_paged(plan, t, cfg).expect("paged execution failed");
+        }
+        None => {
+            execute_star(plan, &data.lineorder, cfg);
+        }
+    };
     for (q, plan, entry) in &tuned {
         let group = format!("pipeline_{}", q.name().replace('.', "_"));
         let per_cfg = per_op_exec_config(&seed_regs[0]);
         let joint_cfg = joint_exec_config(&seed_regs[0], entry);
         let mut g = Group::new(group.clone()).throughput_elems(rows).samples(samples);
-        let s = g.bench("per_op", || {
-            execute_star(plan, &data.lineorder, &per_cfg);
-        });
+        let s = g.bench("per_op", || run(plan, &per_cfg));
         snap.row(&group, "per_op", s, Some(rows));
-        let s = g.bench("joint", || {
-            execute_star(plan, &data.lineorder, &joint_cfg);
-        });
+        let s = g.bench("joint", || run(plan, &joint_cfg));
         snap.row(&group, "joint", s, Some(rows));
         g.finish();
     }
@@ -683,6 +724,116 @@ fn tune_pipeline(opts: &Opts) {
         Ok(p) => println!("snapshot: {}", p.display()),
         Err(e) => eprintln!("snapshot write failed: {e}"),
     }
+}
+
+// ---------------------------------------------------------------- out-of-core
+
+/// Run every SSB query out-of-core: the lineorder fact streamed to paged
+/// compressed column files, scanned through the bounded page cache, checked
+/// bit-identical to the in-memory executor at 1 and 4 threads. The cache
+/// capacity comes from `HEF_PAGE_CACHE` when set, else 25% of the dataset's
+/// raw (decoded) bytes — small enough that eviction is constant. Exits
+/// non-zero on any divergence, and on a bounded cache that somehow never
+/// evicted (the out-of-core claim would be vacuous).
+fn paged_cmd(opts: &Opts) {
+    use hef_engine::{execute_star, try_execute_star_paged_ctx, PagedTable, QueryCtx};
+    use hef_storage::PageCache;
+
+    let sf = opts.sf.unwrap_or(1.0);
+    hef_obs::metrics::enable();
+    println!("\n=== paged: out-of-core SSB sweep (sf {sf}) ===\n");
+    let data = gen_data(sf);
+    let dir = std::env::temp_dir().join(format!("hef-repro-paged-sf{sf}"));
+    std::fs::remove_dir_all(&dir).ok();
+    eprintln!("[gen] paged lineorder → {}", dir.display());
+    let rows_per_page = hef_storage::page::rows_per_page_from_env();
+    hef_ssb::generate_paged(sf, 0x55B, &dir, rows_per_page)
+        .expect("paged generation failed");
+    let table = PagedTable::open_dir(&dir, "lineorder").expect("paged open failed");
+    let raw = table.raw_bytes();
+    let disk: u64 = std::fs::read_dir(&dir)
+        .map(|rd| rd.filter_map(|e| Some(e.ok()?.metadata().ok()?.len())).sum())
+        .unwrap_or(0);
+    let cache = match std::env::var("HEF_PAGE_CACHE") {
+        Ok(_) => PageCache::from_env(),
+        Err(_) => PageCache::new((raw / 4) as usize),
+    };
+    println!(
+        "raw {:.1} MiB, on disk {:.1} MiB ({:.2}x), page cache {:.1} MiB ({:.0}% of raw)\n",
+        raw as f64 / (1 << 20) as f64,
+        disk as f64 / (1 << 20) as f64,
+        raw as f64 / disk.max(1) as f64,
+        cache.capacity() as f64 / (1 << 20) as f64,
+        cache.capacity() as f64 / raw as f64 * 100.0
+    );
+
+    let before = hef_obs::metrics::snapshot();
+    let mut t = TableWriter::new(vec![
+        "query", "in-mem ms", "paged t1 ms", "paged t4 ms", "rows agg", "identical",
+    ]);
+    for q in QueryId::ALL {
+        let plan = build_plan(&data, q);
+        let t0 = std::time::Instant::now();
+        let reference = execute_star(&plan, &data.lineorder, &exec_config(Flavor::Hybrid).with_threads(1));
+        let mem_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let mut paged_ms = [0.0f64; 2];
+        for (i, threads) in [1usize, 4].into_iter().enumerate() {
+            let cfg = exec_config(Flavor::Hybrid).with_threads(threads);
+            let t0 = std::time::Instant::now();
+            let out = try_execute_star_paged_ctx(&plan, &table, &cfg, &cache, &QueryCtx::unbounded())
+                .unwrap_or_else(|e| {
+                    eprintln!("paged: {} (threads {threads}): {e}", q.name());
+                    std::process::exit(1);
+                });
+            paged_ms[i] = t0.elapsed().as_secs_f64() * 1e3;
+            if out.groups != reference.groups {
+                eprintln!(
+                    "paged: {} diverged from in-memory at {threads} thread(s)",
+                    q.name()
+                );
+                std::process::exit(1);
+            }
+        }
+        t.row(vec![
+            q.name().to_string(),
+            f2(mem_ms),
+            f2(paged_ms[0]),
+            f2(paged_ms[1]),
+            reference.stats.rows_aggregated.to_string(),
+            "yes".to_string(),
+        ]);
+    }
+    t.print();
+
+    use hef_obs::metrics::Metric;
+    let d = hef_obs::metrics::snapshot().delta(&before);
+    let (hits, misses, evict) = (
+        d.get(Metric::PageCacheHits),
+        d.get(Metric::PageCacheMisses),
+        d.get(Metric::PageCacheEvictions),
+    );
+    println!(
+        "\npage cache: {hits} hits / {misses} misses ({:.1}% hit rate), {evict} evictions",
+        hits as f64 / (hits + misses).max(1) as f64 * 100.0
+    );
+    println!(
+        "decode: {} pages, {} rows, {} rows filtered in code space (decode skipped)",
+        d.get(Metric::PagesDecoded),
+        d.get(Metric::DecodeRows),
+        d.get(Metric::DecodeCodeFiltered)
+    );
+    // Pages are cached compressed, so the eviction expectation keys off the
+    // on-disk byte count: a cache smaller than the compressed dataset must
+    // have evicted or the bound was never exercised.
+    if (cache.capacity() as u64) < disk && evict == 0 {
+        eprintln!("paged: cache below compressed dataset size but never evicted — bound not exercised");
+        std::process::exit(1);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    println!(
+        "\npaged: OK ({} queries bit-identical to the in-memory executor at 1 and 4 threads)",
+        QueryId::ALL.len()
+    );
 }
 
 // ---------------------------------------------------------------- traced query
@@ -790,7 +941,11 @@ fn run_query(q: QueryId, opts: &Opts) {
 /// [`ExecReport`]: hef_engine::ExecReport
 fn flame_cmd(q: QueryId, opts: &Opts) {
     let (sf, note) = scale_for("small", opts);
-    println!("\n=== flame {}: profiled query ({note}) ===\n", q.name());
+    println!(
+        "\n=== flame {}: profiled query ({note}{}) ===\n",
+        q.name(),
+        if opts.paged { "; paged scan" } else { "" }
+    );
 
     // An externally-started session (HEF_TRACE / --trace) is reused; only
     // reconcile counts when we own the capture — a pre-existing session may
@@ -804,11 +959,37 @@ fn flame_cmd(q: QueryId, opts: &Opts) {
     let plan = build_plan(&data, q);
     let threads = hef_engine::resolve_threads(0).max(2);
     let cfg = exec_config(Flavor::Hybrid).with_threads(threads);
-    let (out, report) = match hef_engine::try_execute_star(&plan, &data.lineorder, &cfg) {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("flame: {}: {e}", q.name());
-            std::process::exit(1);
+
+    // `--paged` profiles the out-of-core scan instead: page morsels with
+    // per-worker `decode` self-time under them, no in-memory ExecReport.
+    let (out, reconcile) = if opts.paged {
+        let dir = std::env::temp_dir().join(format!("hef-flame-paged-sf{sf}"));
+        std::fs::remove_dir_all(&dir).ok();
+        hef_ssb::generate_paged(sf, 0x55B, &dir, hef_storage::page::rows_per_page_from_env())
+            .expect("paged generation failed");
+        let table = hef_engine::PagedTable::open_dir(&dir, "lineorder").expect("paged open");
+        let pages = table.page_count() as u64;
+        match hef_engine::execute_star_paged(&plan, &table, &cfg) {
+            Ok(out) => (out, ("page", pages, format!("{pages} page(s)"))),
+            Err(e) => {
+                eprintln!("flame: {}: {e}", q.name());
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match hef_engine::try_execute_star(&plan, &data.lineorder, &cfg) {
+            Ok((out, report)) => {
+                let n = report.morsels_completed as u64;
+                println!(
+                    "query ran {} morsels over {} threads",
+                    report.morsels_completed, report.threads
+                );
+                (out, ("morsel", n, format!("{n} morsel(s) in ExecReport")))
+            }
+            Err(e) => {
+                eprintln!("flame: {}: {e}", q.name());
+                std::process::exit(1);
+            }
         }
     };
 
@@ -824,27 +1005,20 @@ fn flame_cmd(q: QueryId, opts: &Opts) {
         eprintln!("flame: nesting invariant violated: {e}");
         std::process::exit(1);
     }
-    println!(
-        "\nquery: {} groups, {} morsels over {} threads",
-        out.groups.len(),
-        report.morsels_completed,
-        report.threads
-    );
+    println!("\nquery: {} groups", out.groups.len());
     if own_capture {
-        let profiled = tree.count_of("morsel");
+        let (span, expected, what) = &reconcile;
+        let profiled = tree.count_of(span);
         if tree.dropped() > 0 {
             println!(
                 "profile: {} record(s) dropped (raise HEF_TRACE_BUF); skipping reconciliation",
                 tree.dropped()
             );
-        } else if profiled != report.morsels_completed as u64 {
-            eprintln!(
-                "flame: profile saw {profiled} morsel span(s) but the engine reported {}",
-                report.morsels_completed
-            );
+        } else if profiled != *expected {
+            eprintln!("flame: profile saw {profiled} `{span}` span(s) but expected {what}");
             std::process::exit(1);
         } else {
-            println!("profile: morsel spans reconcile with ExecReport ({profiled})");
+            println!("profile: `{span}` spans reconcile ({profiled})");
         }
     }
     println!("profile: OK");
@@ -1138,6 +1312,7 @@ fn main() {
         "ablation-dynamic" => ablation_dynamic(&opts),
         "tune" => tune(&opts),
         "tune-pipeline" => tune_pipeline(&opts),
+        "paged" => paged_cmd(&opts),
         "all" => {
             for f in ["fig8", "fig9", "fig10"] {
                 ssb_figure(f, match f { "fig8" => "small", "fig9" => "medium", _ => "large" }, &opts);
@@ -1168,7 +1343,9 @@ fn main() {
                 );
                 println!("experiments: fig8 fig9 fig10 table3..table9 fig11..fig14");
                 println!("             ablation-search ablation-pack ablation-bloom ablation-dynamic tune all");
-                println!("             tune-pipeline [--query qNN] [--model silver-4110|gold-6240r]");
+                println!("             tune-pipeline [--query qNN] [--model silver-4110|gold-6240r] [--paged]");
+                println!("             paged [--sf f] (out-of-core sweep: paged columns + page cache,");
+                println!("                             checked bit-identical to in-memory at 1 and 4 threads)");
                 println!("             qNN (traced single query, e.g. q21)   report <trace.json>");
                 println!("             plan <file.plan | qNN> (logical plan: optimize, lower, execute)");
                 println!("             flame [qNN] (in-terminal flamegraph of one profiled query)");

@@ -21,7 +21,8 @@ pub fn tuned_hybrid() -> ExecConfig {
         reg.get_or_default(Family::Probe),
         reg.get_or_default(Family::AggSum),
         reg.get_or_default(Family::Gather),
-    );
+    )
+    .with_decode(reg.get_or_default(Family::Decode));
     match reg.get_prefetch(Family::Probe) {
         Some(f) => cfg.with_probe_prefetch(f),
         None => cfg,

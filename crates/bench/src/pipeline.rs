@@ -51,6 +51,18 @@ pub fn pipeline_spec(plan: &StarPlan, stats: &ExecStats) -> PipelineSpec {
     }
 }
 
+/// [`pipeline_spec`] with the out-of-core decode stage prepended: every
+/// fact row passes through page decode before the first filter, so the
+/// stage has weight 1.0 and no probe working set, and the compressed page
+/// stream adds one co-resident column stream per touched column (already
+/// counted by `streams` — the paged scan replaces the plain column reads
+/// one for one).
+pub fn pipeline_spec_paged(plan: &StarPlan, stats: &ExecStats) -> PipelineSpec {
+    let mut spec = pipeline_spec(plan, stats);
+    spec.stages.insert(0, PipelineStage::new(Family::Decode, 1.0, 0));
+    spec
+}
+
 /// The per-op-tuned execution config an explicit registry implies: the
 /// baseline the joint plan is measured against. Same shape as
 /// [`crate::tuned_hybrid`] but from a caller-supplied registry instead of
@@ -61,7 +73,8 @@ pub fn per_op_exec_config(reg: &Registry) -> ExecConfig {
         reg.get_or_default(Family::Probe),
         reg.get_or_default(Family::AggSum),
         reg.get_or_default(Family::Gather),
-    );
+    )
+    .with_decode(reg.get_or_default(Family::Decode));
     match reg.get_prefetch(Family::Probe) {
         Some(f) => cfg.with_probe_prefetch(f),
         None => cfg,

@@ -188,10 +188,16 @@ impl BenchSnapshot {
     /// and return the path. The write is atomic (staging file + rename) so
     /// an interrupted run never tears the archive a later
     /// [`BenchSnapshot::compare_with_archive`] reads.
+    ///
+    /// Before the live archive is replaced, the outgoing file is preserved
+    /// as a timestamped point under `results/history/` so the trend scanner
+    /// ([`crate::trend::scan`]) keeps the full series instead of only the
+    /// last two runs.
     pub fn write_under(&self, dir: &std::path::Path) -> std::io::Result<PathBuf> {
         let results = dir.join("results");
         std::fs::create_dir_all(&results)?;
         let path = results.join(format!("bench_{}.json", self.name));
+        archive_previous(&results, &path, &self.name);
         hef_testutil::atomic_write(&path, self.to_json().as_bytes())?;
         Ok(path)
     }
@@ -288,6 +294,37 @@ impl BenchSnapshot {
             .unwrap_or(&cwd);
         self.write_under(root)
     }
+}
+
+/// Preserve the outgoing live archive as
+/// `results/history/<mtime-secs>_bench_<name>.json` before it is replaced.
+/// The stamp is the file's mtime in zero-padded epoch seconds, so a plain
+/// filename sort — exactly what the trend scanner does — is chronological;
+/// a same-second rewrite gets a `_<n>` suffix rather than clobbering the
+/// point. History is observability: any failure here (no mtime, read-only
+/// tree) silently skips the copy and never blocks the live write.
+fn archive_previous(results: &Path, live: &Path, name: &str) {
+    let Ok(meta) = std::fs::metadata(live) else { return };
+    let secs = meta
+        .modified()
+        .ok()
+        .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let history = results.join("history");
+    if std::fs::create_dir_all(&history).is_err() {
+        return;
+    }
+    let mut dest = history.join(format!("{secs:010}_bench_{name}.json"));
+    let mut n = 1u32;
+    while dest.exists() {
+        dest = history.join(format!("{secs:010}_bench_{name}_{n}.json"));
+        n += 1;
+        if n > 64 {
+            return;
+        }
+    }
+    std::fs::copy(live, &dest).ok();
 }
 
 /// One per-kernel trend row of a [`CompareReport`].
@@ -457,6 +494,46 @@ mod tests {
             .and_then(|t| t.parse().ok())
             .expect("threads stamped");
         assert!(threads >= 1);
+    }
+
+    #[test]
+    fn rewrite_archives_the_outgoing_baseline_into_history() {
+        let dir = std::env::temp_dir().join(format!("hef_snap_hist_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // First write: nothing to preserve, so no history yet.
+        let mut first = BenchSnapshot::new("hist_unit");
+        first.row("g", "l", summarize(&mut [1e-3, 1e-3, 1e-3]), None);
+        let live = first.write_under(&dir).expect("first write");
+        let first_text = std::fs::read_to_string(&live).unwrap();
+        assert!(!dir.join("results/history").exists());
+
+        // Second write: the outgoing file lands under history/ verbatim and
+        // the trend scanner now sees a two-point series.
+        let mut second = BenchSnapshot::new("hist_unit");
+        second.row("g", "l", summarize(&mut [2e-3, 2e-3, 2e-3]), None);
+        second.write_under(&dir).expect("second write");
+        let history: Vec<_> = std::fs::read_dir(dir.join("results/history"))
+            .expect("history dir")
+            .filter_map(|e| e.ok())
+            .collect();
+        assert_eq!(history.len(), 1);
+        let archived = history[0].file_name().into_string().unwrap();
+        assert!(archived.ends_with("_bench_hist_unit.json"), "{archived}");
+        assert_eq!(std::fs::read_to_string(history[0].path()).unwrap(), first_text);
+        let report = crate::trend::scan(&dir);
+        let series =
+            report.series.iter().find(|s| s.bench == "hist_unit").expect("series exists");
+        assert_eq!(series.points.len(), 2);
+        assert_eq!(series.points.last().map(|p| p.median_s), Some(2e-3));
+
+        // Same-second rewrite suffixes instead of clobbering the point.
+        let mut third = BenchSnapshot::new("hist_unit");
+        third.row("g", "l", summarize(&mut [3e-3, 3e-3, 3e-3]), None);
+        third.write_under(&dir).expect("third write");
+        assert_eq!(std::fs::read_dir(dir.join("results/history")).unwrap().count(), 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

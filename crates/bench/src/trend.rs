@@ -18,7 +18,11 @@
 //!
 //! Everything here is advisory by default: unreadable or unparseable files
 //! are skipped, a single-point series renders but never flags, and only
-//! `repro trend --strict` turns regressions into a non-zero exit.
+//! `repro trend --strict` turns regressions into a non-zero exit. Smoke
+//! snapshots (bench names ending `_smoke`) never gate even under `--strict`:
+//! they exist to prove the bench machinery runs, and their 3-sample medians
+//! on a tiny workload are dominated by host noise. The full-run archives are
+//! the baselines the strict gate defends.
 //!
 //! [`BenchSnapshot::compare_with_archive`]: crate::snapshot::BenchSnapshot::compare_with_archive
 
@@ -67,6 +71,16 @@ impl TrendSeries {
     /// `bench/group/label`, the series' display key.
     pub fn key(&self) -> String {
         format!("{}/{}/{}", self.bench, self.group, self.label)
+    }
+
+    /// Advisory series never gate `--strict`. Smoke snapshots (bench names
+    /// ending `_smoke`) exist to prove the bench machinery runs end to end —
+    /// they measure 3 samples of a tiny workload, and their medians swing
+    /// ±20% run to run on a shared host. The committed full-run archives
+    /// (`bench_probe.json`, `bench_ssb.json`, …) are the perf baselines the
+    /// gate defends.
+    pub fn advisory(&self) -> bool {
+        self.bench.ends_with("_smoke")
     }
 
     /// One character per point, medians scaled min..max. A flat (or single
@@ -150,10 +164,15 @@ pub struct TrendReport {
 }
 
 impl TrendReport {
-    /// Series whose newest point regressed, worst first.
+    /// Gating series whose newest point regressed, worst first. Advisory
+    /// (smoke) series are rendered but never listed here — see
+    /// [`TrendSeries::advisory`].
     pub fn regressions(&self) -> Vec<&TrendSeries> {
-        let mut v: Vec<&TrendSeries> =
-            self.series.iter().filter(|s| s.verdict() == Verdict::Regressed).collect();
+        let mut v: Vec<&TrendSeries> = self
+            .series
+            .iter()
+            .filter(|s| s.verdict() == Verdict::Regressed && !s.advisory())
+            .collect();
         v.sort_by(|a, b| {
             b.delta_frac().unwrap_or(0.0).total_cmp(&a.delta_frac().unwrap_or(0.0))
         });
@@ -180,6 +199,7 @@ impl TrendReport {
                     Verdict::Single => "·".to_string(),
                     Verdict::Stable => "~stable".to_string(),
                     Verdict::Improved => "improved".to_string(),
+                    Verdict::Regressed if s.advisory() => "regressed (smoke)".to_string(),
                     Verdict::Regressed => "REGRESSED".to_string(),
                 },
             ]);
@@ -339,6 +359,23 @@ mod tests {
         let rendered = report.render();
         assert!(rendered.contains("REGRESSED"), "{rendered}");
         assert!(SPARKS.iter().any(|&c| rendered.contains(c)), "{rendered}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn smoke_series_regressions_stay_advisory() {
+        let root = temp_root("smoke");
+        // A clear regression on a `_smoke` bench: rendered, never gating.
+        write_snapshot(&root.join("results/history/a_bench_t_smoke.json"), "t_smoke", 1.0e-3, 1.0e-5);
+        write_snapshot(&root.join("results/bench_t_smoke.json"), "t_smoke", 2.0e-3, 1.0e-5);
+        let report = scan(&root);
+        let s = &report.series[0];
+        assert_eq!(s.verdict(), Verdict::Regressed);
+        assert!(s.advisory());
+        assert!(report.regressions().is_empty(), "smoke series must not gate --strict");
+        let rendered = report.render();
+        assert!(rendered.contains("regressed (smoke)"), "{rendered}");
+        assert!(rendered.contains("trend: OK"), "{rendered}");
         std::fs::remove_dir_all(&root).ok();
     }
 

@@ -249,6 +249,33 @@ impl BudgetTracker {
             self.used.fetch_sub(bytes, Ordering::AcqRel);
         }
     }
+
+    /// Charge `bytes` for a non-admission allocation (e.g. the paged-scan
+    /// page cache), returning an RAII guard that releases on drop. `None`
+    /// when the budget cannot fit the charge.
+    pub fn try_charge_guard(&self, bytes: usize) -> Option<ByteCharge<'_>> {
+        if !self.try_charge(bytes) {
+            return None;
+        }
+        if bytes > 0 && self.limit > 0 {
+            hef_obs::metrics::add(hef_obs::metrics::Metric::GovBytesCharged, bytes as u64);
+        }
+        Some(ByteCharge { budget: self, bytes })
+    }
+}
+
+/// RAII byte charge against a [`BudgetTracker`] (see
+/// [`BudgetTracker::try_charge_guard`]).
+#[derive(Debug)]
+pub struct ByteCharge<'a> {
+    budget: &'a BudgetTracker,
+    bytes: usize,
+}
+
+impl Drop for ByteCharge<'_> {
+    fn drop(&mut self) {
+        self.budget.release(self.bytes);
+    }
 }
 
 /// Worst-case bytes a query's execution scratch will allocate: per worker,

@@ -24,6 +24,7 @@
 pub mod dynamic;
 pub mod govern;
 pub mod ops;
+pub mod paged;
 pub mod parallel;
 pub mod pipeline_plan;
 pub mod plan;
@@ -39,6 +40,7 @@ pub use govern::{
     DegradeAction, Governor, GovernorConfig, Interrupt, QueryCtx, MIN_BATCH,
 };
 pub use ops::{gather_keys, grouped_accumulate};
+pub use paged::{execute_star_paged, try_execute_star_paged_ctx, PagedTable, PagedTableError};
 pub use parallel::{
     execute_star_parallel, resolve_threads, resolve_threads_governed, try_execute_star_parallel,
     ExecError, ExecReport,

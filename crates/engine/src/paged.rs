@@ -1,0 +1,955 @@
+//! Out-of-core star execution over paged compressed columns.
+//!
+//! The morsel is the page: workers claim page indices from a shared atomic
+//! cursor, pull each needed column's page through the bounded shared
+//! [`PageCache`], decode with the tuned `Decode` kernel family, and run the
+//! same filter → probe → aggregate pipeline as the in-memory
+//! [`PipelineWorker`](crate::star) — with one extra fusion step: the *first*
+//! filter is evaluated in compressed space whenever the page's encoding
+//! allows it.
+//!
+//! * **Dictionary pages** — the dictionary is sorted, so a value-range
+//!   predicate maps to a code-range predicate by two binary searches; the
+//!   filter kernel then runs over the unpacked *codes* and the dictionary
+//!   gather is skipped entirely for the scan column (counted in
+//!   `kernel.decode_code_filtered`).
+//! * **Frame-of-reference pages** — the predicate shifts by the page
+//!   reference and runs over the raw offsets, skipping the reference add.
+//! * Pages whose value domain could straddle the signed/unsigned boundary
+//!   fall back to decode-then-filter; the fused paths engage only when
+//!   order is preserved, so results stay bit-identical to the in-memory
+//!   executor.
+//!
+//! Group accumulation is wrapping addition of per-row contributions, which
+//! commutes — so per-worker accumulators merged in any order produce
+//! bit-identical aggregates at every thread count, paged or not.
+//!
+//! Memory governance: the page cache's capacity is charged to the
+//! [`Governor`](crate::govern::Governor)'s [`BudgetTracker`] for the
+//! duration of the query, so paged scans participate in the same admission
+//! arithmetic as in-memory scratch.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use hef_kernels::{run_on, Family, KernelIo, PartitionScratch};
+use hef_storage::cache::PageCache;
+use hef_storage::page::{Enc, Page, PagedColumn};
+use hef_storage::ColumnFileError;
+
+use crate::govern::{interrupt_error, QueryCtx};
+use crate::ops::{compact_hits, grouped_accumulate};
+use crate::parallel::ExecError;
+use crate::star::{take, validate_star_plan_with, ExecConfig, ExecStats, Measure, QueryOutput, StarPlan};
+
+// ---------------------------------------------------------------------------
+// Paged fact table.
+// ---------------------------------------------------------------------------
+
+/// Problems opening a paged table directory.
+#[derive(Debug)]
+pub enum PagedTableError {
+    Io(std::io::Error),
+    /// One column file failed to open.
+    Column { file: String, err: ColumnFileError },
+    /// The columns disagree on row count or page geometry.
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for PagedTableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PagedTableError::Io(e) => write!(f, "io error: {e}"),
+            PagedTableError::Column { file, err } => write!(f, "column file `{file}`: {err}"),
+            PagedTableError::Inconsistent(msg) => write!(f, "inconsistent paged table: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PagedTableError {}
+
+impl From<std::io::Error> for PagedTableError {
+    fn from(e: std::io::Error) -> Self {
+        PagedTableError::Io(e)
+    }
+}
+
+/// A fact table whose columns live in paged `.hefc` v2 files on disk; only
+/// directories and per-page payloads on demand are ever resident.
+#[derive(Debug)]
+pub struct PagedTable {
+    name: String,
+    dir: PathBuf,
+    cols: Vec<PagedColumn>,
+    by_name: HashMap<String, usize>,
+    rows: u64,
+    page_count: usize,
+}
+
+impl PagedTable {
+    /// Open every `.hefc` file in `dir` as one table. All columns must
+    /// agree on row count and page geometry (the paged writer guarantees
+    /// this for generated datasets).
+    pub fn open_dir(dir: &Path, name: &str) -> Result<PagedTable, PagedTableError> {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "hefc"))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(PagedTableError::Inconsistent(format!(
+                "no .hefc files in {}",
+                dir.display()
+            )));
+        }
+        let mut cols = Vec::with_capacity(files.len());
+        let mut by_name = HashMap::new();
+        for f in &files {
+            let col = PagedColumn::open(f).map_err(|err| PagedTableError::Column {
+                file: f.display().to_string(),
+                err,
+            })?;
+            by_name.insert(col.name().to_string(), cols.len());
+            cols.push(col);
+        }
+        let rows = cols[0].rows();
+        let page_count = cols[0].page_count();
+        for c in &cols[1..] {
+            if c.rows() != rows || c.page_count() != page_count {
+                return Err(PagedTableError::Inconsistent(format!(
+                    "column `{}` has {} rows / {} pages; `{}` has {} / {}",
+                    c.name(),
+                    c.rows(),
+                    c.page_count(),
+                    cols[0].name(),
+                    rows,
+                    page_count
+                )));
+            }
+            for (a, b) in cols[0].pages().iter().zip(c.pages()) {
+                if a.rows != b.rows {
+                    return Err(PagedTableError::Inconsistent(format!(
+                        "column `{}` page geometry diverges from `{}`",
+                        c.name(),
+                        cols[0].name()
+                    )));
+                }
+            }
+        }
+        Ok(PagedTable { name: name.to_string(), dir: dir.to_path_buf(), cols, by_name, rows, page_count })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+    pub fn page_count(&self) -> usize {
+        self.page_count
+    }
+    pub fn column_names(&self) -> impl Iterator<Item = &str> {
+        self.cols.iter().map(|c| c.name())
+    }
+    pub fn column(&self, name: &str) -> Option<&PagedColumn> {
+        self.by_name.get(name).map(|&i| &self.cols[i])
+    }
+    /// Bytes the table would occupy fully decoded in memory (the number the
+    /// `HEF_PAGE_CACHE` gate is compared against).
+    pub fn raw_bytes(&self) -> u64 {
+        self.rows * 8 * self.cols.len() as u64
+    }
+    /// Fully decode into an in-memory [`Table`](hef_storage::Table)
+    /// (differential tests; defeats the purpose otherwise).
+    pub fn to_table(&self) -> Result<hef_storage::Table, PagedTableError> {
+        let mut t = hef_storage::Table::new(self.name.clone());
+        for c in &self.cols {
+            let col = c.to_column().map_err(|err| PagedTableError::Column {
+                file: c.name().to_string(),
+                err,
+            })?;
+            t.add_column(col);
+        }
+        Ok(t)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused first-filter planning.
+// ---------------------------------------------------------------------------
+
+/// How the first filter runs against one page.
+enum FusedFilter {
+    /// No row of this page can pass (decided from the page header alone —
+    /// zero rows decoded).
+    Empty,
+    /// Run the filter over raw codes with mapped bounds; the value
+    /// reconstruction (reference add / dictionary gather) is skipped.
+    Codes { lo: u64, hi: u64 },
+    /// Mixed-sign domain: decode values, filter normally.
+    Values,
+}
+
+const SIGN_BIT: u64 = 1 << 63;
+
+/// Map a signed value-range predicate into this page's code space, when the
+/// page's value domain is sign-homogeneous (all values non-negative as
+/// `i64`), so unsigned code order equals signed value order.
+fn fuse_filter(page: &Page, lo: u64, hi: u64) -> FusedFilter {
+    let (l, h) = (lo as i64 as i128, hi as i64 as i128);
+    if l > h {
+        return FusedFilter::Empty;
+    }
+    match page.enc() {
+        Enc::For => {
+            let reference = page.reference();
+            let mask = if page.width() >= 64 { u64::MAX } else { (1u64 << page.width()) - 1 };
+            // Conservative value ceiling: reference + largest representable
+            // code. Fuse only when the whole code domain maps below the
+            // sign bit, so unsigned code order equals signed value order.
+            if reference >= SIGN_BIT || mask >= SIGN_BIT - reference {
+                return FusedFilter::Values;
+            }
+            let (rmin, rmax) = (reference as i128, (reference + mask) as i128);
+            let lo_v = l.max(rmin);
+            let hi_v = h.min(rmax);
+            if lo_v > hi_v {
+                return FusedFilter::Empty;
+            }
+            FusedFilter::Codes { lo: (lo_v - rmin) as u64, hi: (hi_v - rmin) as u64 }
+        }
+        Enc::Dict => {
+            let dict = page.dict_entries();
+            match dict.last() {
+                Some(&max) if max < SIGN_BIT => {}
+                _ => return FusedFilter::Values,
+            }
+            let lo_code = dict.partition_point(|&v| (v as i128) < l);
+            let hi_code = dict.partition_point(|&v| (v as i128) <= h);
+            if lo_code >= hi_code {
+                return FusedFilter::Empty;
+            }
+            FusedFilter::Codes { lo: lo_code as u64, hi: hi_code as u64 - 1 }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution.
+// ---------------------------------------------------------------------------
+
+fn column_error(query: &str, err: ColumnFileError) -> ExecError {
+    ExecError::Failed { query: query.to_string(), message: format!("paged read failed: {err}") }
+}
+
+/// Execute a star plan against a paged fact table with the process-global
+/// page cache and no cancellation context.
+pub fn execute_star_paged(
+    plan: &StarPlan,
+    fact: &PagedTable,
+    cfg: &ExecConfig,
+) -> Result<QueryOutput, ExecError> {
+    try_execute_star_paged_ctx(plan, fact, cfg, PageCache::global(), &QueryCtx::unbounded())
+}
+
+/// [`execute_star_paged`] with an explicit cache and governance context
+/// (cancellation + deadline checked at every page boundary).
+pub fn try_execute_star_paged_ctx(
+    plan: &StarPlan,
+    fact: &PagedTable,
+    cfg: &ExecConfig,
+    cache: &PageCache,
+    ctx: &QueryCtx,
+) -> Result<QueryOutput, ExecError> {
+    validate_star_plan_with(plan, fact.name(), |c| fact.column(c).is_some())?;
+    let cfg = crate::pipeline_plan::resolve_pipeline_env(plan, *cfg).resolved_from_env();
+    let threads = crate::parallel::resolve_threads(cfg.threads).max(1);
+    // Charge the cache's full capacity — the standing allocation a paged
+    // scan can pin — to the same budget in-memory scratch is admitted
+    // against.
+    let gov = crate::govern::Governor::current();
+    let _cache_charge = gov.budget().try_charge_guard(cache.capacity()).ok_or_else(|| {
+        ExecError::Rejected { query: plan.name.clone(), retry_after_ms: 10 }
+    })?;
+    let _qspan = if hef_obs::trace::enabled() {
+        hef_obs::trace::span_begin_labeled(
+            "query_paged",
+            &format!("{} [{}]", plan.name, cfg.flavor.name()),
+            &[
+                ("rows", fact.rows() as i64),
+                ("pages", fact.page_count() as i64),
+                ("threads", threads as i64),
+            ],
+        )
+    } else {
+        hef_obs::trace::SpanGuard::disabled()
+    };
+    hef_obs::metrics::add(hef_obs::metrics::Metric::QueriesExecuted, 1);
+
+    let cursor = AtomicUsize::new(0);
+    if threads == 1 {
+        let mut w = PagedWorker::new(plan, fact, &cfg, cache)?;
+        w.run(&cursor, ctx)?;
+        return Ok(w.finish());
+    }
+    let results: Vec<Result<QueryOutput, ExecError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cfg = &cfg;
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut w = PagedWorker::new(plan, fact, cfg, cache)?;
+                    w.run(cursor, ctx)?;
+                    Ok(w.finish())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|p| {
+                    Err(ExecError::Failed {
+                        query: plan.name.clone(),
+                        message: format!("paged worker panicked: {}", panic_message(&p)),
+                    })
+                })
+            })
+            .collect()
+    });
+    // Merge: wrapping adds commute, so any merge order is bit-identical.
+    let mut merged: Option<QueryOutput> = None;
+    for r in results {
+        let out = r?;
+        merged = Some(match merged {
+            None => out,
+            Some(mut m) => {
+                for (a, b) in m.groups.iter_mut().zip(&out.groups) {
+                    *a = a.wrapping_add(*b);
+                }
+                merge_stats(&mut m.stats, &out.stats);
+                m
+            }
+        });
+    }
+    // `threads >= 1`, so a merged output always exists; stay typed anyway.
+    merged.ok_or_else(|| ExecError::Failed {
+        query: plan.name.clone(),
+        message: "no paged worker produced output".to_string(),
+    })
+}
+
+fn panic_message(p: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn merge_stats(into: &mut ExecStats, from: &ExecStats) {
+    into.rows_scanned += from.rows_scanned;
+    into.rows_after_filter += from.rows_after_filter;
+    into.rows_aggregated += from.rows_aggregated;
+    into.materialized += from.materialized;
+    for (a, b) in into.probes.iter_mut().zip(&from.probes) {
+        *a += b;
+    }
+    for (a, b) in into.hits.iter_mut().zip(&from.hits) {
+        *a += b;
+    }
+}
+
+/// One paged pipeline worker: the per-thread state of the out-of-core scan.
+/// Mirrors [`PipelineWorker`](crate::star) but sources batches from decoded
+/// pages instead of resident columns.
+struct PagedWorker<'a> {
+    plan: &'a StarPlan,
+    fact: &'a PagedTable,
+    cfg: &'a ExecConfig,
+    cache: &'a PageCache,
+    /// Unique columns the plan touches, in discovery order.
+    cols: Vec<&'a PagedColumn>,
+    slot: HashMap<&'a str, usize>,
+    /// Per-column decoded page buffer + which page it currently holds.
+    decoded: Vec<Vec<u64>>,
+    decoded_page: Vec<usize>,
+    /// Scratch for code-space filtering (raw codes, no reconstruction).
+    codes: Vec<u64>,
+    acc: Vec<u64>,
+    stats: ExecStats,
+    strides: Vec<u64>,
+    sel: Vec<u64>,
+    keys: Vec<u64>,
+    probe_out: Vec<u64>,
+    gids: Vec<u64>,
+    vals: Vec<u64>,
+    scratch: Vec<u64>,
+    part_scratch: PartitionScratch,
+}
+
+impl<'a> PagedWorker<'a> {
+    fn new(
+        plan: &'a StarPlan,
+        fact: &'a PagedTable,
+        cfg: &'a ExecConfig,
+        cache: &'a PageCache,
+    ) -> Result<Self, ExecError> {
+        let mut names: Vec<&'a str> = Vec::new();
+        let mut need = |name: &'a str| {
+            if !names.contains(&name) {
+                names.push(name);
+            }
+        };
+        for f in &plan.filters {
+            need(&f.col);
+        }
+        for d in &plan.dims {
+            need(&d.fk_col);
+        }
+        match &plan.measure {
+            Measure::Sum(a) => need(a),
+            Measure::SumProduct(a, b) | Measure::SumDiff(a, b) => {
+                need(a);
+                need(b);
+            }
+        }
+        // Validation already proved every column exists; keep the failure
+        // typed anyway (the no-panic contract covers the whole engine).
+        let mut cols: Vec<&'a PagedColumn> = Vec::with_capacity(names.len());
+        let mut slot: HashMap<&'a str, usize> = HashMap::with_capacity(names.len());
+        for (i, &name) in names.iter().enumerate() {
+            let col = fact.column(name).ok_or_else(|| ExecError::BadPlan {
+                query: plan.name.clone(),
+                message: format!("fact column '{name}' missing from paged table"),
+            })?;
+            slot.insert(name, i);
+            cols.push(col);
+        }
+        let ncols = cols.len();
+        let ndims = plan.dims.len();
+        let stats = ExecStats {
+            probes: vec![0; ndims],
+            hits: vec![0; ndims],
+            table_bytes: plan.dims.iter().map(|d| d.table.working_set_bytes()).collect(),
+            ..Default::default()
+        };
+        Ok(PagedWorker {
+            plan,
+            fact,
+            cfg,
+            cache,
+            cols,
+            slot,
+            decoded: vec![Vec::new(); ncols],
+            decoded_page: vec![usize::MAX; ncols],
+            codes: Vec::new(),
+            acc: vec![0u64; plan.group_cells()],
+            stats,
+            strides: plan.gid_strides(),
+            sel: Vec::new(),
+            keys: Vec::new(),
+            probe_out: Vec::new(),
+            gids: Vec::new(),
+            vals: Vec::new(),
+            scratch: Vec::new(),
+            part_scratch: PartitionScratch::default(),
+        })
+    }
+
+    fn run(&mut self, cursor: &AtomicUsize, ctx: &QueryCtx) -> Result<(), ExecError> {
+        loop {
+            if let Err(i) = ctx.check() {
+                return Err(interrupt_error(&self.plan.name, ctx, i, Default::default()));
+            }
+            let pidx = cursor.fetch_add(1, Ordering::Relaxed);
+            if pidx >= self.fact.page_count() {
+                return Ok(());
+            }
+            self.run_page(pidx)?;
+        }
+    }
+
+    /// Fetch + decode column slot `ci`'s values for page `pidx` into its
+    /// buffer (idempotent per page).
+    fn decode_col(&mut self, ci: usize, pidx: usize) -> Result<(), ExecError> {
+        if self.decoded_page[ci] == pidx {
+            return Ok(());
+        }
+        let page = self
+            .cache
+            .page(self.cols[ci], pidx)
+            .map_err(|e| column_error(&self.plan.name, e))?;
+        decode_page(&page, self.cfg, None, &mut self.decoded[ci]);
+        self.decoded_page[ci] = pidx;
+        Ok(())
+    }
+
+    fn run_page(&mut self, pidx: usize) -> Result<(), ExecError> {
+        let (plan, cfg) = (self.plan, self.cfg);
+        let rows = self.cols[0].pages()[pidx].rows as usize;
+        self.stats.rows_scanned += rows as u64;
+        let _pspan = hef_obs::span_fine!("page", idx = pidx as i64, rows = rows as i64);
+        for s in &mut self.decoded_page {
+            *s = usize::MAX;
+        }
+
+        // 1. First filter, fused with decode where the encoding allows;
+        // later filters refine over fully decoded page columns.
+        self.sel.clear();
+        if plan.filters.is_empty() {
+            self.sel.extend(0..rows as u64);
+        } else {
+            let f0 = &plan.filters[0];
+            let ci = self.slot[f0.col.as_str()];
+            let page = self
+                .cache
+                .page(self.cols[ci], pidx)
+                .map_err(|e| column_error(&self.plan.name, e))?;
+            match fuse_filter(&page, f0.lo, f0.hi) {
+                FusedFilter::Empty => {
+                    if hef_obs::metrics::enabled() {
+                        hef_obs::metrics::add(
+                            hef_obs::metrics::Metric::DecodeCodeFiltered,
+                            rows as u64,
+                        );
+                    }
+                }
+                FusedFilter::Codes { lo, hi } => {
+                    decode_page(&page, cfg, Some(DecodeRaw), &mut self.codes);
+                    let mut io = KernelIo::Filter {
+                        input: &self.codes,
+                        lo,
+                        hi,
+                        base: 0,
+                        sel: &mut self.sel,
+                    };
+                    assert!(
+                        run_on(Family::Filter, cfg.filter, cfg.backend, &mut io),
+                        "filter node {} not compiled",
+                        cfg.filter
+                    );
+                    if hef_obs::metrics::enabled() {
+                        hef_obs::metrics::add(
+                            hef_obs::metrics::Metric::DecodeCodeFiltered,
+                            rows as u64,
+                        );
+                    }
+                }
+                FusedFilter::Values => {
+                    self.decode_col(ci, pidx)?;
+                    let mut io = KernelIo::Filter {
+                        input: &self.decoded[ci],
+                        lo: f0.lo,
+                        hi: f0.hi,
+                        base: 0,
+                        sel: &mut self.sel,
+                    };
+                    assert!(
+                        run_on(Family::Filter, cfg.filter, cfg.backend, &mut io),
+                        "filter node {} not compiled",
+                        cfg.filter
+                    );
+                }
+            }
+            for fi in 1..plan.filters.len() {
+                if self.sel.is_empty() {
+                    break;
+                }
+                let f = &plan.filters[fi];
+                let ci = self.slot[f.col.as_str()];
+                self.decode_col(ci, pidx)?;
+                let mut io = KernelIo::FilterRefine {
+                    input: &self.decoded[ci],
+                    lo: f.lo,
+                    hi: f.hi,
+                    sel: &mut self.sel,
+                };
+                assert!(
+                    run_on(Family::Filter, cfg.filter, cfg.backend, &mut io),
+                    "filter node {} not compiled",
+                    cfg.filter
+                );
+            }
+        }
+        self.stats.rows_after_filter += self.sel.len() as u64;
+        if hef_obs::metrics::enabled() {
+            use hef_obs::metrics::{add, observe, Hist, Metric};
+            add(Metric::FilterRowsIn, rows as u64);
+            add(Metric::FilterRowsOut, self.sel.len() as u64);
+            observe(Hist::FilterBatchRowsOut, self.sel.len() as u64);
+        }
+
+        // 2. Dimension probes — identical to the in-memory pipeline, with
+        // fk columns decoded lazily (a page whose filter kills every row
+        // never decodes its joins or measures).
+        let ndims = plan.dims.len();
+        let mut pays: Vec<Vec<u64>> = Vec::with_capacity(ndims);
+        for (di, dim) in plan.dims.iter().enumerate() {
+            if self.sel.is_empty() {
+                pays.push(Vec::new());
+                continue;
+            }
+            let ci = self.slot[dim.fk_col.as_str()];
+            self.decode_col(ci, pidx)?;
+            take(&self.decoded[ci], &self.sel, &mut self.keys, cfg);
+            if cfg.use_bloom {
+                self.probe_out.clear();
+                self.probe_out.resize(self.keys.len(), 0);
+                let mut io = KernelIo::Bloom {
+                    keys: &self.keys,
+                    filter: &dim.bloom,
+                    out: &mut self.probe_out,
+                    prefetch: cfg.probe_prefetch,
+                };
+                assert!(run_on(Family::BloomCheck, cfg.probe, cfg.backend, &mut io));
+                let mut k = 0usize;
+                for j in 0..self.sel.len() {
+                    if self.probe_out[j] != 0 {
+                        self.sel[k] = self.sel[j];
+                        self.keys[k] = self.keys[j];
+                        for ps in pays.iter_mut() {
+                            ps[k] = ps[j];
+                        }
+                        k += 1;
+                    }
+                }
+                self.sel.truncate(k);
+                self.keys.truncate(k);
+                for ps in pays.iter_mut() {
+                    ps.truncate(k);
+                }
+                if hef_obs::metrics::enabled() {
+                    use hef_obs::metrics::{add, Metric};
+                    add(Metric::BloomKeys, self.probe_out.len() as u64);
+                    add(Metric::BloomDrops, (self.probe_out.len() - k) as u64);
+                }
+                if self.sel.is_empty() {
+                    pays.push(Vec::new());
+                    continue;
+                }
+            }
+            self.probe_out.clear();
+            self.probe_out.resize(self.keys.len(), 0);
+            self.stats.probes[di] += self.keys.len() as u64;
+            let parts = if cfg.partition {
+                dim.parts
+                    .as_ref()
+                    .filter(|p| self.keys.len() >= (1usize << p.bits()) * 64)
+            } else {
+                None
+            };
+            if let Some(parts) = parts {
+                parts.probe_with(
+                    &self.keys,
+                    &mut self.probe_out,
+                    &mut self.part_scratch,
+                    |table, keys, out| {
+                        let mut io = KernelIo::Probe {
+                            keys,
+                            table,
+                            out,
+                            prefetch: cfg.probe_prefetch,
+                        };
+                        assert!(
+                            run_on(Family::Probe, cfg.probe, cfg.backend, &mut io),
+                            "probe node {} not compiled",
+                            cfg.probe
+                        );
+                    },
+                );
+            } else {
+                let mut io = KernelIo::Probe {
+                    keys: &self.keys,
+                    table: &dim.table,
+                    out: &mut self.probe_out,
+                    prefetch: cfg.probe_prefetch,
+                };
+                assert!(
+                    run_on(Family::Probe, cfg.probe, cfg.backend, &mut io),
+                    "probe node {} not compiled",
+                    cfg.probe
+                );
+            }
+            let k = compact_hits(&mut self.sel, &mut pays, &mut self.probe_out);
+            self.stats.hits[di] += k as u64;
+            if hef_obs::metrics::enabled() {
+                use hef_obs::metrics::{add, observe, Hist, Metric};
+                add(Metric::ProbeKeys, self.keys.len() as u64);
+                add(Metric::ProbeHits, k as u64);
+                observe(Hist::ProbeBatchHits, k as u64);
+            }
+        }
+
+        // 3. Group ids and aggregation.
+        if !self.sel.is_empty() {
+            self.stats.rows_aggregated += self.sel.len() as u64;
+            if hef_obs::metrics::enabled() {
+                hef_obs::metrics::add(hef_obs::metrics::Metric::AggRows, self.sel.len() as u64);
+            }
+            self.gids.clear();
+            self.gids.resize(self.sel.len(), 0);
+            for di in 0..ndims {
+                let stride = self.strides[di];
+                for (j, gid) in self.gids.iter_mut().enumerate() {
+                    *gid = gid.wrapping_add(pays[di][j].wrapping_mul(stride));
+                }
+            }
+            // Measure columns decode lazily too.
+            match &plan.measure {
+                Measure::Sum(a) => {
+                    let ca = self.slot[a.as_str()];
+                    self.decode_col(ca, pidx)?;
+                    take(&self.decoded[ca], &self.sel, &mut self.vals, cfg);
+                }
+                Measure::SumProduct(a, b) => {
+                    let (ca, cb) = (self.slot[a.as_str()], self.slot[b.as_str()]);
+                    self.decode_col(ca, pidx)?;
+                    self.decode_col(cb, pidx)?;
+                    take(&self.decoded[ca], &self.sel, &mut self.vals, cfg);
+                    take(&self.decoded[cb], &self.sel, &mut self.scratch, cfg);
+                    for (v, &s) in self.vals.iter_mut().zip(self.scratch.iter()) {
+                        *v = v.wrapping_mul(s);
+                    }
+                }
+                Measure::SumDiff(a, b) => {
+                    let (ca, cb) = (self.slot[a.as_str()], self.slot[b.as_str()]);
+                    self.decode_col(ca, pidx)?;
+                    self.decode_col(cb, pidx)?;
+                    take(&self.decoded[ca], &self.sel, &mut self.vals, cfg);
+                    take(&self.decoded[cb], &self.sel, &mut self.scratch, cfg);
+                    for (v, &s) in self.vals.iter_mut().zip(self.scratch.iter()) {
+                        *v = v.wrapping_sub(s);
+                    }
+                }
+            }
+            if self.acc.len() == 1 {
+                let mut total = 0u64;
+                let mut io = KernelIo::AggSum { a: &self.vals, acc: &mut total };
+                assert!(run_on(Family::AggSum, cfg.agg, cfg.backend, &mut io));
+                self.acc[0] = self.acc[0].wrapping_add(total);
+            } else {
+                grouped_accumulate(&mut self.acc, &self.gids, &self.vals);
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> QueryOutput {
+        QueryOutput { groups: self.acc, stats: self.stats }
+    }
+}
+
+/// Marker for [`decode_page`]: emit raw codes (no reference add, no
+/// dictionary gather).
+struct DecodeRaw;
+
+/// Decode one page through the tuned `Decode` kernel (scalar fallback for
+/// off-grid nodes). With `raw` set, the codes come out unreconstructed —
+/// the code-space filter path.
+fn decode_page(page: &Page, cfg: &ExecConfig, raw: Option<DecodeRaw>, out: &mut Vec<u64>) {
+    let rows = page.rows();
+    out.clear();
+    out.resize(rows, 0);
+    let _dspan = hef_obs::span_fine!("decode", rows = rows as i64, width = page.width() as i64);
+    let (reference, dict) = if raw.is_some() {
+        (0u64, None)
+    } else {
+        (page.reference(), page.dict_padded())
+    };
+    let mut io = KernelIo::Decode {
+        words: page.words(),
+        width: page.width(),
+        reference,
+        dict,
+        start: 0,
+        out,
+    };
+    if !run_on(Family::Decode, cfg.decode, cfg.backend, &mut io) {
+        if raw.is_some() {
+            for (e, slot) in out.iter_mut().enumerate() {
+                *slot = page.code_at(e);
+            }
+        } else {
+            page.decode_range(0, out);
+        }
+    }
+    if hef_obs::metrics::enabled() {
+        use hef_obs::metrics::{add, Metric};
+        add(Metric::PagesDecoded, 1);
+        add(Metric::DecodeRows, rows as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::star::{build_dimension, execute_star, Flavor, RangeFilter};
+    use hef_storage::page::PagedColumnWriter;
+    use hef_storage::{Column, Table};
+
+    fn write_paged(dir: &Path, name: &str, vals: &[u64], rows_per_page: u32) {
+        let mut w = PagedColumnWriter::create(&dir.join(format!("{name}.hefc")), name, rows_per_page)
+            .unwrap();
+        w.push_all(vals).unwrap();
+        w.finish().unwrap();
+    }
+
+    /// A star over a paged fact table plus the identical in-memory table.
+    fn toy_paged(dir: &Path) -> (PagedTable, Table, StarPlan) {
+        std::fs::create_dir_all(dir).unwrap();
+        let n = 20_000u64;
+        let fk1: Vec<u64> = (0..n).map(|i| i % 100).collect();
+        let fk2: Vec<u64> = (0..n).map(|i| (i * 13) % 50).collect();
+        let rev: Vec<u64> = (0..n).map(|i| i % 7 + 1).collect();
+        let disc: Vec<u64> = (0..n).map(|i| i % 11).collect();
+        write_paged(dir, "fk1", &fk1, 1024);
+        write_paged(dir, "fk2", &fk2, 1024);
+        write_paged(dir, "rev", &rev, 1024);
+        write_paged(dir, "disc", &disc, 1024);
+
+        let mut mem = Table::new("fact");
+        mem.add_column(Column::new("fk1", fk1));
+        mem.add_column(Column::new("fk2", fk2));
+        mem.add_column(Column::new("rev", rev));
+        mem.add_column(Column::new("disc", disc));
+
+        let mut dim1 = Table::new("dim1");
+        dim1.add_column(Column::new("key", (0..100).collect()));
+        dim1.add_column(Column::new("grp", (0..100).map(|k| k % 4).collect()));
+        let d1 = build_dimension(
+            &dim1,
+            "key",
+            |r| dim1.col("key")[r] < 40,
+            |r| dim1.col("grp")[r],
+            4,
+            "fk1",
+        );
+        let mut dim2 = Table::new("dim2");
+        dim2.add_column(Column::new("key", (0..50).collect()));
+        let d2 = build_dimension(
+            &dim2,
+            "key",
+            |r| dim2.col("key")[r].is_multiple_of(5),
+            |_| 0,
+            1,
+            "fk2",
+        );
+        let plan = StarPlan {
+            name: "toy_paged".into(),
+            filters: vec![RangeFilter { col: "disc".into(), lo: 2, hi: 8 }],
+            dims: vec![d1, d2],
+            measure: Measure::Sum("rev".into()),
+            strides: vec![],
+        };
+        let paged = PagedTable::open_dir(dir, "fact").unwrap();
+        (paged, mem, plan)
+    }
+
+    #[test]
+    fn paged_matches_in_memory_every_flavor_and_thread_count() {
+        let dir = std::env::temp_dir().join("hef-paged-exec-test");
+        let (paged, mem, plan) = toy_paged(&dir);
+        let cache = PageCache::new(1 << 20);
+        for flavor in [Flavor::Scalar, Flavor::Simd, Flavor::Hybrid] {
+            let base = ExecConfig::for_flavor(flavor).with_threads(1);
+            let expect = execute_star(&plan, &mem, &base);
+            for threads in [1usize, 2, 4, 8] {
+                let cfg = ExecConfig::for_flavor(flavor).with_threads(threads);
+                let got = try_execute_star_paged_ctx(
+                    &plan,
+                    &paged,
+                    &cfg,
+                    &cache,
+                    &QueryCtx::unbounded(),
+                )
+                .unwrap();
+                assert_eq!(
+                    got.groups,
+                    expect.groups,
+                    "{} threads={threads}",
+                    flavor.name()
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tiny_cache_still_bit_identical() {
+        let dir = std::env::temp_dir().join("hef-paged-tinycache-test");
+        let (paged, mem, plan) = toy_paged(&dir);
+        let expect = execute_star(&plan, &mem, &ExecConfig::scalar().with_threads(1));
+        // A cache holding ~2 pages forces constant eviction.
+        let cache = PageCache::with_shards(40 * 1024, 1);
+        let got = try_execute_star_paged_ctx(
+            &plan,
+            &paged,
+            &ExecConfig::scalar().with_threads(4),
+            &cache,
+            &QueryCtx::unbounded(),
+        )
+        .unwrap();
+        assert_eq!(got.groups, expect.groups);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fused_filter_bounds_are_exact() {
+        // Dict page: low-cardinality values.
+        let vals: Vec<u64> = (0..2000u64).map(|i| (i % 10) * 3).collect();
+        let page = Page::encode(&vals);
+        assert_eq!(page.enc(), Enc::Dict);
+        for (lo, hi) in [(0u64, 5u64), (3, 3), (4, 5), (27, 100), (100, 200)] {
+            let expect: Vec<u64> = (0..vals.len())
+                .filter(|&r| (lo as i64) <= (vals[r] as i64) && (vals[r] as i64) <= (hi as i64))
+                .map(|r| r as u64)
+                .collect();
+            let got = match fuse_filter(&page, lo, hi) {
+                FusedFilter::Empty => Vec::new(),
+                FusedFilter::Codes { lo: cl, hi: ch } => (0..vals.len())
+                    .filter(|&r| {
+                        let c = page.code_at(r);
+                        cl <= c && c <= ch
+                    })
+                    .map(|r| r as u64)
+                    .collect(),
+                FusedFilter::Values => panic!("dict page must fuse"),
+            };
+            assert_eq!(got, expect, "lo={lo} hi={hi}");
+        }
+
+        // FOR page: wide-range values.
+        let vals: Vec<u64> = (0..2000u64).map(|i| 1_000_000 + i * 17).collect();
+        let page = Page::encode(&vals);
+        assert_eq!(page.enc(), Enc::For);
+        for (lo, hi) in [(1_000_000u64, 1_000_100u64), (0, 999_999), (1_016_990, u64::MAX >> 1)] {
+            let expect: Vec<u64> = (0..vals.len())
+                .filter(|&r| (lo as i64) <= (vals[r] as i64) && (vals[r] as i64) <= (hi as i64))
+                .map(|r| r as u64)
+                .collect();
+            let got = match fuse_filter(&page, lo, hi) {
+                FusedFilter::Empty => Vec::new(),
+                FusedFilter::Codes { lo: cl, hi: ch } => (0..vals.len())
+                    .filter(|&r| {
+                        let c = page.code_at(r);
+                        cl <= c && c <= ch
+                    })
+                    .map(|r| r as u64)
+                    .collect(),
+                FusedFilter::Values => panic!("FOR page must fuse"),
+            };
+            assert_eq!(got, expect, "lo={lo} hi={hi}");
+        }
+
+        // Mixed-sign page falls back to value decode.
+        let vals: Vec<u64> = vec![5, u64::MAX - 3, 7, u64::MAX - 1];
+        let page = Page::encode(&vals);
+        assert!(matches!(fuse_filter(&page, 0, 10), FusedFilter::Values));
+    }
+}

@@ -111,6 +111,7 @@ pub fn apply_pipeline_entry(mut cfg: ExecConfig, entry: &PipelineEntry) -> ExecC
             Family::Probe | Family::BloomCheck => cfg.probe = node,
             Family::Gather => cfg.gather = node,
             Family::AggSum | Family::AggDot => cfg.agg = node,
+            Family::Decode => cfg.decode = node,
             Family::Murmur | Family::Crc64 => {}
         }
     }

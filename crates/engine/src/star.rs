@@ -41,6 +41,9 @@ pub struct ExecConfig {
     pub agg: HybridConfig,
     /// Node for the selective-gather (take) kernel between operators.
     pub gather: HybridConfig,
+    /// Node for the compressed-page decode kernel (paged scans only; the
+    /// in-memory path never dispatches it).
+    pub decode: HybridConfig,
     /// Pre-filter each probe with the dimension's Bloom filter (semi-join
     /// pre-filtering; pays off when probes mostly miss).
     pub use_bloom: bool,
@@ -75,6 +78,7 @@ impl ExecConfig {
             probe: HybridConfig::SCALAR,
             agg: HybridConfig::SCALAR,
             gather: HybridConfig::SCALAR,
+            decode: HybridConfig::SCALAR,
             use_bloom: false,
             backend: Backend::native(),
             batch: 1024,
@@ -93,6 +97,7 @@ impl ExecConfig {
             probe: HybridConfig::SIMD,
             agg: HybridConfig::SIMD,
             gather: HybridConfig::SIMD,
+            decode: HybridConfig::SIMD,
             use_bloom: false,
             backend: Backend::native(),
             batch: 1024,
@@ -113,6 +118,7 @@ impl ExecConfig {
             probe: n113,
             agg: n113,
             gather: n113,
+            decode: n113,
             use_bloom: false,
             backend: Backend::native(),
             batch: 1024,
@@ -131,6 +137,7 @@ impl ExecConfig {
             probe,
             agg,
             gather: probe,
+            decode: filter,
             use_bloom: false,
             backend: Backend::native(),
             batch: 1024,
@@ -150,6 +157,7 @@ impl ExecConfig {
             probe: HybridConfig::SCALAR,
             agg: HybridConfig::SCALAR,
             gather: HybridConfig::SCALAR,
+            decode: HybridConfig::SCALAR,
             use_bloom: false,
             backend: Backend::native(),
             batch: 1024,
@@ -185,6 +193,12 @@ impl ExecConfig {
     /// [`ExecConfig::threads`]).
     pub fn with_threads(mut self, threads: usize) -> ExecConfig {
         self.threads = threads;
+        self
+    }
+
+    /// Builder-style decode-node override (paged scans).
+    pub fn with_decode(mut self, decode: HybridConfig) -> ExecConfig {
+        self.decode = decode;
         self
     }
 
@@ -408,15 +422,24 @@ pub fn validate_star_plan(
     plan: &StarPlan,
     fact: &Table,
 ) -> Result<(), crate::parallel::ExecError> {
+    validate_star_plan_with(plan, fact.name(), |c| fact.column(c).is_some())
+}
+
+/// Table-representation-independent validation core: `has_col` answers
+/// whether the fact table (in-memory or paged) carries a column.
+pub(crate) fn validate_star_plan_with(
+    plan: &StarPlan,
+    fact_name: &str,
+    has_col: impl Fn(&str) -> bool,
+) -> Result<(), crate::parallel::ExecError> {
     let bad = |message: String| crate::parallel::ExecError::BadPlan {
         query: plan.name.clone(),
         message,
     };
     let need = |what: &str, col: &str| -> Result<(), crate::parallel::ExecError> {
-        if fact.column(col).is_none() {
+        if !has_col(col) {
             return Err(bad(format!(
-                "{what} references column `{col}`, absent from fact table `{}`",
-                fact.name()
+                "{what} references column `{col}`, absent from fact table `{fact_name}`"
             )));
         }
         Ok(())
@@ -910,7 +933,7 @@ pub(crate) fn materialize_measure(
 /// Selective projection through the tuned gather kernel (falls back to the
 /// scalar helper for off-grid nodes, which cannot happen for the shipped
 /// flavor configs).
-fn take(col: &[u64], sel: &[u64], out: &mut Vec<u64>, cfg: &ExecConfig) {
+pub(crate) fn take(col: &[u64], sel: &[u64], out: &mut Vec<u64>, cfg: &ExecConfig) {
     if hef_obs::metrics::enabled() {
         hef_obs::metrics::add(hef_obs::metrics::Metric::GatherRows, sel.len() as u64);
     }

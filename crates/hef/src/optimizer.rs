@@ -435,6 +435,11 @@ impl CostEvaluator for SimulatedCost<'_> {
     }
 }
 
+/// The bit width [`MeasuredCost`] packs its synthetic Decode stream with:
+/// a mid-grid width whose 8192-entry dictionary (64 KiB) sits in L2,
+/// representative of the SSB dimension-key columns.
+pub const MEASURED_DECODE_WIDTH: u32 = 13;
+
 /// Prices a node by actually running the compiled kernel on this machine
 /// (the paper's primary, test-based path).
 pub struct MeasuredCost {
@@ -444,6 +449,8 @@ pub struct MeasuredCost {
     output: Vec<u64>,
     table: Option<ProbeTable>,
     bloom: Option<BloomFilter>,
+    /// Packed `MEASURED_DECODE_WIDTH`-bit codes + dictionary (Decode only).
+    decode: Option<(Vec<u64>, Vec<u64>)>,
     /// Timing trials per node; the minimum is used.
     pub trials: usize,
     /// Hardware cycles of the fastest trial of the most recent [`cost`]
@@ -481,6 +488,18 @@ impl MeasuredCost {
             }
             _ => None,
         };
+        let decode = match family {
+            Family::Decode => {
+                let mask = hef_kernels::decode::code_mask(MEASURED_DECODE_WIDTH);
+                let codes: Vec<u64> = input.iter().map(|&x| x & mask).collect();
+                let words = hef_kernels::decode::pack(&codes, MEASURED_DECODE_WIDTH);
+                let dict: Vec<u64> = (0..1u64 << MEASURED_DECODE_WIDTH)
+                    .map(|i| i.wrapping_mul(0x2545_f491_4f6c_dd1d))
+                    .collect();
+                Some((words, dict))
+            }
+            _ => None,
+        };
         MeasuredCost {
             family,
             output: vec![0u64; n],
@@ -488,6 +507,7 @@ impl MeasuredCost {
             input2,
             table,
             bloom,
+            decode,
             trials: 3,
             last_cycles: None,
         }
@@ -532,6 +552,17 @@ impl MeasuredCost {
                 out: &mut self.output,
                 prefetch: 0,
             },
+            Family::Decode => {
+                let (words, dict) = self.decode.as_ref().expect("decode inputs built");
+                KernelIo::Decode {
+                    words,
+                    width: MEASURED_DECODE_WIDTH,
+                    reference: 0,
+                    dict: Some(dict),
+                    start: 0,
+                    out: &mut self.output,
+                }
+            }
         };
         hef_kernels::run(self.family, cfg, &mut io)
     }

@@ -251,6 +251,33 @@ pub fn gather() -> OperatorTemplate {
     }
 }
 
+/// The compressed-decode template: compute each element's bit offset,
+/// gather the two straddled packed words, stitch and mask the code, then
+/// gather the dictionary value — mirroring `hef_kernels::decode::body`.
+pub fn decode() -> OperatorTemplate {
+    OperatorTemplate {
+        name: "page_decode".into(),
+        params: vec!["words".into(), "dict".into(), "out".into()],
+        carried: vec![],
+        stmts: vec![
+            Stmt::new(HidOp::Add, Some("idx"), vec![cst("iota", 0), cst("base", 0)]),
+            Stmt::new(HidOp::Mul, Some("bit"), vec![var("idx"), cst("w", 13)]),
+            Stmt::new(HidOp::Srli, Some("wi"), vec![var("bit"), Imm(6)]),
+            Stmt::new(HidOp::And, Some("sh"), vec![var("bit"), cst("c63", 63)]),
+            Stmt::new(HidOp::Gather, Some("w0"), vec![param("words"), var("wi")]),
+            Stmt::new(HidOp::Srlv, Some("lo"), vec![var("w0"), var("sh")]),
+            Stmt::new(HidOp::Add, Some("wi1"), vec![var("wi"), cst("one", 1)]),
+            Stmt::new(HidOp::Gather, Some("w1"), vec![param("words"), var("wi1")]),
+            Stmt::new(HidOp::Sub, Some("shr"), vec![cst("c64", 64), var("sh")]),
+            Stmt::new(HidOp::Sllv, Some("hi"), vec![var("w1"), var("shr")]),
+            Stmt::new(HidOp::Or, Some("v"), vec![var("lo"), var("hi")]),
+            Stmt::new(HidOp::And, Some("code"), vec![var("v"), cst("mask", 0x1fff)]),
+            Stmt::new(HidOp::Gather, Some("val"), vec![param("dict"), var("code")]),
+            Stmt::new(HidOp::Store, None, vec![var("val"), param("out")]),
+        ],
+    }
+}
+
 /// The template for a kernel family.
 pub fn for_family(family: Family) -> OperatorTemplate {
     match family {
@@ -262,6 +289,7 @@ pub fn for_family(family: Family) -> OperatorTemplate {
         Family::AggDot => agg_dot(),
         Family::BloomCheck => bloom(),
         Family::Gather => gather(),
+        Family::Decode => decode(),
     }
 }
 

@@ -34,6 +34,7 @@ pub fn grid_for(family: Family) -> &'static [GridEntry] {
         Family::AggDot => AGG_DOT_GRID,
         Family::BloomCheck => BLOOM_GRID,
         Family::Gather => GATHER_GRID,
+        Family::Decode => DECODE_GRID,
     }
 }
 

@@ -27,6 +27,7 @@
 pub mod agg;
 pub mod bloom;
 pub mod crc64;
+pub mod decode;
 pub mod filter;
 pub mod filter32;
 pub mod gather;
@@ -118,11 +119,14 @@ pub enum Family {
     BloomCheck,
     /// Selective gather (`out[i] = src[idx[i]]`, the pipeline "take").
     Gather,
+    /// Compressed-page decode: bit-unpack + frame-of-reference add or
+    /// dictionary gather (the hot loop of paged column scans).
+    Decode,
 }
 
 impl Family {
     /// All families, in dispatch-table order.
-    pub const ALL: [Family; 8] = [
+    pub const ALL: [Family; 9] = [
         Family::Murmur,
         Family::Crc64,
         Family::Probe,
@@ -131,6 +135,7 @@ impl Family {
         Family::AggDot,
         Family::BloomCheck,
         Family::Gather,
+        Family::Decode,
     ];
 
     /// Stable lowercase name.
@@ -144,6 +149,7 @@ impl Family {
             Family::AggDot => "agg_dot",
             Family::BloomCheck => "bloom",
             Family::Gather => "gather",
+            Family::Decode => "decode",
         }
     }
 }
@@ -214,6 +220,19 @@ pub enum KernelIo<'a> {
         idx: &'a [u64],
         out: &'a mut [u64],
         prefetch: usize,
+    },
+    /// Compressed decode: `out[j] = dict[code]` or `code + reference` for
+    /// the `width`-bit codes at element positions `start..start+out.len()`
+    /// of the packed stream. `words` must include the one-word straddle pad
+    /// ([`decode::words_needed`]); `dict`, when present, must hold at least
+    /// `1 << width` entries so any code gathers in bounds.
+    Decode {
+        words: &'a [u64],
+        width: u32,
+        reference: u64,
+        dict: Option<&'a [u64]>,
+        start: usize,
+        out: &'a mut [u64],
     },
 }
 

@@ -50,6 +50,20 @@ pub enum Metric {
     ColumnFilesLoaded,
     ColumnRowsSalvaged,
     StorageIssues,
+    // Paged storage (hef-storage::page / hef-storage::cache)
+    /// Page lookups satisfied by the shared page cache.
+    PageCacheHits,
+    /// Page lookups that had to read + decode from disk.
+    PageCacheMisses,
+    /// Pages evicted by the clock hand to stay under `HEF_PAGE_CACHE`.
+    PageCacheEvictions,
+    /// Compressed pages decoded (bit-unpack + FOR/dict).
+    PagesDecoded,
+    /// Rows produced by the decode kernel family.
+    DecodeRows,
+    /// Rows whose first filter was evaluated in dictionary code space
+    /// (no value gather needed for misses).
+    DecodeCodeFiltered,
     // Cross-cutting
     FaultsInjected,
     DiagWarnings,
@@ -71,7 +85,7 @@ pub enum Metric {
 }
 
 impl Metric {
-    pub const ALL: [Metric; 42] = [
+    pub const ALL: [Metric; 48] = [
         Metric::QueriesExecuted,
         Metric::MorselsClaimed,
         Metric::MorselsRetried,
@@ -102,6 +116,12 @@ impl Metric {
         Metric::ColumnFilesLoaded,
         Metric::ColumnRowsSalvaged,
         Metric::StorageIssues,
+        Metric::PageCacheHits,
+        Metric::PageCacheMisses,
+        Metric::PageCacheEvictions,
+        Metric::PagesDecoded,
+        Metric::DecodeRows,
+        Metric::DecodeCodeFiltered,
         Metric::FaultsInjected,
         Metric::DiagWarnings,
         Metric::GovAdmitted,
@@ -148,6 +168,12 @@ impl Metric {
             Metric::ColumnFilesLoaded => "storage.column_files_loaded",
             Metric::ColumnRowsSalvaged => "storage.column_rows_salvaged",
             Metric::StorageIssues => "storage.issues",
+            Metric::PageCacheHits => "storage.page_cache_hits",
+            Metric::PageCacheMisses => "storage.page_cache_misses",
+            Metric::PageCacheEvictions => "storage.page_cache_evictions",
+            Metric::PagesDecoded => "storage.pages_decoded",
+            Metric::DecodeRows => "kernel.decode_rows",
+            Metric::DecodeCodeFiltered => "kernel.decode_code_filtered",
             Metric::FaultsInjected => "fault.injected",
             Metric::DiagWarnings => "diag.warnings",
             Metric::GovAdmitted => "govern.admitted",

@@ -224,6 +224,109 @@ pub fn generate(sf: f64, seed: u64) -> SsbData {
     SsbData { lineorder, customer, supplier, part, date, sf }
 }
 
+/// The SSB database with the lineorder fact table on disk as paged
+/// compressed columns: the dimensions (small at every scale factor) stay
+/// in-memory; the fact table is addressed by directory.
+#[derive(Debug)]
+pub struct PagedSsbData {
+    /// Directory holding one `.hefc` v2 file per lineorder column.
+    pub dir: std::path::PathBuf,
+    pub lineorder_rows: u64,
+    pub customer: Table,
+    pub supplier: Table,
+    pub part: Table,
+    pub date: Table,
+    pub sf: f64,
+}
+
+/// The lineorder column set, in the order [`gen_lineorder`] emits them.
+pub const LINEORDER_COLUMNS: [&str; 9] = [
+    "lo_custkey",
+    "lo_partkey",
+    "lo_suppkey",
+    "lo_orderdate",
+    "lo_quantity",
+    "lo_discount",
+    "lo_extendedprice",
+    "lo_revenue",
+    "lo_supplycost",
+];
+
+/// Generate the SSB database at `sf` with the lineorder fact streamed
+/// straight into paged column files under `dir` — peak memory is one page
+/// per column plus the dimensions, so SF 1 (six million rows, nine columns)
+/// never materializes in RAM.
+///
+/// Bit-identity: the lineorder stream draws from the same seeded RNG in the
+/// same per-row order as [`generate`]'s in-memory path, so the files decode
+/// to exactly the columns `generate(sf, seed)` builds (pinned by
+/// `paged_gen_matches_in_memory`).
+pub fn generate_paged(
+    sf: f64,
+    seed: u64,
+    dir: &std::path::Path,
+    rows_per_page: u32,
+) -> std::io::Result<PagedSsbData> {
+    assert!(sf > 0.0, "scale factor must be positive");
+    let (nl, nc, ns, np) = cardinalities(sf);
+    let [sc, ss, sp, sl] = table_seeds(seed);
+    std::fs::create_dir_all(dir)?;
+    let date = gen_date();
+    let customer = gen_customer(nc, &mut Rng::seed_from_u64(sc));
+    let supplier = gen_supplier(ns, &mut Rng::seed_from_u64(ss));
+    let part = gen_part(np, &mut Rng::seed_from_u64(sp));
+    let datekeys = date.col("d_datekey");
+
+    let mut writers = Vec::with_capacity(LINEORDER_COLUMNS.len());
+    for col in LINEORDER_COLUMNS {
+        writers.push(hef_storage::PagedColumnWriter::create(
+            &dir.join(format!("{col}.hefc")),
+            col,
+            rows_per_page,
+        )?);
+    }
+    // One row at a time, same draw order as `gen_lineorder` — the stream
+    // contract that keeps paged and in-memory datasets bit-identical.
+    let mut rng = Rng::seed_from_u64(sl);
+    for _ in 0..nl {
+        let row = [
+            rng.gen_range(1..=nc as u64),
+            rng.gen_range(1..=np as u64),
+            rng.gen_range(1..=ns as u64),
+            datekeys[rng.gen_range(0..datekeys.len())],
+            rng.gen_range(1..=50u64),
+            rng.gen_range(0..=10u64),
+            {
+                let price = rng.gen_range(90_000..=104_949u64) / 100 * 100;
+                price
+            },
+            0, // revenue, filled below (draw order matters, not emit order)
+            0, // supplycost, derived
+        ];
+        let price = row[6];
+        let revenue = price * (100 - rng.gen_range(0..=10u64)) / 100;
+        let supplycost = price * 6 / 10;
+        for (w, v) in writers.iter_mut().zip(
+            row[..7].iter().copied().chain([revenue, supplycost]),
+        ) {
+            w.push(v)?;
+        }
+    }
+    let mut rows = 0u64;
+    for w in writers {
+        rows = w.finish()?;
+    }
+    Ok(PagedSsbData {
+        dir: dir.to_path_buf(),
+        lineorder_rows: rows,
+        customer,
+        supplier,
+        part,
+        date,
+        sf,
+    })
+}
+
 /// Single-threaded reference path: same per-table seed streams, same
 /// output, no threads. The golden test pins `generate` ≡ `generate_serial`.
 pub fn generate_serial(sf: f64, seed: u64) -> SsbData {
@@ -273,6 +376,23 @@ mod tests {
         assert_eq!(a.part.col("p_brand1"), b.part.col("p_brand1"));
         let c = generate(0.001, 43);
         assert_ne!(a.lineorder.col("lo_custkey"), c.lineorder.col("lo_custkey"));
+    }
+
+    #[test]
+    fn paged_gen_matches_in_memory() {
+        let dir = std::env::temp_dir().join("hef-ssb-paged-gen-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let mem = generate(0.001, 42);
+        let paged = generate_paged(0.001, 42, &dir, 1024).unwrap();
+        assert_eq!(paged.lineorder_rows, mem.lineorder.len() as u64);
+        assert_eq!(paged.customer.col("c_city"), mem.customer.col("c_city"));
+        assert_eq!(paged.part.col("p_brand1"), mem.part.col("p_brand1"));
+        for col in LINEORDER_COLUMNS {
+            let pc = hef_storage::PagedColumn::open(&dir.join(format!("{col}.hefc"))).unwrap();
+            let decoded = pc.to_column().unwrap();
+            assert_eq!(decoded.values(), mem.lineorder.col(col), "column {col}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

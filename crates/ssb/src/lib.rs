@@ -17,5 +17,7 @@ pub mod encode;
 pub mod gen;
 pub mod queries;
 
-pub use gen::{generate, generate_serial, SsbData};
+pub use gen::{
+    generate, generate_paged, generate_serial, PagedSsbData, SsbData, LINEORDER_COLUMNS,
+};
 pub use queries::{build_plan, build_plan_naive, catalog, decode_gid, logical_plan, QueryId};

@@ -78,6 +78,15 @@ pub enum ColumnFileIssue {
     ChecksumMismatch,
     /// The trailing checksum itself is missing (file cut at the very end).
     ChecksumMissing,
+    /// v2: the footer page directory was missing or damaged; the directory
+    /// was rebuilt by walking the self-delimiting page stream.
+    FooterDamaged,
+    /// v2: one page's checksum disagreed; its rows are kept (torn write
+    /// confined to that page).
+    PageChecksumMismatch { page: u32 },
+    /// v2: the page stream ended early; complete pages were salvaged.
+    /// `expected_rows` is known only when a checksum-valid footer survived.
+    PagesTruncated { salvaged_pages: u32, salvaged_rows: u64, expected_rows: Option<u64> },
 }
 
 impl std::fmt::Display for ColumnFileIssue {
@@ -89,8 +98,62 @@ impl std::fmt::Display for ColumnFileIssue {
             ),
             ColumnFileIssue::ChecksumMismatch => write!(f, "data checksum mismatch (torn write)"),
             ColumnFileIssue::ChecksumMissing => write!(f, "trailing checksum missing"),
+            ColumnFileIssue::FooterDamaged => {
+                write!(f, "page directory damaged; rebuilt by walking the page stream")
+            }
+            ColumnFileIssue::PageChecksumMismatch { page } => {
+                write!(f, "page {page} checksum mismatch (torn write); rows kept")
+            }
+            ColumnFileIssue::PagesTruncated { salvaged_pages, salvaged_rows, expected_rows } => {
+                match expected_rows {
+                    Some(exp) => write!(
+                        f,
+                        "page stream truncated: salvaged {salvaged_rows} of {exp} rows \
+                         ({salvaged_pages} complete pages)"
+                    ),
+                    None => write!(
+                        f,
+                        "page stream truncated: salvaged {salvaged_rows} rows \
+                         ({salvaged_pages} complete pages); expected total unknown"
+                    ),
+                }
+            }
         }
     }
+}
+
+/// Typed marker that a load returned fewer rows than the file promised —
+/// callers can assert on this instead of string-matching diag output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartialLoad {
+    /// Rows the file's header/footer promised (`None` when damage destroyed
+    /// the promise itself).
+    pub expected_rows: Option<u64>,
+    /// Rows actually recovered.
+    pub salvaged_rows: u64,
+}
+
+/// Extract the partial-load marker implied by a load's issue list, if any.
+pub fn partial_load_marker(issues: &[ColumnFileIssue]) -> Option<PartialLoad> {
+    issues.iter().find_map(|i| match *i {
+        ColumnFileIssue::Truncated { expected_rows, salvaged_rows } => {
+            Some(PartialLoad { expected_rows: Some(expected_rows), salvaged_rows })
+        }
+        ColumnFileIssue::PagesTruncated { salvaged_rows, expected_rows, .. } => {
+            Some(PartialLoad { expected_rows, salvaged_rows })
+        }
+        _ => None,
+    })
+}
+
+/// A loaded column together with everything a caller needs to reason about
+/// damage: the issue list and the typed partial-load marker.
+#[derive(Debug)]
+pub struct LoadedColumn {
+    pub column: Column,
+    pub issues: Vec<ColumnFileIssue>,
+    /// `Some` iff the load salvaged fewer rows than the file promised.
+    pub partial: Option<PartialLoad>,
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -212,10 +275,31 @@ pub fn decode_column(bytes: &[u8]) -> Result<(Column, Vec<ColumnFileIssue>), Col
 
 /// Load a column file through the fault layer, reporting survivable damage
 /// via `hef_obs::diag` and the metrics registry.
+///
+/// Handles both formats: v1 monolithic files decode directly; v2 paged
+/// files are routed through [`crate::page::PagedColumn`] and fully decoded.
 pub fn load_column(path: &Path) -> Result<(Column, Vec<ColumnFileIssue>), ColumnFileError> {
+    load_column_report(path).map(|l| (l.column, l.issues))
+}
+
+/// [`load_column`] with the typed partial-load marker attached.
+pub fn load_column_report(path: &Path) -> Result<LoadedColumn, ColumnFileError> {
     let (bytes, fault_fired) = hef_testutil::fault::read_file(path)?;
+    // Peek the version: v2 files go through the paged reader (which does
+    // its own metrics/diag reporting at open).
+    if bytes.len() >= 8 && &bytes[0..4] == MAGIC {
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version == 2 {
+            let paged = crate::page::PagedColumn::open(path)?;
+            let issues = paged.issues().to_vec();
+            let column = paged.to_column()?;
+            let partial = partial_load_marker(&issues);
+            return Ok(LoadedColumn { column, issues, partial });
+        }
+    }
     let (col, issues) = decode_column(&bytes)?;
     metrics::add(Metric::ColumnFilesLoaded, 1);
+    let partial = partial_load_marker(&issues);
     for issue in &issues {
         metrics::add(Metric::StorageIssues, 1);
         if let ColumnFileIssue::Truncated { salvaged_rows, .. } = issue {
@@ -223,6 +307,17 @@ pub fn load_column(path: &Path) -> Result<(Column, Vec<ColumnFileIssue>), Column
         }
         hef_obs::diag::warn(format!("storage: {}: {issue}", path.display()));
         hef_obs::trace::instant_labeled("storage_issue", &issue.to_string(), &[]);
+    }
+    if let Some(p) = partial {
+        // The per-issue warning above carries the counts too, but a partial
+        // load is the one condition callers most need to notice — surface
+        // it unconditionally with the salvaged/expected rows spelled out.
+        hef_obs::diag::warn(format!(
+            "storage: {}: partial load: {} of {} rows survived",
+            path.display(),
+            p.salvaged_rows,
+            p.expected_rows.map_or_else(|| "unknown".to_string(), |e| e.to_string()),
+        ));
     }
     if fault_fired && issues.is_empty() {
         // A fault fired but the file still decoded clean (e.g. tear confined
@@ -232,7 +327,7 @@ pub fn load_column(path: &Path) -> Result<(Column, Vec<ColumnFileIssue>), Column
             path.display()
         ));
     }
-    Ok((col, issues))
+    Ok(LoadedColumn { column: col, issues, partial })
 }
 
 #[cfg(test)]

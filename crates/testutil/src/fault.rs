@@ -566,6 +566,52 @@ pub fn read_file(path: &std::path::Path) -> std::io::Result<(Vec<u8>, bool)> {
     Ok((data, fired))
 }
 
+/// `true` when the active plan carries a `torn`/`short` clause matching
+/// `path` — i.e. [`read_file`] would mangle a read of it.
+fn read_faults_match(path: &str) -> bool {
+    if !active() {
+        return false;
+    }
+    let s = lock_state();
+    let Some(active) = s.as_ref() else { return false };
+    let matches = |file: &Option<String>| file.as_ref().is_none_or(|f| path.contains(f.as_str()));
+    active.plan.short.iter().any(|sh| matches(&sh.file))
+        || active.plan.torn.iter().any(|t| matches(&t.file))
+}
+
+/// Positioned read of `len` bytes at `offset` through the fault layer (may
+/// return fewer at end of file). The fast path seeks and reads just the
+/// range; when a `torn:`/`short:` clause matches the path, the whole file
+/// is read through [`read_file`] and sliced, so a ranged read observes a
+/// torn tail or short file *exactly* as a whole-file read would — paged and
+/// monolithic loaders salvage bit-identically under the same fault spec.
+pub fn read_file_range(
+    path: &std::path::Path,
+    offset: u64,
+    len: usize,
+) -> std::io::Result<(Vec<u8>, bool)> {
+    if read_faults_match(&path.to_string_lossy()) {
+        let (data, fired) = read_file(path)?;
+        let start = (offset as usize).min(data.len());
+        let end = (start + len).min(data.len());
+        return Ok((data[start..end].to_vec(), fired));
+    }
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = std::fs::File::open(path)?;
+    f.seek(SeekFrom::Start(offset))?;
+    let mut buf = vec![0u8; len];
+    let mut filled = 0usize;
+    while filled < len {
+        let n = f.read(&mut buf[filled..])?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+    }
+    buf.truncate(filled);
+    Ok((buf, false))
+}
+
 /// Deterministically overwrite `flips` byte positions of `text` with seeded
 /// printable ASCII. Output is valid UTF-8 (replacements are ASCII and only
 /// ASCII positions are touched), so it can be fed straight back to a parser.
